@@ -1,0 +1,53 @@
+"""Application-level benchmarks: the analyses dominators accelerate."""
+
+import pytest
+
+from repro.analysis import (
+    MonteCarloTiming,
+    VectorSimulator,
+    exact_signal_probabilities,
+    naive_signal_probabilities,
+    select_cut_frontiers,
+)
+from repro.circuits.generators import carry_select_adder, cascade
+
+
+def _csa():
+    return carry_select_adder(10, block=4)
+
+
+def test_exact_signal_probability(benchmark):
+    circuit = _csa()
+    out = circuit.outputs[-1]
+    benchmark.group = "signal probability"
+    benchmark.name = "exact (dominator-partitioned)"
+    benchmark(exact_signal_probabilities, circuit, out)
+
+
+def test_naive_signal_probability(benchmark):
+    circuit = _csa()
+    benchmark.group = "signal probability"
+    benchmark.name = "naive first-order (incorrect)"
+    benchmark(naive_signal_probabilities, circuit)
+
+
+def test_monte_carlo_probability(benchmark):
+    circuit = _csa()
+    sim = VectorSimulator(circuit)
+    benchmark.group = "signal probability"
+    benchmark.name = "monte carlo 10k vectors"
+    benchmark(sim.monte_carlo_probabilities, 10_000)
+
+
+def test_cut_frontier_selection(benchmark):
+    circuit = cascade(depth=80, num_inputs=8, num_outputs=1)
+    benchmark.group = "cut frontier selection"
+    benchmark.name = "common chain of all PIs"
+    benchmark(select_cut_frontiers, circuit)
+
+
+def test_statistical_timing(benchmark):
+    circuit = cascade(depth=40, num_inputs=6, num_outputs=1)
+    benchmark.group = "statistical timing"
+    benchmark.name = "4096-sample vectorized SSTA"
+    benchmark(MonteCarloTiming, circuit, None, 4096)

@@ -1,0 +1,68 @@
+"""Constant-time chain lookup (Section 4's O(1) claim).
+
+Three ways to answer "is {v1, v2} a double-vertex dominator of u?":
+
+* ``chain``   — the paper's flag/index/interval probe (claimed O(1)),
+* ``hashset`` — membership in a materialized frozenset-pair set,
+* ``recheck`` — re-deriving the answer from Definition 1 by reachability
+  (what one would do without the chain; grows with circuit size).
+
+The chain and hashset stay flat across circuit sizes; the recheck does
+not — that separation is the claim.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.generators import cascade
+from repro.core.algorithm import ChainComputer
+from repro.core.bruteforce import is_double_dominator
+from repro.graph import IndexedGraph
+
+DEPTHS = [20, 80, 320]
+QUERIES = 500
+
+
+def _setup(depth):
+    circuit = cascade(depth=depth, num_inputs=6, num_outputs=1)
+    graph = IndexedGraph.from_circuit(circuit)
+    u = graph.sources()[0]
+    chain = ChainComputer(graph).chain(u)
+    rng = random.Random(99)
+    queries = [
+        (rng.randrange(graph.n), rng.randrange(graph.n))
+        for _ in range(QUERIES)
+    ]
+    return graph, u, chain, queries
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_chain_lookup(benchmark, depth):
+    graph, u, chain, queries = _setup(depth)
+    benchmark.group = f"lookup:n={graph.n}"
+    benchmark.name = "chain O(1) probe"
+    benchmark(lambda: sum(chain.dominates(a, b) for a, b in queries))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_hashset_lookup(benchmark, depth):
+    graph, u, chain, queries = _setup(depth)
+    pairs = chain.pair_set()
+    benchmark.group = f"lookup:n={graph.n}"
+    benchmark.name = "hashed pair set"
+    benchmark(
+        lambda: sum(frozenset((a, b)) in pairs for a, b in queries)
+    )
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_reachability_recheck(benchmark, depth):
+    graph, u, chain, queries = _setup(depth)
+    benchmark.group = f"lookup:n={graph.n}"
+    benchmark.name = "definition recheck"
+    benchmark(
+        lambda: sum(
+            is_double_dominator(graph, u, a, b) for a, b in queries[:50]
+        )
+    )

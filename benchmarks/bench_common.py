@@ -1,0 +1,36 @@
+"""Common dominators: fake-vertex recomputation vs chain intersection.
+
+Section 4 claims D(u1..uk) is computable from individual chains in
+O(k · min|D(ui)|) — the intersection route.  Once per-input chains exist
+(the incremental-synthesis scenario), intersecting beats re-running the
+flow algorithm on the augmented graph.
+"""
+
+import pytest
+
+from repro.circuits.generators import cascade
+from repro.core.algorithm import ChainComputer
+from repro.core.common import common_dominator_pairs, common_pairs_from_chains
+from repro.graph import IndexedGraph
+
+
+def _setup():
+    circuit = cascade(depth=60, num_inputs=8, num_outputs=1)
+    graph = IndexedGraph.from_circuit(circuit)
+    computer = ChainComputer(graph)
+    chains = [computer.chain(u) for u in graph.sources()]
+    return graph, chains
+
+
+def test_common_via_fake_vertex(benchmark):
+    graph, chains = _setup()
+    benchmark.group = "common dominators of all PIs"
+    benchmark.name = "fake-vertex recompute"
+    benchmark(common_dominator_pairs, graph, graph.sources())
+
+
+def test_common_via_chain_intersection(benchmark):
+    graph, chains = _setup()
+    benchmark.group = "common dominators of all PIs"
+    benchmark.name = "chain intersection O(k*min|D|)"
+    benchmark(common_pairs_from_chains, chains)

@@ -1,0 +1,47 @@
+"""DOUBLEIDOM flow computations and region machinery micro-benchmarks."""
+
+import pytest
+
+from repro.circuits.generators import array_multiplier
+from repro.core.double_idom import double_idom
+from repro.core.matching import expand_pair
+from repro.dominators import circuit_dominator_tree
+from repro.graph import IndexedGraph
+from repro.graph.transform import region_between
+
+
+def _region():
+    """The first search region of a multiplier cone's first PI."""
+    circuit = array_multiplier(8)
+    graph = IndexedGraph.from_circuit(circuit, circuit.outputs[-1])
+    tree = circuit_dominator_tree(graph)
+    u = graph.sources()[0]
+    walk = tree.chain(u)
+    sub, orig_of = region_between(graph, walk[0], walk[1])
+    local = {orig: i for i, orig in enumerate(orig_of)}
+    return sub, local[walk[0]]
+
+
+def test_double_idom_flow(benchmark):
+    region, start = _region()
+    benchmark.group = f"DOUBLEIDOM (region n={region.n})"
+    benchmark.name = "bounded max-flow + nearest cut"
+    benchmark(double_idom, region, [start])
+
+
+def test_pair_expansion(benchmark):
+    region, start = _region()
+    pair = double_idom(region, [start])
+    if pair is None:
+        pytest.skip("region has no immediate pair")
+    benchmark.group = f"pair expansion (region n={region.n})"
+    benchmark.name = "FINDMATCHINGVECTOR walks"
+    benchmark(expand_pair, region, pair[0], pair[1])
+
+
+def test_single_dominator_tree_on_cone(benchmark):
+    circuit = array_multiplier(8)
+    graph = IndexedGraph.from_circuit(circuit, circuit.outputs[-1])
+    benchmark.group = f"LT dominator tree (n={graph.n})"
+    benchmark.name = "Lengauer-Tarjan"
+    benchmark(circuit_dominator_tree, graph)

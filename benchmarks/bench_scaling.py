@@ -1,0 +1,66 @@
+"""Scaling of both algorithms with circuit size.
+
+Two families from the paper's extremes:
+
+* ``cascade`` — deep chains of reconvergent blocks (the too_large
+  pathology: baseline grows ~quadratically, the chain algorithm stays
+  near-linear thanks to small regions),
+* ``multiplier`` — the C6288 family (few single dominators, large search
+  regions: both algorithms work harder, the gap persists).
+"""
+
+import pytest
+
+from repro.circuits.generators import array_multiplier, cascade
+from repro.core.algorithm import ChainComputer
+from repro.core.baseline import baseline_double_dominators
+from repro.graph import IndexedGraph
+
+
+def _single_cone(circuit):
+    return IndexedGraph.from_circuit(circuit, circuit.outputs[-1])
+
+
+def _new(graph):
+    computer = ChainComputer(graph)
+    return sum(
+        computer.chain(u).num_dominators() for u in graph.sources()
+    )
+
+
+def _baseline(graph):
+    return sum(
+        len(p) for p in baseline_double_dominators(graph).values()
+    )
+
+
+@pytest.mark.parametrize("depth", [25, 50, 100])
+def test_cascade_new(benchmark, depth):
+    graph = _single_cone(cascade(depth=depth, num_inputs=6))
+    benchmark.group = f"cascade depth={depth} (n={graph.n})"
+    benchmark.name = "new (t2)"
+    benchmark(_new, graph)
+
+
+@pytest.mark.parametrize("depth", [25, 50, 100])
+def test_cascade_baseline(benchmark, depth):
+    graph = _single_cone(cascade(depth=depth, num_inputs=6))
+    benchmark.group = f"cascade depth={depth} (n={graph.n})"
+    benchmark.name = "baseline [11] (t1)"
+    benchmark(_baseline, graph)
+
+
+@pytest.mark.parametrize("width", [4, 6, 8])
+def test_multiplier_new(benchmark, width):
+    graph = _single_cone(array_multiplier(width))
+    benchmark.group = f"multiplier {width}x{width} (n={graph.n})"
+    benchmark.name = "new (t2)"
+    benchmark(_new, graph)
+
+
+@pytest.mark.parametrize("width", [4, 6, 8])
+def test_multiplier_baseline(benchmark, width):
+    graph = _single_cone(array_multiplier(width))
+    benchmark.group = f"multiplier {width}x{width} (n={graph.n})"
+    benchmark.name = "baseline [11] (t1)"
+    benchmark(_baseline, graph)

@@ -1,0 +1,27 @@
+"""Single-vertex dominator engines (Section 3's Lengauer–Tarjan remark).
+
+The paper uses Lengauer–Tarjan and notes that the asymptotically-linear
+algorithms "did not contribute much to reducing the actual runtime"; this
+bench compares LT against the CHK iterative algorithm and the naive
+fixpoint on a realistic cone, for the SINGLEIDOM workload both dominator
+algorithms hammer on.
+"""
+
+import pytest
+
+from repro.circuits.suite import table1_suite
+from repro.dominators import circuit_idoms
+from repro.graph import IndexedGraph
+
+
+def _cone():
+    circuit = table1_suite()["C6288"].circuit(0.5)
+    return IndexedGraph.from_circuit(circuit, circuit.outputs[-1])
+
+
+@pytest.mark.parametrize("engine", ["lt", "iterative", "naive"])
+def test_single_dominator_engine(benchmark, engine):
+    graph = _cone()
+    benchmark.group = f"single idoms (n={graph.n})"
+    benchmark.name = engine
+    benchmark(circuit_idoms, graph, engine)

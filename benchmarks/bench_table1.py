@@ -1,0 +1,60 @@
+"""Table 1: the paper's algorithm vs the baseline [11], per benchmark.
+
+Each benchmark times the full Table-1 workload for one circuit — all
+double-vertex dominators of every primary input of every output cone.
+``new`` is the paper's dominator-chain algorithm (column t2), ``baseline``
+the restriction algorithm [11] (column t1); comparing the two groups in
+the pytest-benchmark output reproduces the table's improvement column.
+
+Circuits are built at scale 0.5 to keep a full run in CI territory; run
+``python -m repro.experiments.table1`` for the paper-matched sizes.
+"""
+
+import pytest
+
+from repro.circuits.suite import QUICK_SUBSET, table1_suite
+from repro.core.algorithm import ChainComputer
+from repro.core.baseline import baseline_double_dominators
+from repro.graph import IndexedGraph
+
+SCALE = 0.5
+
+
+def _cones(name):
+    circuit = table1_suite()[name].circuit(SCALE)
+    return [
+        IndexedGraph.from_circuit(circuit, out) for out in circuit.outputs
+    ]
+
+
+def _run_new(cones):
+    total = 0
+    for graph in cones:
+        computer = ChainComputer(graph)
+        for u in graph.sources():
+            total += computer.chain(u).num_dominators()
+    return total
+
+
+def _run_baseline(cones):
+    total = 0
+    for graph in cones:
+        for pairs in baseline_double_dominators(graph).values():
+            total += len(pairs)
+    return total
+
+
+@pytest.mark.parametrize("name", QUICK_SUBSET)
+def test_new_algorithm(benchmark, name):
+    cones = _cones(name)
+    benchmark.group = f"table1:{name}"
+    benchmark.name = "new (t2)"
+    benchmark(_run_new, cones)
+
+
+@pytest.mark.parametrize("name", QUICK_SUBSET)
+def test_baseline_algorithm(benchmark, name):
+    cones = _cones(name)
+    benchmark.group = f"table1:{name}"
+    benchmark.name = "baseline [11] (t1)"
+    benchmark(_run_baseline, cones)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to reduced circuit scales so the whole suite runs in a
+few minutes; the full Table-1 reproduction (paper-matched I/O counts) is
+``python -m repro.experiments.table1``.
+"""
+
+import pytest
+
+from repro.circuits.suite import table1_suite
+from repro.graph import IndexedGraph
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return table1_suite()
+
+
+def cones_of(circuit):
+    return [IndexedGraph.from_circuit(circuit, out) for out in circuit.outputs]

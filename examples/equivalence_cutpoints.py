@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Cut-point selection for equivalence checking.
+
+Section 1 lists "cut point selection in equivalence checking" among the
+applications of dominators.  A usable cut frontier must separate the
+primary inputs from the output — i.e. be a common dominator of the PI set.
+Single-vertex frontiers are rare; the dominator chain of the fake
+super-source enumerates *all* 2-wide frontiers at once.
+
+The example checks two structurally different adders (ripple-carry vs
+carry-lookahead) for equivalence output by output, using the frontiers to
+partition the proof obligation, with exhaustive simulation as the prover.
+"""
+
+import itertools
+
+from repro.analysis import evaluate, select_cut_frontiers, verify_frontier
+from repro.circuits.generators import carry_lookahead_adder, ripple_carry_adder
+from repro.graph import IndexedGraph
+
+WIDTH = 5
+rca = ripple_carry_adder(WIDTH, with_cin=True)
+cla = carry_lookahead_adder(WIDTH)
+print(f"implementation A: {rca.name} ({rca.gate_count()} gates)")
+print(f"implementation B: {cla.name} ({cla.gate_count()} gates)\n")
+
+# 1. Frontier discovery on each implementation's carry-out cone.
+for circuit in (rca, cla):
+    out = circuit.outputs[-1]
+    frontiers = select_cut_frontiers(circuit, out)
+    graph = IndexedGraph.from_circuit(circuit, out)
+    assert all(verify_frontier(graph, f.nets) for f in frontiers)
+    singles = [f for f in frontiers if f.width == 1]
+    doubles = [f for f in frontiers if f.width == 2]
+    print(
+        f"{circuit.name}: cone of {out!r} has {len(singles)} single-vertex "
+        f"and {len(doubles)} double-vertex cut frontiers"
+    )
+    shown = [f.nets for f in doubles[:4]]
+    print(f"  first double frontiers toward the output: {shown}")
+
+# 2. Formal equivalence with the BDD engine.
+from repro.bdd import check_equivalence, partitioned_output_bdd
+
+equal = check_equivalence(
+    rca, cla, outputs=list(zip(rca.outputs, cla.outputs))
+)
+print(f"\nBDD equivalence proof: {'EQUIVALENT' if equal else 'DIFFERENT'}")
+
+# 3. The cut-point trick: build one output's BDD *through* a frontier —
+#    fresh variables at the cut, then compose.  Lossless by construction
+#    because a dominator frontier leaves no escaping path.
+proof = partitioned_output_bdd(rca, rca.outputs[-1])
+print(
+    f"partitioned proof through frontier {proof.frontier}: "
+    f"peak half-BDD {proof.peak_partitioned} nodes vs monolithic "
+    f"{proof.monolithic_size}; composition matches: "
+    f"{proof.composed_matches}"
+)
+
+# 4. Cross-check the prover with exhaustive simulation.
+inputs = rca.inputs
+assert set(inputs) == set(cla.inputs)
+mismatches = 0
+for bits in itertools.product((0, 1), repeat=len(inputs)):
+    assignment = dict(zip(inputs, bits))
+    va = evaluate(rca, assignment)
+    vb = evaluate(cla, assignment)
+    for out_a, out_b in zip(rca.outputs, cla.outputs):
+        if va[out_a] != vb[out_b]:
+            mismatches += 1
+print(
+    f"exhaustive cross-check over {2 ** len(inputs)} vectors: "
+    f"{'EQUIVALENT' if mismatches == 0 else f'{mismatches} mismatches'}"
+)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Incremental chain computation and common dominators of vertex sets.
+
+The paper's conclusion: "the speed of the presented algorithm makes it
+suitable for running in an incremental manner during logic synthesis."
+Two ingredients make that true and are demonstrated here:
+
+1. Region sharing: a search region depends only on its entry vertex, so
+   when chains are computed for every primary input of a cone, each
+   region is expanded exactly once (:class:`ChainComputer`).
+2. Common dominators of a *set* of vertices — both by the fake-vertex
+   technique and by intersecting individual chains with the O(1) lookup
+   (Section 4's O(k·min|D|) bound).
+"""
+
+import time
+
+from repro.circuits.generators import cascade
+from repro.core import ChainComputer
+from repro.core.common import common_chain, common_pairs_from_chains
+from repro.graph import IndexedGraph
+
+circuit = cascade(depth=60, num_inputs=8, num_outputs=1)
+graph = IndexedGraph.from_circuit(circuit)
+print(f"circuit: {circuit.name} ({graph.n} vertices)\n")
+
+# 1. All-PI chains, shared regions vs recomputed regions.
+for cached, label in ((True, "shared regions"), (False, "regions per target")):
+    start = time.perf_counter()
+    computer = ChainComputer(graph, cache_regions=cached)
+    chains = {u: computer.chain(u) for u in graph.sources()}
+    elapsed = time.perf_counter() - start
+    total = sum(c.num_dominators() for c in chains.values())
+    print(
+        f"{label:20s}: {len(chains)} chains, {total} pairs total, "
+        f"{elapsed * 1e3:7.1f} ms"
+    )
+
+# 2. Common double-vertex dominators of the whole PI set.
+sources = graph.sources()
+fake = common_chain(graph, sources)
+print(
+    f"\ncommon chain of all {len(sources)} primary inputs: "
+    f"{fake.num_dominators()} common pairs, {len(fake)} chain pairs"
+)
+
+computer = ChainComputer(graph)
+individual = [computer.chain(u) for u in sources]
+intersected = common_pairs_from_chains(individual)
+print(
+    f"chain-intersection route (O(k*min|D|) lookups): "
+    f"{len(intersected)} pairs"
+)
+missing = fake.pair_set() - intersected
+print(
+    "pairs common to the set but redundant for some single input: "
+    f"{len(missing)}"
+)
+first = sorted(
+    (tuple(sorted(graph.name_of(v) for v in p)) for p in intersected)
+)[:5]
+print(f"first common frontiers: {first}")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Signal probability: dominator-partitioned exact analysis vs naive.
+
+The paper's Section 1 motivates dominators through signal-probability
+computation: topological propagation that multiplies fanin probabilities is
+wrong on re-converging paths, and dominators are the earliest points where
+correlation dies out, letting auxiliary variables be eliminated.
+
+This example runs on a carry-select adder (dense reconvergence through the
+speculative carry rails), comparing:
+
+* the naive correlation-blind propagation,
+* the exact dominator-partitioned computation,
+* a Monte-Carlo simulation as referee.
+"""
+
+from repro.analysis import (
+    DominatorPartitionedProbability,
+    VectorSimulator,
+    naive_signal_probabilities,
+)
+from repro.circuits.generators import carry_select_adder
+
+circuit = carry_select_adder(width=8, block=4)
+output = circuit.outputs[-1]  # carry-out: sees the most reconvergence
+print(f"circuit: {circuit.name} ({circuit.gate_count()} gates)")
+print(f"analyzing cone of output {output!r}\n")
+
+analysis = DominatorPartitionedProbability(circuit, output)
+exact = analysis.probabilities()
+naive = naive_signal_probabilities(circuit)
+mc = VectorSimulator(circuit).monte_carlo_probabilities(
+    num_vectors=200_000, seed=7, nets=list(exact)
+)
+
+print(f"{'net':12s} {'naive':>8s} {'exact':>8s} {'monte-carlo':>12s}")
+rows = sorted(
+    exact, key=lambda n: abs(naive[n] - exact[n]), reverse=True
+)[:12]
+for net in rows:
+    print(
+        f"{net:12s} {naive[net]:8.4f} {exact[net]:8.4f} {mc[net]:12.4f}"
+    )
+
+worst = max(exact, key=lambda n: abs(naive[n] - exact[n]))
+print(
+    f"\nworst naive error: net {worst!r} off by "
+    f"{abs(naive[worst] - exact[worst]):.4f}"
+)
+print(
+    f"max |exact - monte-carlo| = "
+    f"{max(abs(exact[n] - mc[n]) for n in exact):.4f} (sampling noise)"
+)
+print(
+    f"peak active auxiliary variables: {analysis.peak_support} "
+    "(the 2^k table width dominators keep small)"
+)

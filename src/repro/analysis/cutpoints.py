@@ -1,0 +1,123 @@
+"""Cut-point selection for equivalence checking (paper Section 1).
+
+Combinational equivalence checkers (e.g. CLEVER [18]) partition the two
+circuits under comparison at *cut points* — internal frontiers behind
+which the cones can be proven equivalent independently.  A frontier is
+usable when it separates the primary inputs from the output; that is
+exactly the definition of a common dominator of the PI set:
+
+* common *single*-vertex dominators give 1-wide cut frontiers (rare),
+* common *double*-vertex dominators give 2-wide frontiers (the paper's
+  point: far more frequent, and all of them are enumerated by one
+  dominator chain of the fake super-source).
+
+:func:`select_cut_frontiers` returns the frontiers ordered from the inputs
+toward the output — the natural sweep order for a cut-based prover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.common import common_chain
+from ..dominators.single import circuit_dominator_tree
+from ..graph.circuit import Circuit
+from ..graph.indexed import IndexedGraph
+from ..graph.transform import merge_sources
+
+
+@dataclass(frozen=True)
+class CutFrontier:
+    """One input/output-separating frontier of a cone.
+
+    ``width`` is 1 for a single-vertex cut, 2 for a double-vertex cut;
+    ``nets`` are the frontier's net names.
+    """
+
+    width: int
+    nets: Tuple[str, ...]
+
+
+def common_single_cutpoints(graph: IndexedGraph) -> List[int]:
+    """Common single-vertex dominators of all primary inputs, in order.
+
+    Computed with the same fake-super-source trick as the double case:
+    the idom chain of the fake vertex (excluding the root itself is kept —
+    the root is always a valid, if useless, frontier).
+    """
+    sources = graph.sources()
+    if not sources:
+        return []
+    augmented = merge_sources(graph, sources)
+    tree = circuit_dominator_tree(augmented)
+    source_set = set(sources)
+    # Strict dominators of the fake vertex; a primary input can only show
+    # up when it is the sole source (it trivially "covers" its own paths)
+    # and is not a usable internal frontier, so it is dropped.
+    return [
+        v for v in tree.chain(graph.n)[1:] if v not in source_set
+    ]
+
+
+def select_cut_frontiers(
+    circuit: Circuit,
+    output: Optional[str] = None,
+    include_root: bool = False,
+) -> List[CutFrontier]:
+    """All 1- and 2-wide PI-separating frontiers of one output cone.
+
+    Frontiers are ordered from the inputs toward the output: single cuts
+    by dominator-chain position, double cuts in dominator-chain order
+    (each yielded pair separates the PIs from the output).
+
+    Examples
+    --------
+    >>> from repro.circuits.figures import figure2_circuit
+    >>> frontiers = select_cut_frontiers(figure2_circuit())
+    >>> [f.nets for f in frontiers if f.width == 1]
+    [('t',)]
+    """
+    graph = IndexedGraph.from_circuit(circuit, output)
+    frontiers: List[CutFrontier] = []
+    for v in common_single_cutpoints(graph):
+        if v == graph.root and not include_root:
+            continue
+        frontiers.append(CutFrontier(width=1, nets=(graph.name_of(v),)))
+    source_set = set(graph.sources())
+    chain = common_chain(graph, graph.sources())
+    for v, w in chain.iter_dominator_pairs():
+        if v in source_set or w in source_set:
+            continue  # a PI is not a usable internal frontier
+        frontiers.append(
+            CutFrontier(
+                width=2, nets=(graph.name_of(v), graph.name_of(w))
+            )
+        )
+    return frontiers
+
+
+def verify_frontier(
+    graph: IndexedGraph, nets: Tuple[str, ...]
+) -> bool:
+    """Check that removing ``nets`` disconnects every PI from the output.
+
+    Used by the tests and the equivalence-checking example to certify
+    that every frontier returned by :func:`select_cut_frontiers` is a
+    genuine cut.
+    """
+    banned = {graph.index_of(n) for n in nets}
+    if graph.root in banned:
+        return True
+    seen = set()
+    stack = [s for s in graph.sources() if s not in banned]
+    seen.update(stack)
+    while stack:
+        v = stack.pop()
+        if v == graph.root:
+            return False
+        for w in graph.succ[v]:
+            if w not in seen and w not in banned:
+                seen.add(w)
+                stack.append(w)
+    return True

@@ -1,0 +1,73 @@
+"""Switching-activity estimation — the paper's second motivating use.
+
+    "The average switching activity in a combinational circuit is the
+    probability of its net values to change from 0 to 1 or vice versa.
+    It correlates directly with the average power dissipation [3]."
+
+Under the standard zero-delay, temporally-independent vector model, the
+toggle probability of a net with (exact) signal probability *p* is
+``2·p·(1-p)`` — so the hard part is the *exact* signal probability, which
+is where the dominator partitioning of
+:mod:`repro.analysis.signal_probability` comes in.  A weighted sum over
+nets gives the average-power figure of merit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..graph.circuit import Circuit
+from .signal_probability import (
+    exact_signal_probabilities,
+    naive_signal_probabilities,
+)
+
+
+def activity_from_probability(p: float) -> float:
+    """Toggle probability of a net with stationary 1-probability ``p``."""
+    return 2.0 * p * (1.0 - p)
+
+
+def switching_activities(
+    circuit: Circuit,
+    output: Optional[str] = None,
+    input_probs: Optional[Mapping[str, float]] = None,
+    exact: bool = True,
+    max_support: int = 18,
+) -> Dict[str, float]:
+    """Per-net switching activity of one output cone.
+
+    With ``exact=False`` the naive (correlation-blind) probabilities are
+    used instead — the comparison shown in ``examples/`` quantifies how
+    much re-convergence skews power estimates.
+    """
+    if exact:
+        probs = exact_signal_probabilities(
+            circuit, output, input_probs, max_support
+        )
+    else:
+        probs = naive_signal_probabilities(circuit, input_probs)
+    return {net: activity_from_probability(p) for net, p in probs.items()}
+
+
+def average_power_proxy(
+    circuit: Circuit,
+    output: Optional[str] = None,
+    input_probs: Optional[Mapping[str, float]] = None,
+    load: Optional[Mapping[str, float]] = None,
+    exact: bool = True,
+) -> float:
+    """Capacitance-weighted total switching activity (arbitrary units).
+
+    ``load`` defaults to each net's fanout degree — the usual first-order
+    wire/gate capacitance proxy.
+    """
+    acts = switching_activities(circuit, output, input_probs, exact=exact)
+    total = 0.0
+    for net, act in acts.items():
+        weight = (
+            load.get(net, 1.0) if load is not None
+            else max(1, circuit.fanout_degree(net))
+        )
+        total += weight * act
+    return total

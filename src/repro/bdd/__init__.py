@@ -1,0 +1,24 @@
+"""ROBDD engine and cut-point equivalence checking."""
+
+from .circuit_bdd import (
+    CutpointError,
+    PartitionedProof,
+    build_net_bdds,
+    check_equivalence,
+    output_bdd,
+    partitioned_output_bdd,
+)
+from .manager import ONE, ZERO, BddError, BDDManager
+
+__all__ = [
+    "BDDManager",
+    "BddError",
+    "CutpointError",
+    "ONE",
+    "PartitionedProof",
+    "ZERO",
+    "build_net_bdds",
+    "check_equivalence",
+    "output_bdd",
+    "partitioned_output_bdd",
+]

@@ -1,0 +1,274 @@
+"""A compact ROBDD manager.
+
+Reduced ordered binary decision diagrams with a shared unique table and a
+memoized ternary ITE operator — the classical data structure behind
+combinational equivalence checking (the paper's Section 1 cites cut-point
+selection for equivalence checking as a dominator application; the cut
+points bound BDD growth, demonstrated in
+:mod:`repro.bdd.circuit_bdd`).
+
+Nodes are integers: ``0``/``1`` are the terminals; internal nodes carry
+``(level, low, high)`` with strictly increasing levels toward the
+terminals.  No complemented edges — clarity over constant factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+
+class BddError(ReproError):
+    """BDD capacity exceeded or inconsistent operands."""
+
+
+ZERO = 0
+ONE = 1
+
+
+class BDDManager:
+    """Shared-table ROBDD manager over numbered variables.
+
+    Variables are identified by *level* (0 = top of the order).  All
+    nodes from one manager may be freely combined; mixing managers is an
+    error the operations cannot detect, so don't.
+
+    Examples
+    --------
+    >>> m = BDDManager()
+    >>> x, y = m.var(0), m.var(1)
+    >>> f = m.and_(x, y)
+    >>> m.evaluate(f, {0: 1, 1: 1})
+    1
+    >>> m.evaluate(f, {0: 1, 1: 0})
+    0
+    """
+
+    def __init__(self, max_nodes: int = 2_000_000):
+        self.max_nodes = max_nodes
+        self._level: List[int] = [-1, -1]  # terminals
+        self._low: List[int] = [-1, -1]
+        self._high: List[int] = [-1, -1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            if node > self.max_nodes:
+                raise BddError(
+                    f"BDD exceeded {self.max_nodes} nodes; raise max_nodes "
+                    "or partition the problem (e.g. at dominator cuts)"
+                )
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, level: int) -> int:
+        """The single-variable function for ``level``."""
+        if level < 0:
+            raise BddError("variable levels must be non-negative")
+        return self._mk(level, ZERO, ONE)
+
+    def level_of(self, node: int) -> int:
+        return self._level[node]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # core operator
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)`` — the universal op."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(
+            level
+            for level in (
+                self._level[f],
+                self._level[g],
+                self._level[h],
+            )
+            if level >= 0
+        )
+
+        def cofactor(node: int, positive: bool) -> int:
+            if self._level[node] == top:
+                return self._high[node] if positive else self._low[node]
+            return node
+
+        high = self.ite(
+            cofactor(f, True), cofactor(g, True), cofactor(h, True)
+        )
+        low = self.ite(
+            cofactor(f, False), cofactor(g, False), cofactor(h, False)
+        )
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # boolean algebra
+    # ------------------------------------------------------------------
+    def not_(self, f: int) -> int:
+        return self.ite(f, ZERO, ONE)
+
+    def and_(self, *fs: int) -> int:
+        result = ONE
+        for f in fs:
+            result = self.ite(result, f, ZERO)
+        return result
+
+    def or_(self, *fs: int) -> int:
+        result = ZERO
+        for f in fs:
+            result = self.ite(result, ONE, f)
+        return result
+
+    def xor(self, *fs: int) -> int:
+        result = ZERO
+        for f in fs:
+            result = self.ite(result, self.not_(f), f)
+        return result
+
+    def nand(self, *fs: int) -> int:
+        return self.not_(self.and_(*fs))
+
+    def nor(self, *fs: int) -> int:
+        return self.not_(self.or_(*fs))
+
+    def xnor(self, *fs: int) -> int:
+        return self.not_(self.xor(*fs))
+
+    def mux(self, sel: int, a: int, b: int) -> int:
+        """a when sel == 0 else b (matching NodeType.MUX semantics)."""
+        return self.ite(sel, b, a)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def restrict(self, f: int, level: int, value: int) -> int:
+        """Cofactor: fix variable ``level`` to ``value``."""
+        if f in (ZERO, ONE) or self._level[f] > level:
+            return f
+        if self._level[f] == level:
+            return self._high[f] if value else self._low[f]
+        return self._mk(
+            self._level[f],
+            self.restrict(self._low[f], level, value),
+            self.restrict(self._high[f], level, value),
+        )
+
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``level`` inside ``f``."""
+        return self.ite(
+            g,
+            self.restrict(f, level, 1),
+            self.restrict(f, level, 0),
+        )
+
+    def support(self, f: int) -> List[int]:
+        """Sorted variable levels ``f`` depends on."""
+        seen = set()
+        levels = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (ZERO, ONE) or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return sorted(levels)
+
+    def size(self, f: int) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        seen = set()
+        stack = [f]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node in (ZERO, ONE) or node in seen:
+                continue
+            seen.add(node)
+            count += 1
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def evaluate(self, f: int, assignment: Dict[int, int]) -> int:
+        """Evaluate under a level -> 0/1 assignment."""
+        node = f
+        while node not in (ZERO, ONE):
+            level = self._level[node]
+            if level not in assignment:
+                raise BddError(f"no value for variable level {level}")
+            node = (
+                self._high[node] if assignment[level] else self._low[node]
+            )
+        return node
+
+    def sat_count(self, f: int, num_vars: int) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        cache: Dict[int, int] = {}
+
+        def count(node: int) -> Tuple[int, int]:
+            # Returns (count over vars below node's level, node level).
+            if node == ZERO:
+                return 0, num_vars
+            if node == ONE:
+                return 1, num_vars
+            if node in cache:
+                return cache[node], self._level[node]
+            lo_count, lo_level = count(self._low[node])
+            hi_count, hi_level = count(self._high[node])
+            level = self._level[node]
+            total = lo_count * (1 << (lo_level - level - 1)) + hi_count * (
+                1 << (hi_level - level - 1)
+            )
+            cache[node] = total
+            return total, level
+
+        total, top = count(f)
+        return total * (1 << top)
+
+    def any_sat(self, f: int) -> Optional[Dict[int, int]]:
+        """One satisfying assignment (partial; unmentioned vars are free)."""
+        if f == ZERO:
+            return None
+        assignment: Dict[int, int] = {}
+        node = f
+        while node != ONE:
+            if self._low[node] != ZERO:
+                assignment[self._level[node]] = 0
+                node = self._low[node]
+            else:
+                assignment[self._level[node]] = 1
+                node = self._high[node]
+        return assignment

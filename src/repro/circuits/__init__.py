@@ -1,0 +1,25 @@
+"""Benchmark circuits: paper figures, parametric generators, Table-1 suite."""
+
+from . import generators
+from .figures import FIGURE2_PAIRS, figure1_circuit, figure2_circuit
+from .suite import (
+    QUICK_SUBSET,
+    PaperRow,
+    SuiteEntry,
+    benchmark_names,
+    get_benchmark,
+    table1_suite,
+)
+
+__all__ = [
+    "FIGURE2_PAIRS",
+    "PaperRow",
+    "QUICK_SUBSET",
+    "SuiteEntry",
+    "benchmark_names",
+    "figure1_circuit",
+    "figure2_circuit",
+    "generators",
+    "get_benchmark",
+    "table1_suite",
+]

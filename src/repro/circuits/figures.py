@@ -1,0 +1,94 @@
+"""The paper's worked-example circuits (Figures 1 and 2).
+
+The published PDF renders the figures as images, so the exact netlists are
+reconstructed here from the *textual* facts the paper states about them;
+every one of those facts is asserted in ``tests/core/test_figures.py``.
+
+Figure 1 facts encoded:
+
+* n dominates e; p dominates h; idom(e) = n; idom(b) = f,
+* n is the immediate dominator of j, e and k; f of n and p,
+* primary input b is dominated by the set {e, h},
+* b has exactly two immediate 3-vertex dominators {e, l, m} and {h, j, k},
+* all paths from e to f pass through {j, n}, with j redundant.
+
+Figure 2 facts encoded (the dominator-chain running example):
+
+* the double-vertex dominators of u are exactly {a,b}, {a,c}, {a,d},
+  {e,c}, {e,d}, {h,c}, {h,d}, {h,g}, {k,l}, {m,l}, {k,n}, {m,n},
+* D(u) = <{<a,e,h>, <b,c,d,g>}, {<k,m>, <l,n>}>,
+* index(b)=1, index(c)=2, index(l)=5, index(n)=6,
+* (min,max): b=(1,1), c=(1,3), d=(1,3), g=(3,3),
+* {d,h} dominates u; {g,a} does not.
+"""
+
+from __future__ import annotations
+
+from ..graph.circuit import Circuit
+from ..graph.node import NodeType
+
+
+def figure1_circuit() -> Circuit:
+    """The example circuit of Figure 1 (with its dominator-tree facts)."""
+    c = Circuit("figure1")
+    for name in ("a", "b", "c", "d", "g"):
+        c.add_input(name)
+    c.add_gate("e", NodeType.OR, ["a", "b"])
+    c.add_gate("h", NodeType.AND, ["b", "c"])
+    c.add_gate("j", NodeType.AND, ["e", "d"])
+    c.add_gate("k", NodeType.OR, ["e", "d"])
+    c.add_gate("l", NodeType.AND, ["h", "c"])
+    c.add_gate("m", NodeType.NOT, ["h"])
+    c.add_gate("n", NodeType.OR, ["j", "k", "g"])
+    c.add_gate("p", NodeType.OR, ["l", "m", "g"])
+    c.add_gate("f", NodeType.AND, ["n", "p"])
+    c.set_outputs(["f"])
+    c.validate()
+    return c
+
+
+def figure2_circuit() -> Circuit:
+    """The dominator-chain running example of Figure 2.
+
+    Region 1 (u up to the single dominator t) is a two-rail ladder — rail
+    one ``u→a→e→h→t``, rail two ``u→b→c→d→g→t`` — with the two cross
+    edges ``a→c`` and ``d→h`` that prune the pair grid down to exactly
+    the staircase the paper lists.  Region 2 (t up to the root f) is the
+    cross-free ladder ``t→k→m→f`` / ``t→l→n→f`` contributing the full
+    2×2 grid {k,m} × {l,n}.
+    """
+    c = Circuit("figure2")
+    c.add_input("u")
+    c.add_gate("a", NodeType.BUF, ["u"])
+    c.add_gate("b", NodeType.NOT, ["u"])
+    c.add_gate("e", NodeType.BUF, ["a"])
+    c.add_gate("c", NodeType.AND, ["b", "a"])
+    c.add_gate("d", NodeType.BUF, ["c"])
+    c.add_gate("h", NodeType.OR, ["e", "d"])
+    c.add_gate("g", NodeType.NOT, ["d"])
+    c.add_gate("t", NodeType.AND, ["h", "g"])
+    c.add_gate("k", NodeType.BUF, ["t"])
+    c.add_gate("l", NodeType.NOT, ["t"])
+    c.add_gate("m", NodeType.NOT, ["k"])
+    c.add_gate("n", NodeType.BUF, ["l"])
+    c.add_gate("f", NodeType.OR, ["m", "n"])
+    c.set_outputs(["f"])
+    c.validate()
+    return c
+
+
+#: All double-vertex dominator pairs of u in Figure 2, from the paper text.
+FIGURE2_PAIRS = [
+    ("a", "b"),
+    ("a", "c"),
+    ("a", "d"),
+    ("e", "c"),
+    ("e", "d"),
+    ("h", "c"),
+    ("h", "d"),
+    ("h", "g"),
+    ("k", "l"),
+    ("m", "l"),
+    ("k", "n"),
+    ("m", "n"),
+]

@@ -1,0 +1,52 @@
+"""Parametric circuit-family generators for the benchmark suite."""
+
+from .adders import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    ripple_carry_adder,
+)
+from .alu import magnitude_comparator, simple_alu
+from .cascades import cascade
+from .crc import POLYNOMIALS, crc_circuit, crc_reference
+from .des_like import feistel_network
+from .ecc import error_corrector
+from .encoders import decoder, interrupt_controller, priority_encoder
+from .multipliers import array_multiplier
+from .muxtree import barrel_shifter, mux_tree
+from .parity import dual_rail_parity, parity_tree
+from .prefix import kogge_stone_adder, prefix_or_network
+from .sorter import batcher_sorter, majority_network
+from .random_dag import (
+    random_circuit,
+    random_series_parallel,
+    random_single_output,
+)
+
+__all__ = [
+    "array_multiplier",
+    "barrel_shifter",
+    "carry_lookahead_adder",
+    "carry_select_adder",
+    "batcher_sorter",
+    "cascade",
+    "crc_circuit",
+    "crc_reference",
+    "decoder",
+    "dual_rail_parity",
+    "error_corrector",
+    "feistel_network",
+    "interrupt_controller",
+    "kogge_stone_adder",
+    "magnitude_comparator",
+    "majority_network",
+    "mux_tree",
+    "parity_tree",
+    "prefix_or_network",
+    "POLYNOMIALS",
+    "priority_encoder",
+    "random_circuit",
+    "random_series_parallel",
+    "random_single_output",
+    "ripple_carry_adder",
+    "simple_alu",
+]

@@ -1,0 +1,112 @@
+"""Adder families.
+
+Ripple-carry adders have long single-dominator chains along the carry
+path; carry-select adders duplicate logic and recombine through muxes,
+creating exactly the kind of two-vertex cuts (the two candidate carries)
+that double-vertex dominators capture and single-vertex dominators miss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def _full_adder(
+    b: CircuitBuilder, x: str, y: str, cin: str
+) -> Tuple[str, str]:
+    """One full adder; returns (sum, carry-out)."""
+    p = b.xor(x, y)
+    s = b.xor(p, cin)
+    carry = b.or_(b.and_(x, y), b.and_(p, cin))
+    return s, carry
+
+
+def ripple_carry_adder(
+    width: int, name: Optional[str] = None, with_cin: bool = False
+) -> Circuit:
+    """``width``-bit ripple-carry adder: 2w(+1) inputs, w+1 outputs."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    b = CircuitBuilder(name or f"rca{width}")
+    xs = b.input_bus("a", width)
+    ys = b.input_bus("b", width)
+    sums: List[str] = []
+    if with_cin:
+        carry = b.input("cin")
+        start = 0
+    else:
+        sums.append(b.xor(xs[0], ys[0], name="s0"))
+        carry = b.and_(xs[0], ys[0])
+        start = 1
+    for i in range(start, width):
+        s, carry = _full_adder(b, xs[i], ys[i], carry)
+        sums.append(s)
+    return b.finish(sums + [carry])
+
+
+def carry_select_adder(
+    width: int, block: int = 4, name: Optional[str] = None
+) -> Circuit:
+    """Carry-select adder: each block computed for cin=0 and cin=1.
+
+    The per-block (sum0, sum1) rails re-join at the selecting muxes, so
+    every block boundary contributes a rich double-dominator structure.
+    """
+    if width < 1 or block < 1:
+        raise ValueError("width and block must be positive")
+    b = CircuitBuilder(name or f"csa{width}x{block}")
+    xs = b.input_bus("a", width)
+    ys = b.input_bus("b", width)
+    cin = b.input("cin")
+
+    sums: List[str] = []
+    carry = cin
+    for lo in range(0, width, block):
+        hi = min(lo + block, width)
+        # Two speculative copies of the block.
+        rails: List[Tuple[List[str], str]] = []
+        for assumed in (0, 1):
+            const = b.constant(assumed)
+            c = const
+            ss: List[str] = []
+            for i in range(lo, hi):
+                s, c = _full_adder(b, xs[i], ys[i], c)
+                ss.append(s)
+            rails.append((ss, c))
+        (s0, c0), (s1, c1) = rails
+        for i, (a0, a1) in enumerate(zip(s0, s1)):
+            sums.append(b.mux(carry, a0, a1, name=f"s{lo + i}"))
+        carry = b.mux(carry, c0, c1)
+    return b.finish(sums + [b.buf(carry, name="cout")])
+
+
+def carry_lookahead_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """Flat carry-lookahead adder: every carry from generate/propagate.
+
+    Wide AND-OR carry trees share the g/p signals heavily, producing many
+    re-converging paths with *no* internal single-vertex dominators at
+    all — the regime where double-vertex dominators matter most.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    b = CircuitBuilder(name or f"cla{width}")
+    xs = b.input_bus("a", width)
+    ys = b.input_bus("b", width)
+    cin = b.input("cin")
+    gen = [b.and_(x, y) for x, y in zip(xs, ys)]
+    prop = [b.xor(x, y) for x, y in zip(xs, ys)]
+    carries = [cin]
+    for i in range(width):
+        # c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[0]cin
+        terms = [gen[i]]
+        for j in range(i - 1, -1, -1):
+            terms.append(b.and_(*( [gen[j]] + prop[j + 1 : i + 1] )))
+        terms.append(b.and_(*(prop[0 : i + 1] + [cin])))
+        carries.append(b.or_(*terms))
+    sums = [
+        b.xor(prop[i], carries[i], name=f"s{i}") for i in range(width)
+    ]
+    return b.finish(sums + [b.buf(carries[width], name="cout")])

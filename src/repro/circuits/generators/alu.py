@@ -1,0 +1,90 @@
+"""ALU and comparator families — the alu2/alu4/comp stand-ins.
+
+A bit-sliced ALU computes several functions of the operand buses in
+parallel and selects among them with opcode muxes; the mux spine makes the
+selected-result nets strong dominator material.  The magnitude comparator
+(``comp`` in Table 1: 32 inputs, 3 outputs) is a classic deep-reconvergence
+circuit: every output depends on every input through a chain of
+per-bit equality links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def simple_alu(
+    width: int, select_bits: int = 2, name: Optional[str] = None
+) -> Circuit:
+    """Bit-sliced ALU: ops AND / OR / XOR / ADD selected by opcode.
+
+    Inputs: two ``width``-bit operands plus ``select_bits`` opcode lines
+    (alu2 ≈ ``simple_alu(3)``, alu4 ≈ ``simple_alu(5)`` by I/O counts).
+    Outputs: ``width`` result bits plus carry-out.
+    """
+    if width < 1 or select_bits < 2:
+        raise ValueError("width >= 1 and select_bits >= 2 required")
+    b = CircuitBuilder(name or f"alu{width}")
+    xs = b.input_bus("a", width)
+    ys = b.input_bus("b", width)
+    sel = b.input_bus("op", select_bits)
+
+    and_res = [b.and_(x, y) for x, y in zip(xs, ys)]
+    or_res = [b.or_(x, y) for x, y in zip(xs, ys)]
+    xor_res = [b.xor(x, y) for x, y in zip(xs, ys)]
+    # Ripple-carry sum.
+    add_res: List[str] = []
+    carry = b.and_(xs[0], ys[0])
+    add_res.append(b.xor(xs[0], ys[0]))
+    for i in range(1, width):
+        p = b.xor(xs[i], ys[i])
+        add_res.append(b.xor(p, carry))
+        carry = b.or_(b.and_(xs[i], ys[i]), b.and_(p, carry))
+
+    # Extra opcode lines (beyond the two mux selects) act as an output
+    # polarity control, so every select input stays live.
+    invert = b.xor_tree(sel[2:]) if len(sel) > 2 else None
+    outputs: List[str] = []
+    for i in range(width):
+        lo = b.mux(sel[0], and_res[i], or_res[i])
+        hi = b.mux(sel[0], xor_res[i], add_res[i])
+        picked = b.mux(sel[1], lo, hi)
+        if invert is not None:
+            picked = b.xor(picked, invert)
+        outputs.append(b.buf(picked, name=f"r{i}"))
+    outputs.append(b.and_(carry, sel[1], name="cout"))
+    return b.finish(outputs)
+
+
+def magnitude_comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit comparator with LT / EQ / GT outputs (comp stand-in).
+
+    Built MSB-first: ``gt = Σ_i (a_i > b_i) · Π_{j>i} eq_j`` — the shared
+    equality-prefix products re-converge at every output.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    b = CircuitBuilder(name or f"comp{width}")
+    xs = b.input_bus("a", width)
+    ys = b.input_bus("b", width)
+
+    eq = [b.xnor(x, y) for x, y in zip(xs, ys)]
+    gt_terms: List[str] = []
+    lt_terms: List[str] = []
+    for i in range(width - 1, -1, -1):
+        prefix = eq[i + 1 :]  # equality of all more-significant bits
+        gt_bit = b.and_(xs[i], b.not_(ys[i]))
+        lt_bit = b.and_(b.not_(xs[i]), ys[i])
+        if prefix:
+            gt_terms.append(b.and_(*([gt_bit] + prefix)))
+            lt_terms.append(b.and_(*([lt_bit] + prefix)))
+        else:
+            gt_terms.append(gt_bit)
+            lt_terms.append(lt_bit)
+    gt = b.or_tree(gt_terms, name="gt")
+    lt = b.or_tree(lt_terms, name="lt")
+    equal = b.and_tree(eq, name="eq")
+    return b.finish([lt, equal, gt])

@@ -1,0 +1,64 @@
+"""Deep cascade circuits — the ``too_large`` pathology.
+
+``too_large`` is Table 1's extreme outlier: the baseline [11] needs
+423.73 s where the paper's algorithm needs 0.69 s (614x).  The baseline's
+cost is one restricted dominator pass *per vertex per cone*, so its worst
+case is a deep, narrow circuit whose every vertex lies in every cone — a
+long cascade of small reconvergent blocks.  :func:`cascade` builds exactly
+that: ``depth`` chained diamond blocks over a handful of inputs, with
+feed-forward taps so inner blocks stay inside all output cones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+from ...graph.node import NodeType
+
+
+def cascade(
+    depth: int,
+    num_inputs: int = 8,
+    num_outputs: int = 3,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Chain of ``depth`` two-rail reconvergent blocks.
+
+    Each block splits the running value into two rails mixed with a
+    primary input and re-joins — so every block contributes one double-
+    vertex dominator pair (its two rails) and one single dominator (its
+    join), and chains/cones grow linearly with ``depth``.
+    """
+    if depth < 1 or num_inputs < 2 or num_outputs < 1:
+        raise ValueError("depth >= 1, num_inputs >= 2, num_outputs >= 1")
+    rng = random.Random(seed)
+    b = CircuitBuilder(name or f"cascade{depth}")
+    ins = b.input_bus("x", num_inputs)
+
+    # Only near-the-end taps feed the extra outputs: long-range taps would
+    # bypass the inner blocks and destroy the deep single-dominator chain
+    # that makes this family the baseline's worst case.
+    taps: List[str] = []
+    current = b.xor(ins[0], ins[1])
+    for d in range(depth):
+        side_input = ins[d % num_inputs]
+        left = b.gate(
+            rng.choice((NodeType.AND, NodeType.OR)), [current, side_input]
+        )
+        right = b.gate(
+            rng.choice((NodeType.XOR, NodeType.NAND)),
+            [current, b.not_(side_input)],
+        )
+        current = b.gate(rng.choice((NodeType.OR, NodeType.XOR)), [left, right])
+        if d >= depth - num_outputs:
+            taps.append(current)
+
+    outputs = [b.buf(current, name="y0")]
+    for k in range(1, num_outputs):
+        mix = taps[(k - 1) % len(taps)] if taps else current
+        outputs.append(b.xor(current, ins[-k], mix, name=f"y{k}"))
+    return b.finish(outputs)

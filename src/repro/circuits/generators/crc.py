@@ -1,0 +1,90 @@
+"""Combinational CRC and linear (XOR-network) circuits.
+
+CRC update logic is a pure XOR network — like C499/C1355 it is linear
+over GF(2), with systematic fanout from every input into many outputs.
+The generator unrolls the standard LFSR update over a full message block,
+giving deep XOR cones with heavy re-convergence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+#: Common generator polynomials (bit i set => x^i term), MSB implicit.
+POLYNOMIALS = {
+    "crc4": 0b0011,  # x^4 + x + 1
+    "crc5": 0b00101,  # x^5 + x^2 + 1
+    "crc8": 0b00000111,  # x^8 + x^2 + x + 1
+    "crc16": 0b1000000000000101,  # x^16 + x^15 + x^2 + 1
+}
+
+
+def crc_circuit(
+    data_bits: int,
+    polynomial: str = "crc8",
+    name: Optional[str] = None,
+) -> Circuit:
+    """Combinational CRC over a ``data_bits`` message.
+
+    Inputs: message bits ``d*`` plus the initial register state ``c*``;
+    outputs: the final register.  The register update is unrolled one
+    message bit at a time (MSB first), exactly like the serial LFSR.
+    """
+    if polynomial not in POLYNOMIALS:
+        raise ValueError(
+            f"unknown polynomial {polynomial!r}; choose from "
+            f"{sorted(POLYNOMIALS)}"
+        )
+    if data_bits < 1:
+        raise ValueError("data_bits must be positive")
+    taps = POLYNOMIALS[polynomial]
+    degree = max(4, taps.bit_length(), int(polynomial[3:]))
+    b = CircuitBuilder(name or f"{polynomial}_d{data_bits}")
+    data = b.input_bus("d", data_bits)
+    state: List[str] = b.input_bus("c", degree)
+
+    zero = None
+    for t in range(data_bits - 1, -1, -1):  # MSB first
+        feedback = b.xor(state[degree - 1], data[t])
+        nxt: List[str] = []
+        for i in range(degree):
+            shifted = state[i - 1] if i > 0 else None
+            if (taps >> i) & 1:
+                nxt.append(
+                    b.buf(feedback)
+                    if shifted is None
+                    else b.xor(shifted, feedback)
+                )
+            elif shifted is not None:
+                nxt.append(shifted)
+            else:
+                if zero is None:
+                    zero = b.constant(0, name="zero")
+                nxt.append(zero)
+        state = nxt
+
+    outputs = [b.buf(s, name=f"crc{i}") for i, s in enumerate(state)]
+    return b.finish(outputs)
+
+
+def crc_reference(
+    data: int, data_bits: int, polynomial: str, init: int = 0
+) -> int:
+    """Bit-serial software CRC matching :func:`crc_circuit` (for tests).
+
+    Galois LFSR, MSB-first: shift left, and when the bit falling off the
+    top XOR the incoming data bit is 1, XOR the tap mask in.
+    """
+    taps = POLYNOMIALS[polynomial]
+    degree = max(4, taps.bit_length(), int(polynomial[3:]))
+    mask = (1 << degree) - 1
+    state = init & mask
+    for t in range(data_bits - 1, -1, -1):
+        feedback = ((state >> (degree - 1)) & 1) ^ ((data >> t) & 1)
+        state = (state << 1) & mask
+        if feedback:
+            state ^= taps
+    return state

@@ -1,0 +1,90 @@
+"""Feistel-network round logic — the ``des`` stand-in.
+
+The MCNC ``des`` benchmark (256 inputs, 245 outputs) is the combinational
+expansion of DES round logic.  This generator reproduces the structure:
+the data block is split in halves, the right half is expanded, XOR-ed with
+key bits, pushed through small S-box-like nonlinear blocks, permuted and
+XOR-ed onto the left half, for a configurable number of rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def _sbox(
+    b: CircuitBuilder, bits: List[str], rng: random.Random
+) -> List[str]:
+    """A tiny 4-in/4-out nonlinear block of ANDs, ORs and XORs."""
+    w, x, y, z = bits
+    t0 = b.xor(w, z)
+    t1 = b.and_(x, y)
+    t2 = b.or_(w, y)
+    t3 = b.xor(x, t2)
+    outs = [
+        b.xor(t0, t1),
+        b.or_(t0, t3),
+        b.xor(t1, t2),
+        b.and_(t3, b.not_(z)),
+    ]
+    rng.shuffle(outs)
+    return outs
+
+
+def feistel_network(
+    block_bits: int = 32,
+    key_bits: int = 32,
+    rounds: int = 2,
+    seed: int = 1,
+    expose_rounds: bool = False,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Feistel cipher round logic, fully combinational.
+
+    ``block_bits`` data inputs (must be a multiple of 8) plus ``key_bits``
+    key inputs; ``block_bits`` outputs, plus each round's fresh half as
+    extra outputs when ``expose_rounds`` is set (the MCNC ``des``
+    benchmark similarly exposes intermediate round values, which is how
+    it reaches 245 outputs).
+    """
+    if block_bits % 8 or block_bits < 8:
+        raise ValueError("block_bits must be a positive multiple of 8")
+    rng = random.Random(seed)
+    b = CircuitBuilder(name or f"feistel{block_bits}r{rounds}")
+    data = b.input_bus("pt", block_bits)
+    key = b.input_bus("k", key_bits)
+
+    half = block_bits // 2
+    left, right = data[:half], data[half:]
+    round_taps: List[str] = []
+    for rnd in range(rounds):
+        # Round function F(right, round key).
+        mixed = [
+            b.xor(r, key[(rnd * half + i) % key_bits])
+            for i, r in enumerate(right)
+        ]
+        substituted: List[str] = []
+        for i in range(0, half, 4):
+            chunk = mixed[i : i + 4]
+            while len(chunk) < 4:
+                chunk.append(mixed[i % half])
+            substituted.extend(_sbox(b, chunk, rng))
+        substituted = substituted[:half]
+        perm = list(range(half))
+        rng.shuffle(perm)
+        f_out = [substituted[p] for p in perm]
+        new_right = [b.xor(l, f) for l, f in zip(left, f_out)]
+        left, right = right, new_right
+        if expose_rounds and rnd < rounds - 1:
+            round_taps.extend(
+                b.buf(s, name=f"md{rnd}_{i}") for i, s in enumerate(new_right)
+            )
+
+    outputs = [
+        b.buf(s, name=f"ct{i}") for i, s in enumerate(left + right)
+    ]
+    return b.finish(outputs + round_taps)

@@ -1,0 +1,61 @@
+"""Error-correcting-code circuits — the C499/C1355 family.
+
+C499 and C1355 are the ISCAS-85 "32-bit single-error-correcting circuit"
+(C1355 is C499 with its XORs expanded to NAND gates): 41 inputs (32 data +
+9 syndrome-related), 32 outputs.  The generator below follows the same
+recipe: compute parity-check syndromes over overlapping data groups,
+decode the syndrome, and conditionally flip each data bit — the syndrome
+logic fans out to *every* output, creating the enormous double-dominator
+counts Table 1 reports for these circuits (9968 and 10512).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def error_corrector(
+    data_bits: int = 32, check_bits: int = 8, name: Optional[str] = None
+) -> Circuit:
+    """Single-error corrector: data + check inputs, corrected data out.
+
+    Data bit *i* belongs to check group *j* when bit *j* of ``i+1`` is set
+    (Hamming-style overlapping groups, wrapped modulo ``check_bits``).
+    """
+    if data_bits < 2 or check_bits < 2:
+        raise ValueError("need at least 2 data and 2 check bits")
+    b = CircuitBuilder(name or f"ecc{data_bits}_{check_bits}")
+    data = b.input_bus("d", data_bits)
+    checks = b.input_bus("c", check_bits)
+    b.input("en")  # enable line, mirrors C499's control input count
+    enable = "en"
+
+    # Syndrome: recomputed group parity vs transmitted check bit.
+    syndromes: List[str] = []
+    for j in range(check_bits):
+        members = [
+            data[i]
+            for i in range(data_bits)
+            if ((i + 1) >> (j % check_bits.bit_length())) & 1
+            or (i % check_bits) == j
+        ]
+        if not members:
+            members = [data[j % data_bits]]
+        recomputed = b.xor_tree(members)
+        syndromes.append(b.and_(b.xor(recomputed, checks[j]), enable))
+
+    # Decode: data bit i flips when its member groups' syndromes all fire.
+    outputs: List[str] = []
+    for i in range(data_bits):
+        groups = [
+            syndromes[j]
+            for j in range(check_bits)
+            if ((i + 1) >> (j % check_bits.bit_length())) & 1
+            or (i % check_bits) == j
+        ]
+        flip = b.and_tree(groups) if groups else syndromes[i % check_bits]
+        outputs.append(b.xor(data[i], flip, name=f"q{i}"))
+    return b.finish(outputs)

@@ -1,0 +1,110 @@
+"""Priority/interrupt logic and decoders — the C432 family.
+
+C432 is the ISCAS-85 27-channel interrupt controller (36 inputs, 7
+outputs): channel requests gated by a priority chain, with encoded outputs.
+Priority chains are long AND cascades shared by all outputs — classic
+dominator-rich structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def priority_encoder(width: int, name: Optional[str] = None) -> Circuit:
+    """Highest-index-wins priority encoder with a valid flag.
+
+    ``width`` request inputs; ``ceil(log2(width))`` encoded outputs plus
+    ``valid``.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    b = CircuitBuilder(name or f"prio{width}")
+    reqs = b.input_bus("r", width)
+
+    # grant[i] = r[i] AND none of the higher requests.
+    grants: List[str] = []
+    none_higher = None
+    for i in range(width - 1, -1, -1):
+        if none_higher is None:
+            grants.append(reqs[i])
+            none_higher = b.not_(reqs[i])
+        else:
+            grants.append(b.and_(reqs[i], none_higher))
+            if i > 0:
+                none_higher = b.and_(none_higher, b.not_(reqs[i]))
+    grants.reverse()
+
+    bits = max(1, (width - 1).bit_length())
+    outputs: List[str] = []
+    for j in range(bits):
+        members = [grants[i] for i in range(width) if (i >> j) & 1]
+        outputs.append(
+            b.or_tree(members, name=f"e{j}") if members else b.constant(0, f"e{j}")
+        )
+    outputs.append(b.or_tree(reqs, name="valid"))
+    return b.finish(outputs)
+
+
+def interrupt_controller(
+    channels: int = 27,
+    groups: int = 3,
+    name: Optional[str] = None,
+) -> Circuit:
+    """C432-style interrupt controller.
+
+    ``channels`` request lines plus ``groups`` group-enable lines and a
+    global mask; requests are AND-masked by their group enable, arbitrated
+    by a priority chain, and encoded.  ``interrupt_controller(27, 3)``
+    gives 31 inputs / 6 outputs, C432's neighbourhood.
+    """
+    if channels < 2 or groups < 1:
+        raise ValueError("need at least 2 channels and 1 group")
+    b = CircuitBuilder(name or f"intc{channels}")
+    reqs = b.input_bus("r", channels)
+    enables = b.input_bus("en", groups)
+    mask = b.input("mask")
+
+    gated = [
+        b.and_(req, enables[i % groups], b.not_(mask))
+        for i, req in enumerate(reqs)
+    ]
+    chain = None
+    grants: List[str] = []
+    for i, g in enumerate(gated):
+        if chain is None:
+            grants.append(g)
+            chain = b.not_(g)
+        else:
+            grants.append(b.and_(g, chain))
+            if i < channels - 1:
+                chain = b.and_(chain, b.not_(g))
+
+    bits = max(1, (channels - 1).bit_length())
+    outputs: List[str] = []
+    for j in range(bits):
+        members = [grants[i] for i in range(channels) if (i >> j) & 1]
+        outputs.append(b.or_tree(members, name=f"vec{j}"))
+    outputs.append(b.or_tree(gated, name="irq"))
+    return b.finish(outputs)
+
+
+def decoder(select_bits: int, name: Optional[str] = None) -> Circuit:
+    """Full ``select_bits``-to-``2**select_bits`` line decoder with enable."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be positive")
+    b = CircuitBuilder(name or f"dec{select_bits}")
+    sel = b.input_bus("s", select_bits)
+    enable = b.input("en")
+    inverted = [b.not_(s) for s in sel]
+    outputs: List[str] = []
+    for code in range(1 << select_bits):
+        literals = [
+            sel[j] if (code >> j) & 1 else inverted[j]
+            for j in range(select_bits)
+        ]
+        outputs.append(b.and_(*(literals + [enable]), name=f"y{code}"))
+    return b.finish(outputs)

@@ -1,0 +1,65 @@
+"""Mux trees and barrel shifters — routing-style circuits (i8/i9/rot/x*).
+
+Barrel shifters route every input to every output through log-depth mux
+stages: each stage's select line fans out across the whole datapath, so
+stage boundaries are dense with common dominators of many inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def mux_tree(select_bits: int, name: Optional[str] = None) -> Circuit:
+    """2^k-to-1 multiplexer tree (pure tree on data, shared selects)."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be positive")
+    b = CircuitBuilder(name or f"muxtree{select_bits}")
+    data = b.input_bus("d", 1 << select_bits)
+    sel = b.input_bus("s", select_bits)
+    level = list(data)
+    for j in range(select_bits):
+        level = [
+            b.mux(sel[j], level[2 * i], level[2 * i + 1])
+            for i in range(len(level) // 2)
+        ]
+    return b.finish([b.buf(level[0], name="y")])
+
+
+def barrel_shifter(
+    width: int, name: Optional[str] = None, rotate: bool = True
+) -> Circuit:
+    """Logarithmic barrel shifter/rotator (the ``rot`` stand-in).
+
+    ``width`` data inputs, ``log2(width)`` shift-amount inputs, ``width``
+    outputs; stage *j* conditionally rotates by ``2^j``.
+    """
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    b = CircuitBuilder(name or f"rot{width}")
+    data = b.input_bus("d", width)
+    bits = width.bit_length() - 1
+    amount = b.input_bus("sh", bits)
+    zero = None
+    level = list(data)
+    for j in range(bits):
+        shift = 1 << j
+        nxt: List[str] = []
+        for i in range(width):
+            src = (i - shift) % width
+            if rotate:
+                shifted = level[src]
+            else:
+                if i < shift:
+                    if zero is None:
+                        zero = b.constant(0, name="zero")
+                    shifted = zero
+                else:
+                    shifted = level[i - shift]
+            nxt.append(b.mux(amount[j], level[i], shifted))
+        level = nxt
+    outputs = [b.buf(s, name=f"q{i}") for i, s in enumerate(level)]
+    return b.finish(outputs)

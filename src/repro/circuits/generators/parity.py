@@ -1,0 +1,40 @@
+"""Parity trees and checked-parity circuits.
+
+A pure parity tree is the paper's Section 6 boundary case: "in the extreme
+case of a tree-like circuit with n vertices, 'N single doms' would be n and
+'N double doms' would [be] 0" — no pair of vertices satisfies Definition 1.
+The checked variant (two interleaved parity trees compared at the output)
+re-introduces re-convergence and with it double-vertex dominators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """Balanced XOR tree over ``width`` inputs — strictly fanout-free."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    b = CircuitBuilder(name or f"parity{width}")
+    xs = b.input_bus("x", width)
+    return b.finish([b.xor_tree(xs, name="parity")])
+
+
+def dual_rail_parity(width: int, name: Optional[str] = None) -> Circuit:
+    """Two parity trees over the same inputs, compared at the output.
+
+    Every input fans out into both trees; all of its re-converging paths
+    close only at the final comparator, so the pairs of corresponding
+    internal tree nodes become double-vertex dominators.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    b = CircuitBuilder(name or f"dualparity{width}")
+    xs = b.input_bus("x", width)
+    even = b.xor_tree([b.buf(x) for x in xs])
+    odd = b.xor_tree([b.not_(x) for x in xs])
+    return b.finish([b.xnor(even, odd, name="check")])

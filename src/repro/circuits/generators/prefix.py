@@ -1,0 +1,80 @@
+"""Parallel-prefix (Kogge–Stone) adders and prefix networks.
+
+Prefix adders are the modern counterpart of the carry-lookahead family:
+log-depth carry networks whose group-generate/propagate signals fan out
+massively and re-converge at every carry — a stress test for dominator
+analysis with *no* internal single dominators at all, but a rich common-
+double-dominator structure at the (g, p) pair granularity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def kogge_stone_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit Kogge–Stone adder with carry-in.
+
+    Inputs ``a*``, ``b*``, ``cin``; outputs ``s*`` plus ``cout``.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    b = CircuitBuilder(name or f"ks{width}")
+    xs = b.input_bus("a", width)
+    ys = b.input_bus("b", width)
+    cin = b.input("cin")
+
+    # Bit-level generate/propagate.
+    gen: List[str] = [b.and_(x, y) for x, y in zip(xs, ys)]
+    prop: List[str] = [b.xor(x, y) for x, y in zip(xs, ys)]
+
+    # Prefix tree: (G, P) pairs combined at power-of-two distances.
+    g_level = list(gen)
+    p_level = list(prop)
+    distance = 1
+    while distance < width:
+        next_g = list(g_level)
+        next_p = list(p_level)
+        for i in range(distance, width):
+            next_g[i] = b.or_(
+                g_level[i], b.and_(p_level[i], g_level[i - distance])
+            )
+            next_p[i] = b.and_(p_level[i], p_level[i - distance])
+        g_level, p_level = next_g, next_p
+        distance *= 2
+
+    # carry[i] = G[0..i-1] OR (P[0..i-1] AND cin); carry[0] = cin.
+    carries = [cin]
+    for i in range(width):
+        carries.append(
+            b.or_(g_level[i], b.and_(p_level[i], cin))
+        )
+    sums = [
+        b.xor(prop[i], carries[i], name=f"s{i}") for i in range(width)
+    ]
+    return b.finish(sums + [b.buf(carries[width], name="cout")])
+
+
+def prefix_or_network(width: int, name: Optional[str] = None) -> Circuit:
+    """All prefix ORs ``y_i = x_0 | ... | x_i`` via a Kogge–Stone network.
+
+    Every output shares the network's internal nodes — a clean source of
+    many-output common-dominator structure.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    b = CircuitBuilder(name or f"prefix_or{width}")
+    xs = b.input_bus("x", width)
+    level = list(xs)
+    distance = 1
+    while distance < width:
+        nxt = list(level)
+        for i in range(distance, width):
+            nxt[i] = b.or_(level[i], level[i - distance])
+        level = nxt
+        distance *= 2
+    outputs = [b.buf(s, name=f"y{i}") for i, s in enumerate(level)]
+    return b.finish(outputs)

@@ -1,0 +1,164 @@
+"""Seeded random reconvergent circuits.
+
+Used in two roles: (a) fuzzing substrate for the property-based tests —
+every random DAG's dominator chain must agree with the brute-force
+Definition-1 enumeration — and (b) calibrated stand-ins for the Table-1
+benchmarks that have no obvious arithmetic structure (apex*, frg2, i8-i10,
+pair, rot, x*...): layered netlists whose primary-input/-output counts are
+matched to the published table and whose multi-fanout fraction controls the
+amount of reconvergence (hence the number of double-vertex dominators).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+from ...graph.node import NodeType
+
+#: Gate vocabulary drawn from (weights favour AND/OR as in mapped netlists).
+_GATE_POOL: Sequence[NodeType] = (
+    NodeType.AND,
+    NodeType.AND,
+    NodeType.OR,
+    NodeType.OR,
+    NodeType.NAND,
+    NodeType.NOR,
+    NodeType.XOR,
+    NodeType.NOT,
+)
+
+
+def random_circuit(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int = 1,
+    seed: int = 0,
+    max_fanin: int = 3,
+    locality: int = 12,
+    shared_fraction: float = 0.25,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Random clustered netlist with realistic per-output cones.
+
+    Mapped multi-output netlists are *clusters*: a pool of shared logic
+    (decoders, common subexpressions) feeding mostly-separate per-output
+    cones.  The generator mirrors that: ``shared_fraction`` of the gates
+    form a locally-wired shared pool over all inputs; the remaining gates
+    are split into ``num_outputs`` clusters, each wired over its own
+    input subset, its own recent signals, and occasional taps into the
+    shared pool.  Per-output cones stay small (cluster + the slices of
+    the pool it taps) while still overlapping — which is what keeps the
+    Table-1 baseline workload representative instead of degenerate.
+    """
+    if num_inputs < 1 or num_gates < 1 or num_outputs < 1:
+        raise ValueError("need at least one input, gate and output")
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name or f"rand_i{num_inputs}_g{num_gates}_s{seed}")
+    inputs: List[str] = builder.input_bus("pi", num_inputs)
+
+    def new_gate(window: Sequence[str], idx: int, extra: Sequence[str]) -> str:
+        gate_type = rng.choice(_GATE_POOL)
+        fanin_count = 1 if gate_type is NodeType.NOT else rng.randint(2, max_fanin)
+        fanins: List[str] = []
+        for _ in range(fanin_count):
+            if extra and rng.random() < 0.25:
+                pick = rng.choice(extra)
+            else:
+                pick = rng.choice(window)
+            if pick not in fanins:
+                fanins.append(pick)
+        return builder.gate(gate_type, fanins, name=f"n{idx}")
+
+    # Shared pool: locally-wired logic over all inputs.
+    shared_count = min(num_gates - num_outputs, int(num_gates * shared_fraction))
+    shared_count = max(0, shared_count)
+    shared: List[str] = []
+    for idx in range(shared_count):
+        window = (inputs + shared)[-locality:]
+        shared.append(new_gate(window, idx, extra=inputs))
+
+    # Per-output clusters over input subsets plus shared-pool taps.
+    cluster_gates = num_gates - shared_count
+    outputs: List[str] = []
+    per_cluster = [
+        cluster_gates // num_outputs
+        + (1 if k < cluster_gates % num_outputs else 0)
+        for k in range(num_outputs)
+    ]
+    idx = shared_count
+    clusters: List[List[str]] = []
+    for k, budget in enumerate(per_cluster):
+        subset_size = rng.randint(
+            min(3, num_inputs), min(num_inputs, max(4, num_inputs // 3))
+        )
+        subset = rng.sample(inputs, subset_size)
+        taps = rng.sample(shared, min(len(shared), 4)) if shared else []
+        local: List[str] = []
+        for _ in range(max(1, budget)):
+            window = (subset + taps + local)[-locality:]
+            local.append(new_gate(window, idx, extra=subset + taps))
+            idx += 1
+        clusters.append(local)
+        outputs.append(local[-1])
+
+    # Fold each cluster's dangling gates into that cluster's own output,
+    # keeping cones cluster-sized.  Shared-pool gates nobody tapped fold
+    # into the first output.
+    read = {f for node in builder.circuit.nodes() for f in node.fanins}
+    for k, local in enumerate(clusters):
+        dangling = [
+            s for s in local if s not in read and s != outputs[k]
+        ]
+        if dangling:
+            outputs[k] = builder.or_tree(
+                dangling + [outputs[k]], name=f"fold{k}"
+            )
+            read.update(dangling)
+    read = {f for node in builder.circuit.nodes() for f in node.fanins}
+    stale_shared = [s for s in shared if s not in read]
+    if stale_shared:
+        outputs[0] = builder.or_tree(
+            stale_shared + [outputs[0]], name="foldshared"
+        )
+    return builder.finish(outputs)
+
+
+def random_single_output(
+    num_inputs: int, num_gates: int, seed: int = 0, max_fanin: int = 3
+) -> Circuit:
+    """Single-output random cone — the fuzzing workhorse."""
+    return random_circuit(
+        num_inputs, num_gates, num_outputs=1, seed=seed, max_fanin=max_fanin
+    )
+
+
+def random_series_parallel(
+    depth: int, seed: int = 0, name: Optional[str] = None
+) -> Circuit:
+    """Recursive series-parallel single-input cone — dense with dominators.
+
+    Series composition stacks sub-blocks (every block boundary is a
+    single-vertex dominator); parallel composition splits and re-joins
+    (the join's two last rails form double-vertex dominators).  These
+    circuits exercise deep dominator chains with many regions.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name or f"sp_d{depth}_s{seed}")
+    src = builder.input("u")
+
+    def block(inp: str, d: int) -> str:
+        if d <= 0:
+            return builder.not_(inp)
+        if rng.random() < 0.5:  # series
+            return block(block(inp, d - 1), d - 1)
+        left = block(builder.buf(inp), d - 1)
+        right = block(builder.not_(inp), d - 1)
+        return builder.gate(
+            rng.choice((NodeType.AND, NodeType.OR, NodeType.XOR)),
+            [left, right],
+        )
+
+    return builder.finish([block(src, depth)])

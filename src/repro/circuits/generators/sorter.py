@@ -1,0 +1,97 @@
+"""Batcher odd–even sorting networks over 1-bit lines.
+
+A comparator on single-bit wires is simply (AND, OR) = (min, max); the
+full network sorts its Boolean inputs (i.e. counts ones).  Sorting
+networks are a classic dominator playground: every comparator is a
+2-in/2-out exchange whose outputs jointly dominate nothing individually
+but pair with their siblings throughout the merge tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+
+
+def _comparator(b: CircuitBuilder, x: str, y: str) -> Tuple[str, str]:
+    """(max, min) exchange for 1-bit values."""
+    return b.or_(x, y), b.and_(x, y)
+
+
+def batcher_sorter(width: int, name: Optional[str] = None) -> Circuit:
+    """Odd–even merge sort network over ``width`` Boolean inputs.
+
+    ``width`` must be a power of two.  Output ``y0`` is the largest
+    (OR-like), ``y<width-1>`` the smallest (AND-like): the outputs are
+    the sorted inputs in descending order, i.e. ``y_k = [popcount > k]``.
+    """
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    b = CircuitBuilder(name or f"sorter{width}")
+    lines = b.input_bus("x", width)
+
+    def oddeven_merge_sort(lo: int, n: int) -> None:
+        if n > 1:
+            half = n // 2
+            oddeven_merge_sort(lo, half)
+            oddeven_merge_sort(lo + half, half)
+            oddeven_merge(lo, n, 1)
+
+    def oddeven_merge(lo: int, n: int, step: int) -> None:
+        double = step * 2
+        if double < n:
+            oddeven_merge(lo, n, double)
+            oddeven_merge(lo + step, n, double)
+            for i in range(lo + step, lo + n - step, double):
+                _exchange(i, i + step)
+        else:
+            _exchange(lo, lo + step)
+
+    def _exchange(i: int, j: int) -> None:
+        hi, lo_ = _comparator(b, lines[i], lines[j])
+        lines[i], lines[j] = hi, lo_
+
+    oddeven_merge_sort(0, width)
+    outputs = [b.buf(s, name=f"y{i}") for i, s in enumerate(lines)]
+    return b.finish(outputs)
+
+
+def majority_network(width: int, name: Optional[str] = None) -> Circuit:
+    """Boolean majority via the median line of a sorting network."""
+    if width % 2 == 0:
+        raise ValueError("majority needs an odd number of inputs")
+    padded = 1
+    while padded < width + 1:
+        padded *= 2
+    b = CircuitBuilder(name or f"maj{width}")
+    xs = b.input_bus("x", width)
+    zero = b.constant(0, name="pad0")
+    lines: List[str] = xs + [zero] * (padded - width)
+
+    # Run the same odd-even recursion over the padded lines.
+    def oddeven_merge_sort(lo: int, n: int) -> None:
+        if n > 1:
+            half = n // 2
+            oddeven_merge_sort(lo, half)
+            oddeven_merge_sort(lo + half, half)
+            oddeven_merge(lo, n, 1)
+
+    def oddeven_merge(lo: int, n: int, step: int) -> None:
+        double = step * 2
+        if double < n:
+            oddeven_merge(lo, n, double)
+            oddeven_merge(lo + step, n, double)
+            for i in range(lo + step, lo + n - step, double):
+                _exchange(i, i + step)
+        else:
+            _exchange(lo, lo + step)
+
+    def _exchange(i: int, j: int) -> None:
+        hi, lo_ = _comparator(b, lines[i], lines[j])
+        lines[i], lines[j] = hi, lo_
+
+    oddeven_merge_sort(0, padded)
+    median = lines[width // 2]  # descending order: > half ones => 1
+    return b.finish([b.buf(median, name="maj")])

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``chains``  — dominator chains of a netlist's primary inputs::
+
+    python -m repro chains design.bench --output out1 --target in3
+
+``stats``   — circuit statistics (Table 1's descriptive columns)::
+
+    python -m repro stats design.blif
+
+``counts``  — single/double dominator counts (Table 1 columns 4 and 5)::
+
+    python -m repro counts design.bench
+
+``table1``  — delegate to the full experiment harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.algorithm import ChainComputer
+from .core.api import count_double_dominators, count_single_dominators
+from .graph.circuit import Circuit
+from .graph.indexed import IndexedGraph
+from .graph.stats import circuit_stats
+from .parsers import bench, blif, verilog
+
+
+def load_netlist(path: str) -> Circuit:
+    """Load a netlist by extension (.bench, .blif or .v)."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".bench":
+        return bench.load(path)
+    if suffix == ".blif":
+        return blif.load(path)
+    if suffix in (".v", ".verilog"):
+        return verilog.load(path)
+    raise SystemExit(
+        f"unsupported netlist format {suffix!r} "
+        "(expected .bench, .blif or .v)"
+    )
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    circuit = load_netlist(args.netlist)
+    output = args.output or (
+        circuit.outputs[0] if len(circuit.outputs) == 1 else None
+    )
+    if output is None:
+        print(
+            f"circuit has {len(circuit.outputs)} outputs; pass --output",
+            file=sys.stderr,
+        )
+        return 2
+    graph = IndexedGraph.from_circuit(circuit, output)
+    computer = ChainComputer(graph)
+    targets = (
+        [graph.index_of(args.target)]
+        if args.target
+        else graph.sources()
+    )
+    for u in targets:
+        chain = computer.chain(u)
+        print(
+            f"{graph.name_of(u)}: {chain.num_dominators()} pairs  "
+            f"D = {chain.format(graph.name_of)}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = circuit_stats(load_netlist(args.netlist))
+    for key, value in stats.as_dict().items():
+        print(f"{key:12s} {value}")
+    return 0
+
+
+def _cmd_counts(args: argparse.Namespace) -> int:
+    circuit = load_netlist(args.netlist)
+    singles = count_single_dominators(circuit)
+    doubles = count_double_dominators(circuit)
+    print(f"single-vertex dominators of >=1 PI (per cone, summed): {singles}")
+    print(f"double-vertex dominators of >=1 PI (per cone, summed): {doubles}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import table1
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.scale != 1.0:
+        forwarded.extend(["--scale", str(args.scale)])
+    return table1.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="double-vertex dominator toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_chains = sub.add_parser("chains", help="dominator chains of a netlist")
+    p_chains.add_argument("netlist")
+    p_chains.add_argument("--output", help="output cone to analyze")
+    p_chains.add_argument("--target", help="single target vertex (default: all PIs)")
+    p_chains.set_defaults(func=_cmd_chains)
+
+    p_stats = sub.add_parser("stats", help="circuit statistics")
+    p_stats.add_argument("netlist")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_counts = sub.add_parser("counts", help="Table-1 dominator counts")
+    p_counts.add_argument("netlist")
+    p_counts.set_defaults(func=_cmd_counts)
+
+    p_t1 = sub.add_parser("table1", help="run the Table-1 harness")
+    p_t1.add_argument("--quick", action="store_true")
+    p_t1.add_argument("--scale", type=float, default=1.0)
+    p_t1.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The paper's contribution: dominator chains and the chain algorithm."""
+
+from .algorithm import ChainComputer, dominator_chain
+from .api import (
+    DominatorCounts,
+    NamedDominatorChain,
+    all_pi_chains,
+    chain_of,
+    count_double_dominators,
+    count_double_dominators_baseline,
+    count_single_dominators,
+    dominator_counts,
+)
+from .baseline import (
+    baseline_double_dominators,
+    baseline_double_dominators_of,
+    baseline_pi_double_dominators,
+)
+from .bruteforce import (
+    all_double_dominators,
+    all_pi_double_dominators,
+    is_double_dominator,
+)
+from .chain import ChainPair, DominatorChain
+from .common import (
+    common_chain,
+    common_dominator_pairs,
+    common_pairs,
+    common_pairs_from_chains,
+    immediate_common_dominator,
+)
+from .double_idom import double_idom
+from .matching import ExpandedPair, expand_pair, find_matching_vector
+from .multi import (
+    immediate_multi_dominators,
+    is_multi_dominator,
+    multi_vertex_dominators,
+)
+from .regions import SearchRegion, search_regions
+
+__all__ = [
+    "ChainComputer",
+    "ChainPair",
+    "DominatorChain",
+    "DominatorCounts",
+    "ExpandedPair",
+    "NamedDominatorChain",
+    "SearchRegion",
+    "all_double_dominators",
+    "all_pi_chains",
+    "all_pi_double_dominators",
+    "baseline_double_dominators",
+    "baseline_double_dominators_of",
+    "baseline_pi_double_dominators",
+    "chain_of",
+    "common_chain",
+    "common_dominator_pairs",
+    "common_pairs",
+    "immediate_common_dominator",
+    "common_pairs_from_chains",
+    "count_double_dominators",
+    "count_double_dominators_baseline",
+    "count_single_dominators",
+    "dominator_chain",
+    "dominator_counts",
+    "double_idom",
+    "expand_pair",
+    "find_matching_vector",
+    "immediate_multi_dominators",
+    "is_double_dominator",
+    "is_multi_dominator",
+    "multi_vertex_dominators",
+    "search_regions",
+]

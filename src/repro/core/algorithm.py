@@ -1,0 +1,178 @@
+"""DOMINATORCHAIN — the paper's main algorithm (Figure 3).
+
+The driver walks the single-dominator chain of the target *u* (outer
+while-loop), and inside each search region repeatedly calls DOUBLEIDOM to
+find the next immediate pair, expands it to the full ``{V_1k, V_2k}``
+vectors (:mod:`repro.core.matching`), re-seeds the flow search with the
+pair's last elements, and finally assembles the
+:class:`~repro.core.chain.DominatorChain` with globally numbered indices.
+
+:class:`ChainComputer` additionally caches per-region results: a search
+region depends only on its entry vertex (a single dominator of *u*), not on
+*u* itself, so when chains are computed for *all* primary inputs of a cone
+(the paper's Table 1 workload) each region is expanded exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dominators.single import circuit_dominator_tree
+from ..dominators.tree import DominatorTree
+from ..graph.indexed import IndexedGraph
+from .chain import ChainPair, DominatorChain
+from .double_idom import double_idom
+from .matching import expand_pair
+from ..graph.transform import region_between
+from .regions import SearchRegion
+
+#: One fully expanded pair in original indices with pair-local intervals.
+RegionPair = Tuple[List[int], List[int], Dict[int, Tuple[int, int]]]
+
+
+def _expand_region(region: SearchRegion, algorithm: str) -> List[RegionPair]:
+    """All chain pairs inside one search region, in chain order."""
+    results: List[RegionPair] = []
+    sources = [region.local_start]
+    while True:
+        immediate = double_idom(region.graph, sources)
+        if immediate is None:
+            break
+        expanded = expand_pair(
+            region.graph, immediate[0], immediate[1], algorithm
+        )
+        side1 = [region.orig_of[x] for x in expanded.side1]
+        side2 = [region.orig_of[x] for x in expanded.side2]
+        intervals = {
+            region.orig_of[x]: interval
+            for x, interval in expanded.intervals.items()
+        }
+        results.append((side1, side2, intervals))
+        sources = [expanded.side1[-1], expanded.side2[-1]]
+    return results
+
+
+def _assemble(
+    target: int, region_pair_lists: List[List[RegionPair]]
+) -> DominatorChain:
+    """Concatenate per-region pairs into one chain with global indices."""
+    pairs: List[ChainPair] = []
+    intervals: Dict[int, Tuple[int, int]] = {}
+    offset = [0, 0]  # flattened length of each side so far (last_index)
+    for region_pairs in region_pair_lists:
+        for side1, side2, local_intervals in region_pairs:
+            for v in side1:
+                lo, hi = local_intervals[v]
+                intervals[v] = (offset[1] + lo, offset[1] + hi)
+            for v in side2:
+                lo, hi = local_intervals[v]
+                intervals[v] = (offset[0] + lo, offset[0] + hi)
+            pairs.append(ChainPair(tuple(side1), tuple(side2)))
+            offset[0] += len(side1)
+            offset[1] += len(side2)
+    return DominatorChain(target, pairs, intervals)
+
+
+class ChainComputer:
+    """Computes dominator chains for many targets of one cone.
+
+    Parameters
+    ----------
+    graph:
+        Single-output cone in signal orientation.
+    algorithm:
+        Single-dominator algorithm used internally (``"lt"``,
+        ``"iterative"`` or ``"naive"``).
+    cache_regions:
+        Reuse expanded regions across targets.  A region is identified by
+        its entry vertex; disabling the cache re-runs the flow search for
+        every target exactly as a literal reading of Figure 3 would.
+    """
+
+    def __init__(
+        self,
+        graph: IndexedGraph,
+        algorithm: str = "lt",
+        cache_regions: bool = True,
+        tree: Optional[DominatorTree] = None,
+    ):
+        self.graph = graph
+        self.algorithm = algorithm
+        self.cache_regions = cache_regions
+        self.tree = tree if tree is not None else circuit_dominator_tree(
+            graph, algorithm
+        )
+        self._region_cache: Dict[int, List[RegionPair]] = {}
+
+    def chain(self, u: int) -> DominatorChain:
+        """The dominator chain ``D(u)`` (empty for the root)."""
+        chain_vertices = self.tree.chain(u)
+        region_lists: List[List[RegionPair]] = []
+        for start, sink in zip(chain_vertices, chain_vertices[1:]):
+            if self.cache_regions and start in self._region_cache:
+                region_lists.append(self._region_cache[start])
+                continue
+            sub, orig_of = region_between(self.graph, start, sink)
+            local_of = {orig: i for i, orig in enumerate(orig_of)}
+            region = SearchRegion(
+                start=start,
+                sink=sink,
+                graph=sub,
+                orig_of=orig_of,
+                local_start=local_of[start],
+            )
+            expanded = _expand_region(region, self.algorithm)
+            if self.cache_regions:
+                self._region_cache[start] = expanded
+            region_lists.append(expanded)
+        return _assemble(u, region_lists)
+
+    def chains_for_sources(self) -> Dict[int, DominatorChain]:
+        """Chains of every primary input of the cone (Table 1 workload)."""
+        return {u: self.chain(u) for u in self.graph.sources()}
+
+    def invalidate(self, vertices) -> int:
+        """Drop cached regions touching any of ``vertices``.
+
+        Incremental-synthesis hook ("suitable for running in an
+        incremental manner", Section 7): after a local rewrite confined
+        to the given vertices, only the regions containing them need
+        recomputation — every other cached region is still valid provided
+        the single-dominator structure outside them is unchanged.  The
+        caller is responsible for rebuilding the :class:`ChainComputer`
+        (graph and tree) when the edit moves single dominators.
+
+        Returns the number of evicted regions.
+        """
+        dirty = set(vertices)
+        evicted = 0
+        for start in list(self._region_cache):
+            pairs = self._region_cache[start]
+            touched = start in dirty or any(
+                dirty.intersection(side1) or dirty.intersection(side2)
+                for side1, side2, _ in pairs
+            )
+            if touched:
+                del self._region_cache[start]
+                evicted += 1
+        return evicted
+
+
+def dominator_chain(
+    graph: IndexedGraph,
+    u: int,
+    algorithm: str = "lt",
+    tree: Optional[DominatorTree] = None,
+) -> DominatorChain:
+    """Compute ``D(u)`` for a single target — the paper's entry point.
+
+    Examples
+    --------
+    >>> from repro.circuits.figures import figure2_circuit
+    >>> from repro.graph import IndexedGraph
+    >>> g = IndexedGraph.from_circuit(figure2_circuit())
+    >>> chain = dominator_chain(g, g.index_of("u"))
+    >>> chain.dominates(g.index_of("d"), g.index_of("h"))
+    True
+    """
+    return ChainComputer(graph, algorithm, tree=tree).chain(u)

@@ -1,0 +1,123 @@
+"""Brute-force double-vertex dominators — Definition 1 made executable.
+
+``{v1, v2}`` is a double-vertex dominator of *u* iff
+
+1. every path from *u* to *root* contains ``v1`` or ``v2``, and
+2. for each ``vi`` there is a path from *u* to *root* through ``vi`` that
+   avoids the other one (no redundancy).
+
+This module checks the definition directly with reachability queries and
+is the ground truth the property-based tests compare both the paper's
+algorithm and the baseline [11] against.  It is O(n³)-ish and meant for
+small graphs only.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Set
+
+from ..graph.indexed import IndexedGraph
+
+
+def _reaches_root_avoiding(
+    graph: IndexedGraph, u: int, banned: Sequence[int]
+) -> bool:
+    """Is there a u→root path avoiding every vertex in ``banned``?"""
+    banned_set = set(banned)
+    if u in banned_set:
+        return False
+    if u == graph.root:
+        return True
+    seen = {u}
+    stack = [u]
+    while stack:
+        v = stack.pop()
+        for w in graph.succ[v]:
+            if w == graph.root:
+                return True
+            if w not in seen and w not in banned_set:
+                seen.add(w)
+                stack.append(w)
+    return graph.root == u
+
+
+def pair_covers(graph: IndexedGraph, x: int, pair: Sequence[int]) -> bool:
+    """Condition 1 of Definition 1 only: every x→root path meets ``pair``.
+
+    The paper's Lemma 1/2 proofs establish domination in exactly this
+    coverage sense (condition 2, the no-redundancy requirement, is
+    relative to the *target* and does not transfer); the executable lemma
+    tests therefore use this relation.  ``x`` inside the pair covers
+    trivially.
+    """
+    if x in pair:
+        return True
+    return not _reaches_root_avoiding(graph, x, tuple(pair))
+
+
+def is_double_dominator(
+    graph: IndexedGraph, u: int, v1: int, v2: int
+) -> bool:
+    """Definition 1 for ``l = 1``, ``k = 2`` — literally.
+
+    Condition 2 for ``v1`` decomposes as: a path u→v1 avoiding ``v2``
+    exists *and* a path v1→root avoiding ``v2`` exists (their
+    concatenation avoids ``v2`` because the graph is acyclic).
+    """
+    if len({u, v1, v2}) != 3:
+        return False
+    # Condition 1: removing both vertices must disconnect u from the root.
+    if _reaches_root_avoiding(graph, u, (v1, v2)):
+        return False
+    # Condition 2, for each vertex of the pair.
+    for a, b in ((v1, v2), (v2, v1)):
+        reach_u = graph.reachable_from(u, exclude=b)
+        coreach_root = graph.coreachable_to(graph.root, exclude=b)
+        if not (reach_u[a] and coreach_root[a]):
+            return False
+    return True
+
+
+def all_double_dominators(
+    graph: IndexedGraph, u: int, candidates: Optional[Sequence[int]] = None
+) -> Set[FrozenSet[int]]:
+    """All double-vertex dominators of *u* as a set of frozen pairs.
+
+    ``candidates`` restricts the vertices considered (defaults to every
+    vertex except *u*); the root can never participate (no path through a
+    partner may avoid it), so it is skipped up front.
+    """
+    if candidates is None:
+        candidates = [v for v in range(graph.n) if v != u]
+    pool = [v for v in candidates if v not in (u, graph.root)]
+
+    # Precompute per-vertex restricted reachability for condition 2.
+    reach_u = {b: graph.reachable_from(u, exclude=b) for b in pool}
+    coreach = {
+        b: graph.coreachable_to(graph.root, exclude=b) for b in pool
+    }
+
+    result: Set[FrozenSet[int]] = set()
+    for i, v1 in enumerate(pool):
+        for v2 in pool[i + 1 :]:
+            # Condition 2 (cheap, precomputed) before condition 1 (BFS).
+            if not (reach_u[v2][v1] and coreach[v2][v1]):
+                continue
+            if not (reach_u[v1][v2] and coreach[v1][v2]):
+                continue
+            if _reaches_root_avoiding(graph, u, (v1, v2)):
+                continue
+            result.add(frozenset((v1, v2)))
+    return result
+
+
+def all_pi_double_dominators(graph: IndexedGraph) -> Set[FrozenSet[int]]:
+    """Union of double-vertex dominators over all primary inputs of a cone.
+
+    This is the brute-force version of Table 1, Column 5 for one cone
+    (common dominators counted once).
+    """
+    result: Set[FrozenSet[int]] = set()
+    for u in graph.sources():
+        result |= all_double_dominators(graph, u)
+    return result

@@ -1,0 +1,298 @@
+"""The dominator chain — the paper's central data structure (Definition 3).
+
+A dominator chain ``D(u)`` is a vector of pairs ``{V_1j, V_2j}`` of vertex
+vectors that represents *all* O(n²) double-vertex dominators of a vertex
+*u* in O(n) space.  Three per-vertex attributes make pair-membership
+look-up constant time (paper Section 4):
+
+* ``flag(v) ∈ {1, 2}`` — which side of the chain *v* lies on,
+* ``index(v)`` — 1-based position of *v* in the concatenation
+  ``V_i1 · V_i2 · ... · V_im`` of its side,
+* ``(min(v), max(v))`` — the index interval of *v*'s *matching vector*:
+  exactly the vertices *w* on the opposite side for which ``{v, w}`` is a
+  double-vertex dominator of *u*.
+
+``{v1, v2}`` dominates *u*  ⇔  ``flag(v1) != flag(v2)`` and
+``min(v1) <= index(v2) <= max(v1)`` — two dictionary probes and two
+comparisons, independent of circuit size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ChainConstructionError
+
+
+@dataclass(frozen=True)
+class ChainPair:
+    """One ``{V_1j, V_2j}`` element of a dominator chain.
+
+    ``side1``/``side2`` hold vertex ids in chain order; the first elements
+    of the two sides form the immediate (common) double-vertex dominator of
+    the previous pair's last elements (Definition 3, property 2).
+    """
+
+    side1: Tuple[int, ...]
+    side2: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.side1 or not self.side2:
+            raise ChainConstructionError("chain pair vectors must be non-empty")
+
+    @property
+    def first(self) -> Tuple[int, int]:
+        """The immediate double-vertex dominator this pair starts with."""
+        return (self.side1[0], self.side2[0])
+
+    @property
+    def last(self) -> Tuple[int, int]:
+        """The last elements — sources of the next pair's DOUBLEIDOM call."""
+        return (self.side1[-1], self.side2[-1])
+
+    def vertices(self) -> Iterator[int]:
+        yield from self.side1
+        yield from self.side2
+
+
+@dataclass(frozen=True)
+class _VertexInfo:
+    """Lookup attributes of one chain vertex."""
+
+    flag: int  # 1 or 2
+    index: int  # 1-based position within the flattened side
+    pair: int  # 0-based index of the ChainPair the vertex belongs to
+    min_index: int  # first partner index on the opposite side
+    max_index: int  # last partner index on the opposite side
+
+
+class DominatorChain:
+    """All double-vertex dominators of one target vertex.
+
+    Instances are immutable; they are produced by
+    :func:`repro.core.algorithm.dominator_chain` (or built manually for
+    testing) from the list of pairs plus each vertex's matching interval.
+
+    Parameters
+    ----------
+    target:
+        The vertex *u* the chain describes.
+    pairs:
+        The ``{V_1j, V_2j}`` pairs in chain order (may be empty: vertices
+        with no double-vertex dominator, e.g. the root, have empty chains).
+    intervals:
+        ``intervals[v] = (min, max)`` matching interval for every vertex
+        appearing in ``pairs``, expressed in 1-based opposite-side indices.
+    """
+
+    def __init__(
+        self,
+        target: int,
+        pairs: Sequence[ChainPair],
+        intervals: Dict[int, Tuple[int, int]],
+    ):
+        self.target = target
+        self.pairs: Tuple[ChainPair, ...] = tuple(pairs)
+        self._info: Dict[int, _VertexInfo] = {}
+        self._side: Tuple[List[int], List[int]] = ([], [])
+
+        for pair_idx, pair in enumerate(self.pairs):
+            for flag, vector in ((1, pair.side1), (2, pair.side2)):
+                side_list = self._side[flag - 1]
+                for v in vector:
+                    if v in self._info:
+                        raise ChainConstructionError(
+                            f"vertex {v} appears twice in the chain "
+                            "(violates Lemma 3)"
+                        )
+                    if v not in intervals:
+                        raise ChainConstructionError(
+                            f"vertex {v} has no matching interval"
+                        )
+                    lo, hi = intervals[v]
+                    side_list.append(v)
+                    self._info[v] = _VertexInfo(
+                        flag=flag,
+                        index=len(side_list),
+                        pair=pair_idx,
+                        min_index=lo,
+                        max_index=hi,
+                    )
+        self._check_structure()
+
+    # ------------------------------------------------------------------
+    # structural invariants (graph-independent parts of Definition 3)
+    # ------------------------------------------------------------------
+    def _check_structure(self) -> None:
+        side1, side2 = self._side
+        for v, info in self._info.items():
+            opposite = side2 if info.flag == 1 else side1
+            if not (1 <= info.min_index <= info.max_index <= len(opposite)):
+                raise ChainConstructionError(
+                    f"vertex {v}: interval ({info.min_index}, "
+                    f"{info.max_index}) out of bounds for opposite side of "
+                    f"size {len(opposite)}"
+                )
+            # Partners must belong to the same pair (intervals never span
+            # pair boundaries — property 2/3 of Definition 3).
+            for w in (
+                opposite[info.min_index - 1],
+                opposite[info.max_index - 1],
+            ):
+                if self._info[w].pair != info.pair:
+                    raise ChainConstructionError(
+                        f"vertex {v}: matching interval leaves its pair"
+                    )
+        # Inverse consistency: v ~ w from side 1 iff w ~ v from side 2.
+        for v in side1:
+            for w in self.matching_vector(v):
+                winfo = self._info[w]
+                vinfo = self._info[v]
+                if not (winfo.min_index <= vinfo.index <= winfo.max_index):
+                    raise ChainConstructionError(
+                        f"asymmetric matching: {v} pairs with {w} but not "
+                        "vice versa"
+                    )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.pairs)
+
+    def __len__(self) -> int:
+        """Number of ``{V_1j, V_2j}`` pairs (the *m* of Definition 3)."""
+        return len(self.pairs)
+
+    @property
+    def size(self) -> int:
+        """Total number of stored vertices — the O(n) space bound."""
+        return len(self._info)
+
+    def side(self, flag: int) -> List[int]:
+        """Flattened side vector ``<V_i1, ..., V_im>`` for ``flag`` i."""
+        if flag not in (1, 2):
+            raise ValueError("flag must be 1 or 2")
+        return list(self._side[flag - 1])
+
+    def vertices(self) -> List[int]:
+        """All vertices appearing anywhere in the chain."""
+        return list(self._info)
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._info
+
+    def flag(self, v: int) -> int:
+        """Side flag of *v* (1 or 2); KeyError if *v* is not in the chain."""
+        return self._info[v].flag
+
+    def index(self, v: int) -> int:
+        """1-based position of *v* within its side."""
+        return self._info[v].index
+
+    def interval(self, v: int) -> Tuple[int, int]:
+        """``(min(v), max(v))`` — matching interval of *v*."""
+        info = self._info[v]
+        return (info.min_index, info.max_index)
+
+    def immediate(self) -> Optional[Tuple[int, int]]:
+        """The immediate double-vertex dominator of the target, if any.
+
+        Theorem 1 guarantees uniqueness; it is the pair of first elements
+        of ``V_11`` and ``V_21``.
+        """
+        if not self.pairs:
+            return None
+        return self.pairs[0].first
+
+    def dominates(self, v1: int, v2: int) -> bool:
+        """O(1) check whether ``{v1, v2}`` is a double-vertex dominator.
+
+        Implements the two-step look-up from Section 4 verbatim: first the
+        flags must differ, then ``index(v2)`` must fall inside the matching
+        interval of ``v1``.
+        """
+        info1 = self._info.get(v1)
+        info2 = self._info.get(v2)
+        if info1 is None or info2 is None or info1.flag == info2.flag:
+            return False
+        return info1.min_index <= info2.index <= info1.max_index
+
+    def matching_vector(self, v: int) -> List[int]:
+        """All partners *w* of *v* (``{v, w}`` dominates the target).
+
+        Returned in chain order — the order of Definition 3 property 1:
+        if ``{v, w_r}`` dominates ``w_t`` then ``t < r``.
+        """
+        info = self._info[v]
+        opposite = self._side[2 - info.flag]
+        return opposite[info.min_index - 1 : info.max_index]
+
+    def iter_dominator_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Enumerate every double-vertex dominator pair exactly once.
+
+        Pairs are yielded as ``(side-1 vertex, side-2 vertex)`` in chain
+        order; the count of generated pairs is :meth:`num_dominators`.
+        """
+        for v in self._side[0]:
+            for w in self.matching_vector(v):
+                yield (v, w)
+
+    def num_dominators(self) -> int:
+        """Total number of distinct double-vertex dominators of the target."""
+        return sum(
+            self._info[v].max_index - self._info[v].min_index + 1
+            for v in self._side[0]
+        )
+
+    def pair_set(self) -> set:
+        """All dominator pairs as a set of ``frozenset`` — for comparisons."""
+        return {frozenset(p) for p in self.iter_dominator_pairs()}
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "target": self.target,
+            "pairs": [
+                {"side1": list(p.side1), "side2": list(p.side2)}
+                for p in self.pairs
+            ],
+            "intervals": {
+                str(v): list(self.interval(v)) for v in self._info
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DominatorChain":
+        """Rebuild a chain from :meth:`to_dict` output (re-validated)."""
+        pairs = [
+            ChainPair(tuple(p["side1"]), tuple(p["side2"]))
+            for p in data["pairs"]  # type: ignore[union-attr]
+        ]
+        intervals = {
+            int(v): (iv[0], iv[1])
+            for v, iv in data["intervals"].items()  # type: ignore[union-attr]
+        }
+        return cls(int(data["target"]), pairs, intervals)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def format(self, name_of=None) -> str:
+        """Human-readable rendering mirroring the paper's notation."""
+        if name_of is None:
+            name_of = str
+        rendered = []
+        for pair in self.pairs:
+            s1 = ",".join(name_of(v) for v in pair.side1)
+            s2 = ",".join(name_of(v) for v in pair.side2)
+            rendered.append(f"{{<{s1}>, <{s2}>}}")
+        return "<" + ", ".join(rendered) + ">"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DominatorChain(target={self.target}, pairs={len(self.pairs)}, "
+            f"vertices={self.size}, dominators={self.num_dominators()})"
+        )

@@ -1,0 +1,27 @@
+"""Single-vertex dominator algorithms and the dominator tree."""
+
+from . import iterative, lengauer_tarjan, naive
+from .lengauer_tarjan import UNREACHABLE
+from .single import (
+    circuit_dominator_tree,
+    circuit_idoms,
+    count_single_pi_dominators,
+    idom_chain,
+    pi_dominator_vertices,
+    single_dominators_of,
+)
+from .tree import DominatorTree
+
+__all__ = [
+    "DominatorTree",
+    "UNREACHABLE",
+    "circuit_dominator_tree",
+    "circuit_idoms",
+    "count_single_pi_dominators",
+    "idom_chain",
+    "iterative",
+    "lengauer_tarjan",
+    "naive",
+    "pi_dominator_vertices",
+    "single_dominators_of",
+]

@@ -1,0 +1,128 @@
+"""Lengauer–Tarjan immediate-dominator computation [1].
+
+This is the algorithm the paper uses both as its single-vertex reference
+(Table 1, Column 4) and as the SINGLEIDOM subroutine inside DOMINATORCHAIN
+and inside the baseline [11].  We implement the "simple" O(m log n) variant
+with iterative path compression — the version Lengauer and Tarjan report to
+be fastest in practice on graphs of moderate size, and which the paper's
+Section 3 singles out as "the fastest of algorithms for single-vertex
+dominators on graphs of large size".
+
+The function is orientation-agnostic: it computes dominators of a flow
+graph ``(succ, entry)``.  Circuit-oriented wrappers (where the *output* is
+the entry of the reversed graph) live in :mod:`repro.dominators.single`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+UNREACHABLE = -1
+
+
+def compute_idoms(
+    n: int,
+    succ: Sequence[Sequence[int]],
+    entry: int,
+    pred: Optional[Sequence[Sequence[int]]] = None,
+) -> List[int]:
+    """Immediate dominators of every vertex of a flow graph.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (``0..n-1``).
+    succ:
+        Flow-graph adjacency: ``succ[v]`` are the successors of *v* when
+        walking away from ``entry``.
+    entry:
+        The flow-graph entry (root of the dominator tree).
+    pred:
+        Optional precomputed predecessor lists (``pred[w]`` = vertices with
+        an edge to *w*); recomputed from ``succ`` when omitted.
+
+    Returns
+    -------
+    list[int]
+        ``idom[v]`` for every vertex; ``idom[entry] == entry`` and
+        vertices unreachable from ``entry`` get :data:`UNREACHABLE`.
+    """
+    if pred is None:
+        pred_local: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            for w in succ[v]:
+                pred_local[w].append(v)
+        pred = pred_local
+
+    # --- iterative DFS numbering -------------------------------------
+    dfn = [UNREACHABLE] * n  # vertex -> dfs number
+    vertex: List[int] = []  # dfs number -> vertex
+    parent = [UNREACHABLE] * n  # DFS tree parent (vertex ids)
+    stack: List[int] = [entry]
+    dfn[entry] = 0
+    vertex.append(entry)
+    iter_stack: List[tuple] = [(entry, iter(succ[entry]))]
+    while iter_stack:
+        v, it = iter_stack[-1]
+        advanced = False
+        for w in it:
+            if dfn[w] == UNREACHABLE:
+                dfn[w] = len(vertex)
+                vertex.append(w)
+                parent[w] = v
+                iter_stack.append((w, iter(succ[w])))
+                advanced = True
+                break
+        if not advanced:
+            iter_stack.pop()
+
+    reached = len(vertex)
+    semi = list(dfn)  # vertex -> dfs number of its semidominator
+    label = list(range(n))  # forest labels for EVAL
+    ancestor = [UNREACHABLE] * n  # forest parents for LINK/EVAL
+    bucket: List[List[int]] = [[] for _ in range(n)]
+    idom = [UNREACHABLE] * n
+
+    def compress(v: int) -> None:
+        # Iterative version of the recursive path compression: collect the
+        # chain up to (but excluding) the forest root, then fold top-down.
+        chain: List[int] = []
+        u = v
+        while ancestor[ancestor[u]] != UNREACHABLE:
+            chain.append(u)
+            u = ancestor[u]
+        for w in reversed(chain):
+            a = ancestor[w]
+            if semi[label[a]] < semi[label[w]]:
+                label[w] = label[a]
+            ancestor[w] = ancestor[a]
+
+    def eval_(v: int) -> int:
+        if ancestor[v] == UNREACHABLE:
+            return v
+        compress(v)
+        return label[v]
+
+    for i in range(reached - 1, 0, -1):
+        w = vertex[i]
+        for v in pred[w]:
+            if dfn[v] == UNREACHABLE:
+                continue  # vertex not reachable from the entry
+            u = eval_(v)
+            if semi[u] < semi[w]:
+                semi[w] = semi[u]
+        bucket[vertex[semi[w]]].append(w)
+        p = parent[w]
+        ancestor[w] = p  # LINK(parent[w], w)
+        if bucket[p]:
+            for v in bucket[p]:
+                u = eval_(v)
+                idom[v] = u if semi[u] < semi[v] else p
+            bucket[p] = []
+
+    for i in range(1, reached):
+        w = vertex[i]
+        if idom[w] != vertex[semi[w]]:
+            idom[w] = idom[idom[w]]
+    idom[entry] = entry
+    return idom

@@ -1,0 +1,81 @@
+"""Naive set-based dominator computation — the executable definition.
+
+``Dom(v) = {v} ∪ ⋂_{p ∈ pred(v)} Dom(p)`` iterated to a fixpoint.  This is
+O(n·m) with set operations and exists purely as ground truth for the test
+suite: both Lengauer–Tarjan and the iterative algorithm must reproduce its
+results on every graph the property tests generate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from .iterative import reverse_post_order
+from .lengauer_tarjan import UNREACHABLE
+
+
+def dominator_sets(
+    n: int,
+    succ: Sequence[Sequence[int]],
+    entry: int,
+    pred: Optional[Sequence[Sequence[int]]] = None,
+) -> List[Optional[Set[int]]]:
+    """Full dominator sets (``None`` for unreachable vertices).
+
+    ``entry ∈ Dom(v)`` and ``v ∈ Dom(v)`` for every reachable *v*.
+    """
+    if pred is None:
+        pred_local: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            for w in succ[v]:
+                pred_local[w].append(v)
+        pred = pred_local
+
+    rpo = reverse_post_order(n, succ, entry)
+    reachable = set(rpo)
+    dom: List[Optional[Set[int]]] = [None] * n
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for v in rpo:
+            if v == entry:
+                continue
+            incoming = [
+                dom[p] for p in pred[v] if p in reachable and dom[p] is not None
+            ]
+            if not incoming:
+                continue
+            new: Set[int] = set(incoming[0])
+            for other in incoming[1:]:
+                new &= other
+            new.add(v)
+            if dom[v] != new:
+                dom[v] = new
+                changed = True
+    return dom
+
+
+def compute_idoms(
+    n: int,
+    succ: Sequence[Sequence[int]],
+    entry: int,
+    pred: Optional[Sequence[Sequence[int]]] = None,
+) -> List[int]:
+    """Immediate dominators derived from the full dominator sets.
+
+    The immediate dominator of *v* is the strict dominator with the largest
+    dominator set (strict dominators of one vertex are totally ordered by
+    domination).
+    """
+    dom = dominator_sets(n, succ, entry, pred)
+    idom = [UNREACHABLE] * n
+    idom[entry] = entry
+    for v in range(n):
+        if v == entry or dom[v] is None:
+            continue
+        strict = dom[v] - {v}
+        # The immediate dominator dominates v and is dominated by every
+        # other strict dominator, i.e. it has the largest dominator set.
+        idom[v] = max(strict, key=lambda d: len(dom[d]))  # type: ignore[arg-type]
+    return idom

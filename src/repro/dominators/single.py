@@ -1,0 +1,89 @@
+"""Circuit-oriented single-vertex dominator API (paper orientation).
+
+The paper defines: *v dominates u* iff every path from *u* to the *root*
+(the circuit output, following signal direction) contains *v*.  This equals
+classic flow-graph dominance on the **edge-reversed** graph with the output
+as entry.  The wrappers here hide that reversal: they accept an
+:class:`~repro.graph.indexed.IndexedGraph` in signal orientation and return
+dominance facts in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set
+
+from ..graph.indexed import IndexedGraph
+from . import iterative, lengauer_tarjan, naive
+from .tree import DominatorTree
+
+_ALGORITHMS: Dict[str, Callable] = {
+    "lengauer-tarjan": lengauer_tarjan.compute_idoms,
+    "lt": lengauer_tarjan.compute_idoms,
+    "iterative": iterative.compute_idoms,
+    "chk": iterative.compute_idoms,
+    "naive": naive.compute_idoms,
+}
+
+
+def circuit_idoms(graph: IndexedGraph, algorithm: str = "lt") -> List[int]:
+    """Immediate dominators of every vertex, paper orientation.
+
+    ``idom[v]`` is the first vertex at which all re-converging paths
+    starting at *v* meet on the way to the root; ``idom[root] == root``.
+    """
+    try:
+        compute = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from "
+            f"{sorted(_ALGORITHMS)}"
+        ) from None
+    # Reversed orientation: walk from the output toward the inputs.
+    return compute(graph.n, graph.pred, graph.root, pred=graph.succ)
+
+
+def circuit_dominator_tree(
+    graph: IndexedGraph, algorithm: str = "lt"
+) -> DominatorTree:
+    """The dominator tree ``T(C)`` of a single-output cone (Figure 1(b))."""
+    return DominatorTree(circuit_idoms(graph, algorithm), graph.root)
+
+
+def idom_chain(graph: IndexedGraph, u: int, algorithm: str = "lt") -> List[int]:
+    """``[u, idom(u), idom(idom(u)), ..., root]`` — the region cut points."""
+    return circuit_dominator_tree(graph, algorithm).chain(u)
+
+
+def single_dominators_of(
+    graph: IndexedGraph, u: int, algorithm: str = "lt"
+) -> List[int]:
+    """Proper single-vertex dominators of *u*, nearest first."""
+    return idom_chain(graph, u, algorithm)[1:]
+
+
+def pi_dominator_vertices(
+    tree: DominatorTree, sources: Sequence[int]
+) -> Set[int]:
+    """Distinct vertices properly dominating at least one of ``sources``.
+
+    This realizes Table 1, Column 4 for one cone: "single-vertex dominators
+    which dominate at least one primary input", with common dominators
+    counted once.
+    """
+    marked: Set[int] = set()
+    for u in sources:
+        if not tree.is_reachable(u):
+            continue
+        v = u
+        while v != tree.root:
+            v = tree.idom[v]
+            if v in marked:
+                break  # the rest of the chain is already marked
+            marked.add(v)
+    return marked
+
+
+def count_single_pi_dominators(graph: IndexedGraph, algorithm: str = "lt") -> int:
+    """Number of distinct vertices dominating ≥1 primary input of a cone."""
+    tree = circuit_dominator_tree(graph, algorithm)
+    return len(pi_dominator_vertices(tree, graph.sources()))

@@ -1,0 +1,139 @@
+"""The dominator tree ``T(C)`` with constant-time dominance queries.
+
+Every vertex except the root has a unique immediate dominator [12]; the
+edges ``(idom(v), v)`` form the dominator tree (paper Figure 1(b)).  This
+class wraps an ``idom`` array with:
+
+* ``dominates(a, b)`` in O(1) via DFS entry/exit intervals,
+* ``chain(v)`` — the idom chain ``v, idom(v), ..., root`` that the paper's
+  outer loop walks,
+* ``dominated_by(v)`` — the set ``S(v)`` that the baseline [11] removes
+  when restricting the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..errors import UnreachableVertexError
+from .lengauer_tarjan import UNREACHABLE
+
+
+class DominatorTree:
+    """Immutable dominator tree over integer vertices.
+
+    Parameters
+    ----------
+    idom:
+        ``idom[v]`` per vertex; ``idom[root] == root``; unreachable
+        vertices hold ``-1``.
+    root:
+        Tree root (the flow-graph entry; for circuits in the paper's
+        orientation, the circuit output).
+    """
+
+    __slots__ = ("idom", "root", "n", "_children", "_tin", "_tout", "_depth")
+
+    def __init__(self, idom: Sequence[int], root: int):
+        self.idom: List[int] = list(idom)
+        self.root = root
+        self.n = len(self.idom)
+        if self.idom[root] != root:
+            raise ValueError("idom[root] must equal root")
+        self._children: List[List[int]] = [[] for _ in range(self.n)]
+        for v, d in enumerate(self.idom):
+            if v != root and d != UNREACHABLE:
+                self._children[d].append(v)
+        # DFS intervals: a dominates b iff tin[a] <= tin[b] < tout[a].
+        self._tin = [UNREACHABLE] * self.n
+        self._tout = [UNREACHABLE] * self.n
+        self._depth = [UNREACHABLE] * self.n
+        clock = 0
+        stack: List[tuple] = [(root, 0, iter(self._children[root]))]
+        self._tin[root] = clock
+        self._depth[root] = 0
+        clock += 1
+        while stack:
+            v, dep, it = stack[-1]
+            advanced = False
+            for w in it:
+                self._tin[w] = clock
+                self._depth[w] = dep + 1
+                clock += 1
+                stack.append((w, dep + 1, iter(self._children[w])))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                self._tout[v] = clock
+                clock += 1
+
+    # ------------------------------------------------------------------
+    def is_reachable(self, v: int) -> bool:
+        """True if *v* participates in the tree (can reach the root)."""
+        return self._tin[v] != UNREACHABLE
+
+    def children(self, v: int) -> List[int]:
+        """Vertices whose immediate dominator is *v*."""
+        return list(self._children[v])
+
+    def depth(self, v: int) -> int:
+        """Tree depth of *v* (root has depth 0)."""
+        self._require(v)
+        return self._depth[v]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True iff *a* dominates *b* (reflexively) — O(1)."""
+        self._require(a)
+        self._require(b)
+        return self._tin[a] <= self._tin[b] and self._tout[b] <= self._tout[a]
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        """True iff *a* dominates *b* and ``a != b``."""
+        return a != b and self.dominates(a, b)
+
+    def chain(self, v: int) -> List[int]:
+        """The idom chain ``[v, idom(v), ..., root]``.
+
+        This is the sequence of cut points the paper's outer while-loop
+        walks when partitioning the circuit into search regions.
+        """
+        self._require(v)
+        out = [v]
+        while v != self.root:
+            v = self.idom[v]
+            out.append(v)
+        return out
+
+    def strict_dominators(self, v: int) -> List[int]:
+        """All proper dominators of *v*, nearest first."""
+        return self.chain(v)[1:]
+
+    def dominated_by(self, v: int) -> List[int]:
+        """The set ``S(v)`` of vertices dominated by *v*, including *v*.
+
+        This is the set the baseline [11] removes when restricting the
+        circuit with respect to *v*.
+        """
+        self._require(v)
+        out: List[int] = []
+        stack = [v]
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(self._children[cur])
+        return out
+
+    def iter_reachable(self) -> Iterator[int]:
+        """All vertices participating in the tree, in vertex order."""
+        return (v for v in range(self.n) if self._tin[v] != UNREACHABLE)
+
+    def _require(self, v: int) -> None:
+        if self._tin[v] == UNREACHABLE:
+            raise UnreachableVertexError(
+                f"vertex {v} cannot reach the root of this dominator tree"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        reach = sum(1 for t in self._tin if t != UNREACHABLE)
+        return f"DominatorTree(root={self.root}, reachable={reach}/{self.n})"

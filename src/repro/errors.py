@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause,
+while still being able to discriminate structural problems (bad netlists)
+from algorithmic invariant violations (which would indicate a bug either in
+the input or in the implementation of the paper's algorithm).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class CircuitError(ReproError):
+    """A circuit netlist is structurally invalid (cycle, dangling net, ...)."""
+
+
+class DuplicateNodeError(CircuitError):
+    """An attempt was made to define a node name twice."""
+
+
+class UnknownNodeError(CircuitError, KeyError):
+    """A referenced node name does not exist in the circuit."""
+
+
+class NotADagError(CircuitError):
+    """The netlist contains a combinational cycle."""
+
+
+class ParseError(ReproError):
+    """A netlist file could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class DominatorError(ReproError):
+    """A dominator computation was invoked on an unsupported input."""
+
+
+class UnreachableVertexError(DominatorError):
+    """A queried vertex cannot reach the root of its circuit graph."""
+
+
+class ChainConstructionError(ReproError):
+    """An invariant of Definition 3 (dominator chain) was violated.
+
+    Raised when the incremental chain construction observes a state the
+    paper's theory rules out; this indicates either a malformed input graph
+    (e.g. not single-output) or an implementation bug, never a legal input.
+    """
+
+
+class FlowError(ReproError):
+    """A max-flow computation was set up inconsistently."""

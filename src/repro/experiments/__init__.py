@@ -1,0 +1,30 @@
+"""Experiment harness regenerating the paper's evaluation."""
+
+from .ablation import (
+    lookup_study,
+    region_cache_study,
+    scaling_study,
+    single_algorithm_study,
+)
+from .reporting import format_markdown_table, format_table
+from .table1 import (
+    Table1Row,
+    format_results,
+    measure_circuit,
+    run_entry,
+    run_table1,
+)
+
+__all__ = [
+    "Table1Row",
+    "lookup_study",
+    "region_cache_study",
+    "scaling_study",
+    "single_algorithm_study",
+    "format_markdown_table",
+    "format_results",
+    "format_table",
+    "measure_circuit",
+    "run_entry",
+    "run_table1",
+]

@@ -1,0 +1,208 @@
+"""Ablation studies backing the paper's individual design claims.
+
+Each function isolates one claim from the paper text:
+
+* :func:`scaling_study` — "an order of magnitude faster than [11]" and
+  the growth of the gap with circuit size (the too_large/C6288 pattern):
+  sweeps a circuit family's size parameter and times both algorithms.
+* :func:`lookup_study` — "it takes constant time to look-up whether a
+  given pair of vertices is a double-vertex dominator": times the O(1)
+  chain lookup against a hashed pair-set and a from-scratch reachability
+  check, across circuit sizes.
+* :func:`region_cache_study` — cost of recomputing regions per target
+  versus sharing them across all primary inputs (the "incremental manner
+  during logic synthesis" motivation).
+* :func:`single_algorithm_study` — Lengauer–Tarjan versus the iterative
+  algorithm as the SINGLEIDOM engine inside the chain construction
+  (Section 3's "LT appears to be the fastest" remark).
+
+Run as a module::
+
+    python -m repro.experiments.ablation --study scaling
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits.generators.cascades import cascade
+from ..circuits.generators.multipliers import array_multiplier
+from ..core.algorithm import ChainComputer
+from ..core.baseline import baseline_double_dominators
+from ..core.bruteforce import is_double_dominator
+from ..graph.circuit import Circuit
+from ..graph.indexed import IndexedGraph
+from .reporting import format_table
+
+_FAMILIES: Dict[str, Callable[[int], Circuit]] = {
+    "cascade": lambda n: cascade(depth=n, num_inputs=8, num_outputs=2),
+    "multiplier": lambda n: array_multiplier(n),
+}
+
+
+def _time_both(circuit: Circuit) -> Dict[str, float]:
+    cones = [IndexedGraph.from_circuit(circuit, o) for o in circuit.outputs]
+    start = time.perf_counter()
+    for g in cones:
+        baseline_double_dominators(g)
+    t1 = time.perf_counter() - start
+    start = time.perf_counter()
+    for g in cones:
+        computer = ChainComputer(g)
+        for u in g.sources():
+            computer.chain(u)
+    t2 = time.perf_counter() - start
+    return {"t1": t1, "t2": t2}
+
+
+def scaling_study(
+    family: str = "cascade", sizes: Optional[Sequence[int]] = None
+) -> List[Dict[str, object]]:
+    """Baseline vs new algorithm across a size sweep of one family."""
+    build = _FAMILIES[family]
+    if sizes is None:
+        sizes = (20, 40, 80, 160) if family == "cascade" else (4, 6, 8, 10)
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        circuit = build(n)
+        times = _time_both(circuit)
+        rows.append(
+            {
+                "size": n,
+                "gates": circuit.gate_count(),
+                "t1": times["t1"],
+                "t2": times["t2"],
+                "improvement": times["t1"] / max(times["t2"], 1e-9),
+            }
+        )
+    return rows
+
+
+def lookup_study(
+    family: str = "cascade",
+    sizes: Optional[Sequence[int]] = None,
+    queries: int = 2000,
+) -> List[Dict[str, object]]:
+    """O(1) chain lookup vs hashed pair set vs reachability re-check."""
+    import random
+
+    build = _FAMILIES[family]
+    if sizes is None:
+        sizes = (20, 40, 80, 160) if family == "cascade" else (4, 6, 8)
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        circuit = build(n)
+        graph = IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+        u = graph.sources()[0]
+        chain = ChainComputer(graph).chain(u)
+        pair_set = chain.pair_set()
+        rng = random.Random(42)
+        candidates = [
+            (rng.randrange(graph.n), rng.randrange(graph.n))
+            for _ in range(queries)
+        ]
+        start = time.perf_counter()
+        hits_chain = sum(chain.dominates(a, b) for a, b in candidates)
+        t_chain = time.perf_counter() - start
+        start = time.perf_counter()
+        hits_set = sum(frozenset((a, b)) in pair_set for a, b in candidates)
+        t_set = time.perf_counter() - start
+        start = time.perf_counter()
+        hits_path = sum(
+            is_double_dominator(graph, u, a, b) for a, b in candidates
+        )
+        t_path = time.perf_counter() - start
+        assert hits_chain == hits_set == hits_path
+        rows.append(
+            {
+                "size": n,
+                "vertices": graph.n,
+                "chain_us": 1e6 * t_chain / queries,
+                "set_us": 1e6 * t_set / queries,
+                "recheck_us": 1e6 * t_path / queries,
+            }
+        )
+    return rows
+
+
+def region_cache_study(
+    family: str = "cascade", sizes: Optional[Sequence[int]] = None
+) -> List[Dict[str, object]]:
+    """All-PI chain computation with and without region sharing."""
+    build = _FAMILIES[family]
+    if sizes is None:
+        sizes = (20, 40, 80) if family == "cascade" else (4, 6, 8)
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        circuit = build(n)
+        graph = IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+        timings = {}
+        for cached in (True, False):
+            start = time.perf_counter()
+            computer = ChainComputer(graph, cache_regions=cached)
+            for u in graph.sources():
+                computer.chain(u)
+            timings[cached] = time.perf_counter() - start
+        rows.append(
+            {
+                "size": n,
+                "cached_s": timings[True],
+                "uncached_s": timings[False],
+                "speedup": timings[False] / max(timings[True], 1e-9),
+            }
+        )
+    return rows
+
+
+def single_algorithm_study(
+    family: str = "cascade", size: int = 60
+) -> List[Dict[str, object]]:
+    """LT vs iterative vs naive as the inner single-dominator engine."""
+    circuit = _FAMILIES[family](size)
+    graph = IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+    rows: List[Dict[str, object]] = []
+    for algorithm in ("lt", "iterative", "naive"):
+        start = time.perf_counter()
+        computer = ChainComputer(graph, algorithm=algorithm)
+        total = sum(
+            computer.chain(u).num_dominators() for u in graph.sources()
+        )
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {"engine": algorithm, "pairs": total, "seconds": elapsed}
+        )
+    assert len({r["pairs"] for r in rows}) == 1
+    return rows
+
+
+_STUDIES = {
+    "scaling": scaling_study,
+    "lookup": lookup_study,
+    "cache": region_cache_study,
+    "engine": single_algorithm_study,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run one ablation study")
+    parser.add_argument("--study", choices=sorted(_STUDIES), default="scaling")
+    parser.add_argument(
+        "--family", choices=sorted(_FAMILIES), default="cascade"
+    )
+    args = parser.parse_args(argv)
+    rows = _STUDIES[args.study](family=args.family)
+    headers = list(rows[0].keys())
+    print(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title=f"ablation: {args.study} ({args.family})",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

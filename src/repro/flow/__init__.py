@@ -1,0 +1,22 @@
+"""Max-flow with unit vertex capacities and minimum vertex cuts."""
+
+from .maxflow import bfs_augmenting_path, max_flow
+from .residual import ResidualNetwork, in_node, out_node
+from .vertex_cut import (
+    VertexCutResult,
+    build_split_network,
+    count_disjoint_paths,
+    min_vertex_cut,
+)
+
+__all__ = [
+    "ResidualNetwork",
+    "VertexCutResult",
+    "bfs_augmenting_path",
+    "build_split_network",
+    "count_disjoint_paths",
+    "in_node",
+    "max_flow",
+    "min_vertex_cut",
+    "out_node",
+]

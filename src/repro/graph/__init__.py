@@ -1,0 +1,81 @@
+"""Circuit-graph substrate: netlists, indexed DAG views and traversals."""
+
+from .builder import CircuitBuilder
+from .circuit import Circuit, Node
+from .indexed import IndexedGraph
+from .interop import (
+    circuit_from_networkx,
+    circuit_to_networkx,
+    indexed_to_networkx,
+)
+from .node import NodeType, evaluate_gate, parse_node_type
+from .rewrite import expand_xors, gate_type_histogram
+from .sequential import (
+    SequentialCircuit,
+    extract_combinational_core,
+    unrolled,
+)
+from .stats import CircuitStats, circuit_stats, reconvergent_fraction
+from .topo import (
+    depth,
+    levels_from_inputs,
+    longest_path_to_root,
+    shortest_path_to_root,
+)
+from .transform import (
+    merge_sources,
+    region_between,
+    remove_vertex,
+    remove_vertices,
+    reversed_graph,
+)
+from .traverse import (
+    cone_inputs,
+    cones_by_output,
+    dead_nodes,
+    output_cone,
+    strip_dead_nodes,
+    transitive_fanin,
+    transitive_fanout,
+)
+from .validate import assert_well_formed, check_cone, check_no_dangling
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitStats",
+    "IndexedGraph",
+    "Node",
+    "NodeType",
+    "SequentialCircuit",
+    "assert_well_formed",
+    "check_cone",
+    "check_no_dangling",
+    "circuit_from_networkx",
+    "circuit_stats",
+    "circuit_to_networkx",
+    "cone_inputs",
+    "cones_by_output",
+    "dead_nodes",
+    "depth",
+    "expand_xors",
+    "extract_combinational_core",
+    "gate_type_histogram",
+    "evaluate_gate",
+    "indexed_to_networkx",
+    "levels_from_inputs",
+    "longest_path_to_root",
+    "merge_sources",
+    "output_cone",
+    "parse_node_type",
+    "reconvergent_fraction",
+    "region_between",
+    "remove_vertex",
+    "remove_vertices",
+    "reversed_graph",
+    "shortest_path_to_root",
+    "strip_dead_nodes",
+    "transitive_fanin",
+    "transitive_fanout",
+    "unrolled",
+]

@@ -1,0 +1,164 @@
+"""Fluent construction helpers for :class:`~repro.graph.circuit.Circuit`.
+
+The generators in :mod:`repro.circuits.generators` create thousands of gates
+programmatically; this builder removes the name-bookkeeping boilerplate:
+it auto-generates unique names, offers one method per gate type, and
+collapses degenerate gates (single-fanin AND/OR become buffers).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from .circuit import Circuit
+from .node import NodeType
+
+
+class CircuitBuilder:
+    """Incrementally builds a :class:`Circuit` with auto-named gates.
+
+    Examples
+    --------
+    >>> b = CircuitBuilder("full_adder")
+    >>> a, bb, cin = b.inputs("a", "b", "cin")
+    >>> s = b.xor(a, bb, cin, name="sum")
+    >>> cout = b.or_(b.and_(a, bb), b.and_(cin, b.xor(a, bb)), name="cout")
+    >>> circuit = b.finish([s, cout])
+    >>> circuit.gate_count()
+    5
+    """
+
+    def __init__(self, name: str = "circuit", prefix: str = "g"):
+        self.circuit = Circuit(name)
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    def fresh_name(self, hint: Optional[str] = None) -> str:
+        """Next unused auto-generated node name."""
+        base = hint or self._prefix
+        while True:
+            candidate = f"{base}{next(self._counter)}"
+            if candidate not in self.circuit:
+                return candidate
+
+    def input(self, name: Optional[str] = None) -> str:
+        return self.circuit.add_input(name or self.fresh_name("in"))
+
+    def inputs(self, *names: str) -> List[str]:
+        """Declare several primary inputs at once."""
+        return [self.circuit.add_input(name) for name in names]
+
+    def input_bus(self, base: str, width: int) -> List[str]:
+        """Declare ``base0 .. base<width-1>`` primary inputs."""
+        return [self.circuit.add_input(f"{base}{i}") for i in range(width)]
+
+    def constant(self, value: int, name: Optional[str] = None) -> str:
+        return self.circuit.add_constant(
+            name or self.fresh_name("const"), value
+        )
+
+    # ------------------------------------------------------------------
+    def gate(
+        self,
+        node_type: NodeType,
+        fanins: Sequence[str],
+        name: Optional[str] = None,
+    ) -> str:
+        """Add an arbitrary gate; returns its name."""
+        return self.circuit.add_gate(
+            name or self.fresh_name(), node_type, list(fanins)
+        )
+
+    def _nary(
+        self, node_type: NodeType, fanins: Sequence[str], name: Optional[str]
+    ) -> str:
+        if len(fanins) == 1 and name is None and node_type in (
+            NodeType.AND,
+            NodeType.OR,
+            NodeType.XOR,
+        ):
+            # Degenerate n-ary gate: pass the signal through unchanged.
+            return fanins[0]
+        return self.gate(node_type, fanins, name)
+
+    def and_(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self._nary(NodeType.AND, fanins, name)
+
+    def or_(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self._nary(NodeType.OR, fanins, name)
+
+    def xor(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self._nary(NodeType.XOR, fanins, name)
+
+    def nand(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(NodeType.NAND, fanins, name)
+
+    def nor(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(NodeType.NOR, fanins, name)
+
+    def xnor(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(NodeType.XNOR, fanins, name)
+
+    def not_(self, fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(NodeType.NOT, [fanin], name)
+
+    def buf(self, fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(NodeType.BUF, [fanin], name)
+
+    def mux(
+        self, select: str, a: str, b: str, name: Optional[str] = None
+    ) -> str:
+        """2:1 multiplexer: output = a when select==0 else b."""
+        return self.gate(NodeType.MUX, [select, a, b], name)
+
+    # ------------------------------------------------------------------
+    # balanced reduction trees (keep circuits shallow and realistic)
+    # ------------------------------------------------------------------
+    def tree(
+        self,
+        node_type: NodeType,
+        signals: Sequence[str],
+        arity: int = 2,
+        name: Optional[str] = None,
+    ) -> str:
+        """Reduce ``signals`` with a balanced tree of ``node_type`` gates."""
+        if not signals:
+            raise ValueError("tree() needs at least one signal")
+        level = list(signals)
+        while len(level) > 1:
+            nxt: List[str] = []
+            for i in range(0, len(level), arity):
+                chunk = level[i : i + arity]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                else:
+                    is_last = len(level) <= arity
+                    nxt.append(
+                        self.gate(
+                            node_type, chunk, name if is_last else None
+                        )
+                    )
+            level = nxt
+        if name is not None and level[0] != name:
+            # Single input signal and an explicit name: insert a buffer so
+            # the requested name exists.
+            return self.buf(level[0], name)
+        return level[0]
+
+    def and_tree(self, signals: Sequence[str], name: Optional[str] = None) -> str:
+        return self.tree(NodeType.AND, signals, name=name)
+
+    def or_tree(self, signals: Sequence[str], name: Optional[str] = None) -> str:
+        return self.tree(NodeType.OR, signals, name=name)
+
+    def xor_tree(self, signals: Sequence[str], name: Optional[str] = None) -> str:
+        return self.tree(NodeType.XOR, signals, name=name)
+
+    # ------------------------------------------------------------------
+    def finish(self, outputs: Sequence[str]) -> Circuit:
+        """Declare outputs, validate and return the built circuit."""
+        self.circuit.set_outputs(outputs)
+        self.circuit.validate()
+        return self.circuit

@@ -1,0 +1,268 @@
+"""The :class:`Circuit` netlist — the central data model of the library.
+
+A circuit is a named, directed acyclic graph whose vertices are primary
+inputs and gates, following the paper's model ``C = (V, E, root)``: *V*
+represents the set of gates and primary inputs, *E* describes the nets, and
+edges are oriented in **signal direction** (from a gate's fanins toward the
+gate).  A "path from *u* to *root*" in the paper is therefore a directed
+path following fanout edges toward a primary output.
+
+The class is deliberately mutable-but-checked: nodes are added through
+methods that validate fanin arities and name uniqueness, and the expensive
+derived structures (fanout lists, topological order) are computed lazily and
+invalidated on mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    CircuitError,
+    DuplicateNodeError,
+    NotADagError,
+    UnknownNodeError,
+)
+from .node import MAX_FANIN, MIN_FANIN, NodeType
+
+
+@dataclass
+class Node:
+    """A single vertex of the circuit graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the circuit.
+    type:
+        Gate kind (:class:`~repro.graph.node.NodeType`).
+    fanins:
+        Names of driver nodes, in order (order matters for MUX).
+    """
+
+    name: str
+    type: NodeType
+    fanins: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        lo = MIN_FANIN[self.type]
+        hi = MAX_FANIN[self.type]
+        if len(self.fanins) < lo or (hi is not None and len(self.fanins) > hi):
+            raise CircuitError(
+                f"node {self.name!r}: {self.type.value} gate cannot take "
+                f"{len(self.fanins)} fanins"
+            )
+
+
+class Circuit:
+    """A combinational circuit netlist.
+
+    Parameters
+    ----------
+    name:
+        Human-readable circuit name (benchmark name).
+
+    Examples
+    --------
+    >>> c = Circuit("half_adder")
+    >>> c.add_input("a")
+    'a'
+    >>> c.add_input("b")
+    'b'
+    >>> c.add_gate("sum", NodeType.XOR, ["a", "b"])
+    'sum'
+    >>> c.add_gate("carry", NodeType.AND, ["a", "b"])
+    'carry'
+    >>> c.set_outputs(["sum", "carry"])
+    >>> sorted(c.inputs)
+    ['a', 'b']
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._fanouts: Optional[Dict[str, List[str]]] = None
+        self._topo: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare a primary input. Returns the name for chaining."""
+        self._insert(Node(name, NodeType.INPUT))
+        self._inputs.append(name)
+        return name
+
+    def add_gate(
+        self, name: str, node_type: NodeType, fanins: Sequence[str]
+    ) -> str:
+        """Add a gate driven by already-known or later-defined nodes.
+
+        Fanins may reference names that have not been defined yet; the
+        reference is resolved when the circuit is validated or when a
+        derived structure is first requested.
+        """
+        if node_type.is_input:
+            raise CircuitError("use add_input() to declare primary inputs")
+        self._insert(Node(name, node_type, tuple(fanins)))
+        return name
+
+    def add_constant(self, name: str, value: int) -> str:
+        """Add a constant-0 or constant-1 driver."""
+        node_type = NodeType.CONST1 if value else NodeType.CONST0
+        self._insert(Node(name, node_type))
+        return name
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        """Declare the primary outputs (order preserved, duplicates merged)."""
+        seen = set()
+        ordered = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+        self._outputs = ordered
+        self._invalidate()
+
+    def add_output(self, name: str) -> None:
+        """Append one primary output if not already present."""
+        if name not in self._outputs:
+            self._outputs.append(name)
+        self._invalidate()
+
+    def _insert(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise DuplicateNodeError(f"node {node.name!r} already defined")
+        self._nodes[node.name] = node
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._fanouts = None
+        self._topo = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input names, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output names, in declaration order."""
+        return list(self._outputs)
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name (raises :class:`UnknownNodeError`)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownNodeError(f"no node named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all :class:`Node` records in insertion order."""
+        return iter(self._nodes.values())
+
+    def fanins(self, name: str) -> Tuple[str, ...]:
+        """Driver names of ``name``."""
+        return self.node(name).fanins
+
+    def fanouts(self, name: str) -> List[str]:
+        """Names of nodes driven by ``name`` (derived, cached)."""
+        return list(self._fanout_map()[name])
+
+    def fanout_degree(self, name: str) -> int:
+        """Number of gates driven by ``name`` (the paper's ``Fanout(v)``)."""
+        return len(self._fanout_map()[name])
+
+    def _fanout_map(self) -> Dict[str, List[str]]:
+        if self._fanouts is None:
+            fanouts: Dict[str, List[str]] = {name: [] for name in self._nodes}
+            for node in self._nodes.values():
+                for driver in node.fanins:
+                    if driver not in fanouts:
+                        raise UnknownNodeError(
+                            f"node {node.name!r} references undefined "
+                            f"fanin {driver!r}"
+                        )
+                    fanouts[driver].append(node.name)
+            self._fanouts = fanouts
+        return self._fanouts
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Node names ordered so every fanin precedes its gate.
+
+        Raises
+        ------
+        NotADagError
+            If the netlist contains a combinational cycle.
+        """
+        if self._topo is None:
+            indegree = {name: len(self.node(name).fanins) for name in self._nodes}
+            fanouts = self._fanout_map()
+            ready = [name for name, deg in indegree.items() if deg == 0]
+            order: List[str] = []
+            while ready:
+                name = ready.pop()
+                order.append(name)
+                for sink in fanouts[name]:
+                    indegree[sink] -= 1
+                    if indegree[sink] == 0:
+                        ready.append(sink)
+            if len(order) != len(self._nodes):
+                cyclic = sorted(n for n, d in indegree.items() if d > 0)
+                raise NotADagError(
+                    f"circuit {self.name!r} has a combinational cycle "
+                    f"involving {cyclic[:5]}..."
+                )
+            self._topo = order
+        return list(self._topo)
+
+    def validate(self) -> None:
+        """Check structural well-formedness, raising :class:`CircuitError`.
+
+        Verifies that all fanin references resolve, the graph is acyclic,
+        and every declared output exists.
+        """
+        self._fanout_map()
+        self.topological_order()
+        for out in self._outputs:
+            if out not in self._nodes:
+                raise UnknownNodeError(f"declared output {out!r} is undefined")
+        for inp in self._inputs:
+            if self._nodes[inp].type is not NodeType.INPUT:
+                raise CircuitError(f"input list entry {inp!r} is not an INPUT node")
+
+    def gate_count(self) -> int:
+        """Number of non-input, non-constant nodes."""
+        return sum(1 for node in self._nodes.values() if node.type.is_gate)
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep copy (nodes are immutable records, so sharing is safe)."""
+        dup = Circuit(name or self.name)
+        dup._nodes = dict(self._nodes)
+        dup._inputs = list(self._inputs)
+        dup._outputs = list(self._outputs)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}, nodes={len(self._nodes)}, "
+            f"inputs={len(self._inputs)}, outputs={len(self._outputs)})"
+        )

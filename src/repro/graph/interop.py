@@ -1,0 +1,86 @@
+"""Interoperability with :mod:`networkx`.
+
+The dominator machinery works on the library's own lean structures, but
+users living in the networkx ecosystem can convert in both directions:
+node attributes carry gate types so the round trip is lossless.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .indexed import IndexedGraph
+from .node import NodeType
+
+
+def circuit_to_networkx(circuit: Circuit) -> "nx.DiGraph":
+    """The netlist as a DiGraph in signal direction.
+
+    Node attributes: ``type`` (NodeType value string), ``is_output``.
+    Edge order (fanin position) is stored as the ``position`` attribute,
+    so MUX operand order survives the round trip.
+    """
+    graph = nx.DiGraph(name=circuit.name)
+    outputs = set(circuit.outputs)
+    for node in circuit.nodes():
+        graph.add_node(
+            node.name, type=node.type.value, is_output=node.name in outputs
+        )
+    for node in circuit.nodes():
+        for position, driver in enumerate(node.fanins):
+            graph.add_edge(driver, node.name, position=position)
+    return graph
+
+
+def circuit_from_networkx(
+    graph: "nx.DiGraph", name: Optional[str] = None
+) -> Circuit:
+    """Rebuild a :class:`Circuit` from a DiGraph produced by
+    :func:`circuit_to_networkx` (or any DiGraph with ``type`` attributes).
+    """
+    circuit = Circuit(name or graph.graph.get("name", "from_networkx"))
+    try:
+        order = list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible as exc:
+        raise CircuitError("graph has a cycle") from exc
+    for node in order:
+        type_token = graph.nodes[node].get("type", "input")
+        node_type = NodeType(type_token)
+        if node_type is NodeType.INPUT:
+            circuit.add_input(node)
+        else:
+            fanins = sorted(
+                graph.predecessors(node),
+                key=lambda p: graph.edges[p, node].get("position", 0),
+            )
+            if node_type.is_constant:
+                circuit.add_constant(
+                    node, 1 if node_type is NodeType.CONST1 else 0
+                )
+            else:
+                circuit.add_gate(node, node_type, fanins)
+    outputs = [
+        node
+        for node in order
+        if graph.nodes[node].get("is_output", False)
+    ]
+    if not outputs:
+        outputs = [node for node in order if graph.out_degree(node) == 0]
+    circuit.set_outputs(outputs)
+    circuit.validate()
+    return circuit
+
+
+def indexed_to_networkx(graph: IndexedGraph) -> "nx.DiGraph":
+    """One cone as a DiGraph over vertex names (root flagged)."""
+    out = nx.DiGraph()
+    for v in range(graph.n):
+        out.add_node(graph.name_of(v), is_root=v == graph.root)
+    for v in range(graph.n):
+        for w in graph.succ[v]:
+            out.add_edge(graph.name_of(v), graph.name_of(w))
+    return out

@@ -1,0 +1,147 @@
+"""Combinational-core extraction for sequential netlists.
+
+Dominator analysis (like virtually all the paper's applications) is
+defined on the combinational DAG.  Sequential benchmarks — the ISCAS-89
+s-series and many IWLS'02 entries — contain D flip-flops; the standard
+treatment, applied here, cuts every flip-flop: its output *Q* becomes a
+pseudo primary input and its input *D* a pseudo primary output.  The
+result is the *combinational core*, on which every analysis in this
+library applies unchanged.
+
+:func:`extract_combinational_core` performs the cut on a
+:class:`SequentialCircuit`; :func:`repro.parsers.bench.load_sequential`
+produces one from an ISCAS ``.bench`` file with ``DFF`` lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .node import NodeType
+
+#: Prefixes marking the pseudo I/O created by a flip-flop cut.
+PSEUDO_INPUT_PREFIX = "ppi_"
+PSEUDO_OUTPUT_PREFIX = "ppo_"
+
+
+@dataclass
+class SequentialCircuit:
+    """A netlist with explicit D flip-flops.
+
+    Attributes
+    ----------
+    name:
+        Circuit name.
+    combinational:
+        The gate-level netlist *excluding* flip-flops; each flip-flop
+        output appears in it as a primary input (same net name), and the
+        flip-flop data inputs are ordinary internal nets.
+    flops:
+        ``{flop_output_name: data_input_name}`` — the state elements.
+    primary_inputs / primary_outputs:
+        The *original* interface (without the pseudo nets).
+    """
+
+    name: str
+    combinational: Circuit
+    flops: Dict[str, str]
+    primary_inputs: List[str] = field(default_factory=list)
+    primary_outputs: List[str] = field(default_factory=list)
+
+    @property
+    def num_state_bits(self) -> int:
+        return len(self.flops)
+
+
+def extract_combinational_core(sequential: SequentialCircuit) -> Circuit:
+    """The combinational core: flip-flops cut into pseudo PIs / POs.
+
+    Returns a purely combinational :class:`Circuit` whose inputs are the
+    original primary inputs plus one ``ppi_<ff>`` per flip-flop, and
+    whose outputs are the original primary outputs plus one
+    ``ppo_<ff>`` buffer per flip-flop data input.  Dominator analysis on
+    the core treats each state bit as an independent cut point — exactly
+    how incremental synthesis tools scope combinational optimizations.
+    """
+    core = sequential.combinational.copy(sequential.name + "_core")
+    outputs = list(sequential.primary_outputs)
+    for flop_out, data_in in sequential.flops.items():
+        if data_in not in core:
+            raise CircuitError(
+                f"flip-flop {flop_out!r} reads undefined net {data_in!r}"
+            )
+        ppo = PSEUDO_OUTPUT_PREFIX + flop_out
+        if ppo not in core:
+            core.add_gate(ppo, NodeType.BUF, [data_in])
+        outputs.append(ppo)
+    core.set_outputs(outputs)
+    core.validate()
+    return core
+
+
+def unrolled(
+    sequential: SequentialCircuit, frames: int, name: str = ""
+) -> Circuit:
+    """Time-frame expansion: ``frames`` copies of the core, chained.
+
+    Frame *t*'s flip-flop inputs feed frame *t+1*'s pseudo inputs; the
+    first frame's state is a fresh primary input bus.  Useful for
+    analyzing sequential re-convergence with the combinational machinery
+    (bounded model checking style).
+    """
+    if frames < 1:
+        raise ValueError("frames must be positive")
+    result = Circuit(name or f"{sequential.name}_u{frames}")
+
+    def frame_name(net: str, t: int) -> str:
+        return f"{net}@{t}"
+
+    state_in: Dict[str, str] = {}
+    for flop_out in sequential.flops:
+        state_in[flop_out] = result.add_input(
+            frame_name(PSEUDO_INPUT_PREFIX + flop_out, 0)
+        )
+
+    outputs: List[str] = []
+    comb = sequential.combinational
+    for t in range(frames):
+        rename: Dict[str, str] = {}
+        for node in comb.nodes():
+            if node.type is NodeType.INPUT:
+                if node.name in sequential.flops:
+                    rename[node.name] = (
+                        state_in[node.name]
+                        if t == 0
+                        else frame_name(sequential.flops[node.name], t - 1)
+                    )
+                else:
+                    rename[node.name] = result.add_input(
+                        frame_name(node.name, t)
+                    )
+        for net in comb.topological_order():
+            node = comb.node(net)
+            if node.type is NodeType.INPUT:
+                continue
+            new_name = frame_name(node.name, t)
+            rename[node.name] = new_name
+            fanins = [rename[f] for f in node.fanins]
+            if node.type.is_constant:
+                result.add_constant(
+                    new_name, 1 if node.type is NodeType.CONST1 else 0
+                )
+            else:
+                result.add_gate(new_name, node.type, fanins)
+        outputs.extend(
+            frame_name(po, t) for po in sequential.primary_outputs
+        )
+    # Final-frame next-state nets are also observable.
+    outputs.extend(
+        frame_name(data_in, frames - 1)
+        for data_in in sequential.flops.values()
+    )
+    result.set_outputs(outputs)
+    result.validate()
+    return result

@@ -1,0 +1,77 @@
+"""Circuit statistics — the descriptive columns of the paper's Table 1.
+
+:func:`circuit_stats` produces the ``in``/``out`` columns plus additional
+structural measures (gate count, depth, reconvergence ratio) that explain
+*why* a given benchmark has many or few double-vertex dominators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .circuit import Circuit
+from .indexed import IndexedGraph
+from .topo import depth
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of one circuit netlist."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_edges: int
+    max_depth: int
+    max_fanout: int
+    reconvergent_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "in": self.num_inputs,
+            "out": self.num_outputs,
+            "gates": self.num_gates,
+            "edges": self.num_edges,
+            "depth": self.max_depth,
+            "max_fanout": self.max_fanout,
+            "reconv": round(self.reconvergent_fraction, 3),
+        }
+
+
+def reconvergent_fraction(circuit: Circuit) -> float:
+    """Fraction of nodes with fanout degree greater than one.
+
+    Multi-fanout stems are exactly the potential origins of re-converging
+    paths (paper Section 2); a tree-like circuit scores 0.0.
+    """
+    names = [name for name in circuit]
+    if not names:
+        return 0.0
+    multi = sum(1 for name in names if circuit.fanout_degree(name) > 1)
+    return multi / len(names)
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for a netlist."""
+    circuit.validate()
+    num_edges = sum(len(node.fanins) for node in circuit.nodes())
+    max_fanout = max(
+        (circuit.fanout_degree(name) for name in circuit), default=0
+    )
+    max_depth = 0
+    for out in circuit.outputs:
+        cone = IndexedGraph.from_circuit(circuit, out)
+        max_depth = max(max_depth, depth(cone))
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=len(circuit.inputs),
+        num_outputs=len(circuit.outputs),
+        num_gates=circuit.gate_count(),
+        num_edges=num_edges,
+        max_depth=max_depth,
+        max_fanout=max_fanout,
+        reconvergent_fraction=reconvergent_fraction(circuit),
+    )

@@ -1,0 +1,68 @@
+"""Topological metrics over :class:`~repro.graph.indexed.IndexedGraph`.
+
+Theorem 2 of the paper bounds the dominator-chain size by the length of the
+longest path from *u* to *root*; :func:`longest_path_to_root` provides that
+yardstick.  Logic-depth levels are also used by the circuit generators and
+the statistics module.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .indexed import IndexedGraph
+
+
+def levels_from_inputs(graph: IndexedGraph) -> List[int]:
+    """Logic depth of each vertex (inputs are level 0).
+
+    ``level[v]`` is the length (in edges) of the longest path from any
+    source to *v*.
+    """
+    level = [0] * graph.n
+    for v in graph.topological_order():
+        for w in graph.succ[v]:
+            if level[v] + 1 > level[w]:
+                level[w] = level[v] + 1
+    return level
+
+
+def longest_path_to_root(graph: IndexedGraph) -> List[int]:
+    """Length of the longest directed path from each vertex to the root.
+
+    Vertices that cannot reach the root get -1.
+    """
+    dist = [-1] * graph.n
+    dist[graph.root] = 0
+    for v in reversed(graph.topological_order()):
+        if v == graph.root:
+            continue
+        best = -1
+        for w in graph.succ[v]:
+            if dist[w] >= 0 and dist[w] + 1 > best:
+                best = dist[w] + 1
+        dist[v] = best
+    return dist
+
+
+def shortest_path_to_root(graph: IndexedGraph) -> List[int]:
+    """Length of the shortest directed path from each vertex to the root.
+
+    Vertices that cannot reach the root get -1.
+    """
+    dist = [-1] * graph.n
+    dist[graph.root] = 0
+    for v in reversed(graph.topological_order()):
+        if v == graph.root:
+            continue
+        best = -1
+        for w in graph.succ[v]:
+            if dist[w] >= 0 and (best == -1 or dist[w] + 1 < best):
+                best = dist[w] + 1
+        dist[v] = best
+    return dist
+
+
+def depth(graph: IndexedGraph) -> int:
+    """Logic depth of the whole cone (longest input-to-root path)."""
+    return max(levels_from_inputs(graph))

@@ -1,0 +1,101 @@
+"""Graph restrictions used by the dominator algorithms.
+
+Both the paper's algorithm (FINDMATCHINGVECTOR restricts ``C`` to ``C - v``)
+and the baseline [11] (restriction of ``C`` with respect to the set of
+vertices dominated by *v*) are expressed through the functions here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import CircuitError
+from .indexed import IndexedGraph
+
+
+def remove_vertex(
+    graph: IndexedGraph, v: int
+) -> Tuple[IndexedGraph, List[int]]:
+    """The restricted graph ``C' = C - v`` of the paper's Section 5.
+
+    Removes *v* and every edge incident to it, then prunes vertices that can
+    no longer reach the root (they cannot lie on any u→root path and would
+    otherwise confuse dominator computations).
+
+    Returns
+    -------
+    (subgraph, orig_of):
+        ``orig_of[i]`` is the original index of new vertex ``i``.
+    """
+    if v == graph.root:
+        raise CircuitError("cannot remove the root vertex")
+    keep = graph.coreachable_to(graph.root, exclude=v)
+    return graph.subgraph(keep, graph.root)
+
+
+def remove_vertices(
+    graph: IndexedGraph, removed: Sequence[int]
+) -> Tuple[IndexedGraph, List[int]]:
+    """Restriction of ``C`` by a set of vertices (baseline [11]).
+
+    Removes every vertex in ``removed`` plus everything that can no longer
+    reach the root.
+    """
+    removed_set = set(removed)
+    if graph.root in removed_set:
+        raise CircuitError("cannot remove the root vertex")
+    mark = [False] * graph.n
+    mark[graph.root] = True
+    stack = [graph.root]
+    while stack:
+        cur = stack.pop()
+        for w in graph.pred[cur]:
+            if not mark[w] and w not in removed_set:
+                mark[w] = True
+                stack.append(w)
+    return graph.subgraph(mark, graph.root)
+
+
+def region_between(
+    graph: IndexedGraph, start: int, sink: int
+) -> Tuple[IndexedGraph, List[int]]:
+    """Subgraph of vertices lying on paths from ``start`` to ``sink``.
+
+    This is the search region of the paper's outer loop: ``start`` is the
+    current single dominator *v* of *u* (or *u* itself) and ``sink`` is
+    ``idom(v)``.  Because ``sink`` dominates ``start``, every vertex
+    reachable from ``start`` that can reach ``sink`` lies strictly between
+    them (or is one of them).
+
+    The returned subgraph is rooted at ``sink``.
+    """
+    reach = graph.reachable_from(start)
+    coreach = graph.coreachable_to(sink)
+    keep = [reach[v] and coreach[v] for v in range(graph.n)]
+    if not keep[start] or not keep[sink]:
+        raise CircuitError("sink is not reachable from start")
+    return graph.subgraph(keep, sink)
+
+
+def merge_sources(
+    graph: IndexedGraph, sources: Sequence[int]
+) -> IndexedGraph:
+    """Graph with a fake super-source feeding ``sources`` (Section 4).
+
+    Used to compute *common* double-vertex dominators of a set of vertices:
+    the chain of the fake vertex is the common chain of the set.  The fake
+    vertex is index ``graph.n`` in the result.
+    """
+    if not sources:
+        raise CircuitError("merge_sources needs at least one source")
+    return graph.with_fake_source(sources)
+
+
+def reversed_graph(graph: IndexedGraph) -> IndexedGraph:
+    """Edge-reversed view (succ and pred swapped), rooted at the same index.
+
+    Useful for treating the circuit output as a flow-graph entry when
+    feeding standard (entry-oriented) dominator algorithms.
+    """
+    rev_succ: List[List[int]] = [list(graph.pred[v]) for v in range(graph.n)]
+    return IndexedGraph(rev_succ, root=graph.root, names=list(graph.names))

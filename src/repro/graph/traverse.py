@@ -1,0 +1,88 @@
+"""Name-level traversal utilities over :class:`~repro.graph.circuit.Circuit`.
+
+These helpers operate on the netlist (string names) and are used by the
+parsers, the statistics module and the application layer.  Algorithmic code
+uses the faster integer routines on :class:`~repro.graph.indexed.IndexedGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .circuit import Circuit
+
+
+def transitive_fanin(circuit: Circuit, name: str) -> Set[str]:
+    """All nodes with a directed path *to* ``name`` (excluding ``name``)."""
+    seen: Set[str] = set()
+    stack = list(circuit.fanins(name))
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(circuit.fanins(cur))
+    return seen
+
+
+def transitive_fanout(circuit: Circuit, name: str) -> Set[str]:
+    """All nodes with a directed path *from* ``name`` (excluding ``name``)."""
+    seen: Set[str] = set()
+    stack = list(circuit.fanouts(name))
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(circuit.fanouts(cur))
+    return seen
+
+
+def output_cone(circuit: Circuit, output: str) -> Set[str]:
+    """Transitive fanin cone of one output, including the output itself."""
+    cone = transitive_fanin(circuit, output)
+    cone.add(output)
+    return cone
+
+
+def cone_inputs(circuit: Circuit, output: str) -> List[str]:
+    """Primary inputs feeding one output, in declaration order."""
+    cone = output_cone(circuit, output)
+    return [name for name in circuit.inputs if name in cone]
+
+
+def cones_by_output(circuit: Circuit) -> Dict[str, Set[str]]:
+    """Map each primary output to its transitive fanin cone."""
+    return {out: output_cone(circuit, out) for out in circuit.outputs}
+
+
+def dead_nodes(circuit: Circuit) -> Set[str]:
+    """Nodes that feed no primary output (dangling logic)."""
+    live: Set[str] = set()
+    stack = [out for out in circuit.outputs if out in circuit]
+    while stack:
+        cur = stack.pop()
+        if cur in live:
+            continue
+        live.add(cur)
+        stack.extend(circuit.fanins(cur))
+    return {name for name in circuit} - live
+
+
+def strip_dead_nodes(circuit: Circuit) -> Circuit:
+    """Return a copy of ``circuit`` without dangling logic.
+
+    Primary inputs are kept even when dead (they are part of the interface),
+    matching common netlist-tool behaviour.
+    """
+    dead = dead_nodes(circuit)
+    result = Circuit(circuit.name)
+    for node in circuit.nodes():
+        if node.name in dead and node.type.is_gate:
+            continue
+        if node.type.is_input:
+            result.add_input(node.name)
+        else:
+            result.add_gate(node.name, node.type, node.fanins)
+    result.set_outputs(circuit.outputs)
+    return result

@@ -1,0 +1,65 @@
+"""Structural validation helpers beyond :meth:`Circuit.validate`.
+
+The dominator algorithms assume their input cone is a single-rooted DAG in
+which every vertex can reach the root.  :func:`check_cone` asserts exactly
+that and produces actionable error messages for malformed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .indexed import IndexedGraph
+
+
+def check_cone(graph: IndexedGraph) -> None:
+    """Assert that every vertex of ``graph`` can reach its root.
+
+    Raises
+    ------
+    CircuitError
+        Naming the first few offending vertices.
+    """
+    coreach = graph.coreachable_to(graph.root)
+    stranded = [graph.name_of(v) for v in range(graph.n) if not coreach[v]]
+    if stranded:
+        raise CircuitError(
+            f"{len(stranded)} vertices cannot reach the root, "
+            f"e.g. {stranded[:5]}"
+        )
+    graph.topological_order()  # raises on cycles
+
+
+def check_no_dangling(circuit: Circuit) -> List[str]:
+    """Return gates with zero fanout that are not primary outputs.
+
+    Unused primary inputs (and constants) are part of the interface and
+    therefore not reported.
+    """
+    outputs = set(circuit.outputs)
+    return [
+        node.name
+        for node in circuit.nodes()
+        if node.type.is_gate
+        and circuit.fanout_degree(node.name) == 0
+        and node.name not in outputs
+    ]
+
+
+def assert_well_formed(circuit: Circuit) -> None:
+    """Full-strength validation used by parsers and generators.
+
+    Checks netlist validity, that at least one output exists, and that no
+    gate dangles.
+    """
+    circuit.validate()
+    if not circuit.outputs:
+        raise CircuitError(f"circuit {circuit.name!r} declares no outputs")
+    dangling = check_no_dangling(circuit)
+    if dangling:
+        raise CircuitError(
+            f"circuit {circuit.name!r} has {len(dangling)} dangling "
+            f"gates, e.g. {sorted(dangling)[:5]}"
+        )

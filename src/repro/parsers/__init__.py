@@ -1,0 +1,14 @@
+"""Netlist I/O: ISCAS .bench, BLIF and Graphviz DOT export."""
+
+from . import bench, blif, dot, verilog
+from .dot import chain_to_dot, circuit_to_dot, dominator_tree_to_dot
+
+__all__ = [
+    "bench",
+    "blif",
+    "chain_to_dot",
+    "circuit_to_dot",
+    "dominator_tree_to_dot",
+    "dot",
+    "verilog",
+]

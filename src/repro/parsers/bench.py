@@ -1,0 +1,160 @@
+"""ISCAS-85/89 ``.bench`` netlist reader and writer.
+
+The IWLS'02 benchmarks the paper evaluates on are distributed in this
+format::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Only the combinational subset is supported (``DFF`` raises: dominator
+analysis is defined on the combinational core; unroll or cut sequential
+loops first).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..errors import ParseError
+from ..graph.circuit import Circuit
+from ..graph.node import NodeType, parse_node_type
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^(\S+)\s*=\s*([A-Za-z01]+)\s*\(\s*(.*?)\s*\)$")
+
+_TYPE_TOKENS = {
+    NodeType.BUF: "BUF",
+    NodeType.NOT: "NOT",
+    NodeType.AND: "AND",
+    NodeType.NAND: "NAND",
+    NodeType.OR: "OR",
+    NodeType.NOR: "NOR",
+    NodeType.XOR: "XOR",
+    NodeType.XNOR: "XNOR",
+    NodeType.CONST0: "CONST0",
+    NodeType.CONST1: "CONST1",
+    NodeType.MUX: "MUX",
+}
+
+
+def loads(text: str, name: str = "bench") -> Circuit:
+    """Parse combinational ``.bench`` source into a :class:`Circuit`.
+
+    ``DFF`` lines raise; use :func:`loads_sequential` for netlists with
+    state elements.
+    """
+    circuit, flops, _ = _parse(text, name, allow_dff=False)
+    return circuit
+
+
+def loads_sequential(text: str, name: str = "bench"):
+    """Parse a (possibly sequential) ``.bench`` netlist.
+
+    Flip-flops (``q = DFF(d)``) are cut: *q* becomes the pseudo input
+    ``ppi_q`` of the embedded combinational netlist, and the mapping
+    ``q -> d`` is recorded.  Returns a
+    :class:`~repro.graph.sequential.SequentialCircuit`.
+    """
+    from ..graph.sequential import PSEUDO_INPUT_PREFIX, SequentialCircuit
+
+    circuit, flops, primary_inputs = _parse(text, name, allow_dff=True)
+    return SequentialCircuit(
+        name=name,
+        combinational=circuit,
+        flops=flops,
+        primary_inputs=primary_inputs,
+        primary_outputs=circuit.outputs,
+    )
+
+
+def _parse(text: str, name: str, allow_dff: bool):
+    from ..graph.sequential import PSEUDO_INPUT_PREFIX
+
+    circuit = Circuit(name)
+    outputs: List[str] = []
+    primary_inputs: List[str] = []
+    flops = {}
+    pending: List[Tuple[int, str, NodeType, List[str]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, signal = decl.group(1).upper(), decl.group(2)
+            if kind == "INPUT":
+                circuit.add_input(signal)
+                primary_inputs.append(signal)
+            else:
+                outputs.append(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            target, type_token, args = gate.groups()
+            fanins = [a.strip() for a in args.split(",") if a.strip()]
+            if type_token.upper() == "DFF":
+                if not allow_dff:
+                    raise ParseError(
+                        "sequential element DFF is not supported here; "
+                        "use loads_sequential()",
+                        lineno,
+                    )
+                if len(fanins) != 1:
+                    raise ParseError("DFF takes exactly one input", lineno)
+                # The flop output becomes a pseudo PI; record state map.
+                circuit.add_input(target)
+                flops[target] = fanins[0]
+                continue
+            try:
+                node_type = parse_node_type(type_token)
+            except ValueError as exc:
+                raise ParseError(str(exc), lineno) from exc
+            if node_type.is_constant:
+                circuit.add_constant(
+                    target, 1 if node_type is NodeType.CONST1 else 0
+                )
+            else:
+                circuit.add_gate(target, node_type, fanins)
+            continue
+        raise ParseError(f"unrecognized statement: {line!r}", lineno)
+    circuit.set_outputs(outputs)
+    circuit.validate()
+    return circuit, flops, primary_inputs
+
+
+def load(path: Union[str, Path]) -> Circuit:
+    """Read a combinational ``.bench`` file from disk."""
+    path = Path(path)
+    return loads(path.read_text(), name=path.stem)
+
+
+def load_sequential(path: Union[str, Path]):
+    """Read a (possibly sequential) ``.bench`` file from disk."""
+    path = Path(path)
+    return loads_sequential(path.read_text(), name=path.stem)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text (round-trips with loads)."""
+    lines: List[str] = [f"# {circuit.name}"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for out in circuit.outputs:
+        lines.append(f"OUTPUT({out})")
+    for node in circuit.nodes():
+        if node.type is NodeType.INPUT:
+            continue
+        token = _TYPE_TOKENS[node.type]
+        args = ", ".join(node.fanins)
+        lines.append(f"{node.name} = {token}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(dumps(circuit))

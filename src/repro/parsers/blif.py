@@ -1,0 +1,261 @@
+"""Minimal Berkeley Logic Interchange Format (BLIF) reader and writer.
+
+Supports the combinational subset used by the MCNC benchmarks that appear
+in the paper's Table 1 (alu2, apex5, frg2, ...): ``.model``, ``.inputs``,
+``.outputs``, ``.names`` with single-output cover tables, and ``.end``.
+Cover tables are mapped onto the gate vocabulary when they match a
+standard gate; everything else becomes a generic AND/OR-of-minterm
+expansion so that arbitrary two-level covers still load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from ..graph.circuit import Circuit
+from ..graph.node import NodeType
+
+
+def _classify_cover(
+    rows: Sequence[Tuple[str, str]], fanin_count: int
+) -> Optional[Tuple[NodeType, bool]]:
+    """Recognize a cover as a standard gate.
+
+    Returns ``(gate_type, invert_inputs)`` or ``None`` when the cover is
+    not one of the standard shapes.
+    """
+    if not rows:
+        return None
+    patterns = sorted(row[0] for row in rows)
+    values = {row[1] for row in rows}
+    if len(values) != 1:
+        return None
+    on = values == {"1"}
+    all_ones = "1" * fanin_count
+    all_zeros = "0" * fanin_count
+    if fanin_count == 1:
+        if patterns == ["1"]:
+            return (NodeType.BUF if on else NodeType.NOT, False)
+        if patterns == ["0"]:
+            return (NodeType.NOT if on else NodeType.BUF, False)
+        return None
+    if patterns == [all_ones]:
+        # Single product of positive literals.
+        return (NodeType.AND if on else NodeType.NAND, False)
+    if patterns == [all_zeros]:
+        return (NodeType.NOR if on else NodeType.OR, False)
+    one_hot = sorted(
+        "-" * i + "1" + "-" * (fanin_count - i - 1) for i in range(fanin_count)
+    )
+    if patterns == one_hot:
+        return (NodeType.OR if on else NodeType.NOR, False)
+    zero_hot = sorted(
+        "-" * i + "0" + "-" * (fanin_count - i - 1) for i in range(fanin_count)
+    )
+    if patterns == zero_hot:
+        return (NodeType.NAND if on else NodeType.AND, False)
+    # Parity covers: every fully-specified odd (XOR) or even (XNOR)
+    # pattern, exactly half of the 2^k minterms.
+    if all("-" not in p for p in patterns) and len(patterns) == (
+        1 << (fanin_count - 1)
+    ):
+        ones = {p.count("1") % 2 for p in patterns}
+        if ones == {1}:
+            return (NodeType.XOR if on else NodeType.XNOR, False)
+        if ones == {0}:
+            return (NodeType.XNOR if on else NodeType.XOR, False)
+    return None
+
+
+def loads(text: str, name: str = "blif") -> Circuit:
+    """Parse BLIF source text into a :class:`Circuit`."""
+    # Join continuation lines and strip comments.
+    logical: List[Tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if pending:
+            line = pending + " " + line.strip()
+            lineno = pending_line
+            pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1].strip()
+            pending_line = lineno
+            continue
+        logical.append((lineno, line.strip()))
+    if pending:
+        raise ParseError("dangling line continuation", pending_line)
+
+    circuit = Circuit(name)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    aux_counter = [0]
+
+    def fresh(base: str) -> str:
+        aux_counter[0] += 1
+        return f"_{base}{aux_counter[0]}"
+
+    # Gather .names blocks: (lineno, signals, rows).
+    blocks: List[Tuple[int, List[str], List[Tuple[str, str]]]] = []
+    i = 0
+    while i < len(logical):
+        lineno, line = logical[i]
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            if len(tokens) > 1:
+                circuit.name = tokens[1]
+            i += 1
+        elif directive == ".inputs":
+            inputs.extend(tokens[1:])
+            i += 1
+        elif directive == ".outputs":
+            outputs.extend(tokens[1:])
+            i += 1
+        elif directive == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise ParseError(".names requires at least an output", lineno)
+            rows: List[Tuple[str, str]] = []
+            i += 1
+            while i < len(logical) and not logical[i][1].startswith("."):
+                row_line, row = logical[i]
+                parts = row.split()
+                if len(signals) == 1:
+                    if len(parts) != 1 or parts[0] not in ("0", "1"):
+                        raise ParseError("bad constant row", row_line)
+                    rows.append(("", parts[0]))
+                else:
+                    if len(parts) != 2:
+                        raise ParseError("bad cover row", row_line)
+                    if len(parts[0]) != len(signals) - 1:
+                        raise ParseError(
+                            "cover width does not match fanin count", row_line
+                        )
+                    rows.append((parts[0], parts[1]))
+                i += 1
+            blocks.append((lineno, signals, rows))
+        elif directive == ".end":
+            i += 1
+        elif directive in (".latch", ".subckt", ".gate"):
+            raise ParseError(
+                f"unsupported BLIF construct {directive} (combinational "
+                "subset only)",
+                lineno,
+            )
+        else:
+            raise ParseError(f"unknown directive {directive}", lineno)
+
+    for pi in inputs:
+        circuit.add_input(pi)
+
+    for lineno, signals, rows in blocks:
+        target = signals[-1]
+        fanins = signals[:-1]
+        if not fanins:
+            value = rows[0][1] if rows else "0"
+            circuit.add_constant(target, int(value))
+            continue
+        classified = _classify_cover(rows, len(fanins))
+        if classified is not None:
+            circuit.add_gate(target, classified[0], fanins)
+            continue
+        # Generic sum-of-products expansion.
+        on_rows = [r for r in rows if r[1] == "1"]
+        complemented = False
+        if not on_rows:
+            on_rows = [r for r in rows if r[1] == "0"]
+            complemented = True
+        products: List[str] = []
+        for pattern, _ in on_rows:
+            literals: List[str] = []
+            for bit, signal in zip(pattern, fanins):
+                if bit == "1":
+                    literals.append(signal)
+                elif bit == "0":
+                    inv = fresh("not")
+                    circuit.add_gate(inv, NodeType.NOT, [signal])
+                    literals.append(inv)
+            if not literals:
+                raise ParseError("all-dontcare cover row", lineno)
+            if len(literals) == 1:
+                products.append(literals[0])
+            else:
+                prod = fresh("and")
+                circuit.add_gate(prod, NodeType.AND, literals)
+                products.append(prod)
+        final_type = NodeType.NOR if complemented else NodeType.OR
+        if len(products) == 1 and not complemented:
+            circuit.add_gate(target, NodeType.BUF, products)
+        else:
+            circuit.add_gate(target, final_type, products)
+
+    circuit.set_outputs(outputs)
+    circuit.validate()
+    return circuit
+
+
+def load(path: Union[str, Path]) -> Circuit:
+    """Read a BLIF file from disk."""
+    path = Path(path)
+    return loads(path.read_text(), name=path.stem)
+
+
+_COVER_OF: Dict[NodeType, str] = {
+    NodeType.BUF: "1 1",
+    NodeType.NOT: "0 1",
+}
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize a circuit to BLIF text (round-trips with loads)."""
+    lines = [f".model {circuit.name}"]
+    lines.append(".inputs " + " ".join(circuit.inputs))
+    lines.append(".outputs " + " ".join(circuit.outputs))
+    for node in circuit.nodes():
+        if node.type is NodeType.INPUT:
+            continue
+        sig = " ".join(list(node.fanins) + [node.name])
+        k = len(node.fanins)
+        lines.append(f".names {sig}")
+        if node.type is NodeType.CONST0:
+            pass  # empty cover = constant 0
+        elif node.type is NodeType.CONST1:
+            lines.append("1")
+        elif node.type in _COVER_OF:
+            lines.append(_COVER_OF[node.type])
+        elif node.type is NodeType.AND:
+            lines.append("1" * k + " 1")
+        elif node.type is NodeType.NAND:
+            lines.append("1" * k + " 0")
+        elif node.type is NodeType.OR:
+            for i in range(k):
+                lines.append("-" * i + "1" + "-" * (k - i - 1) + " 1")
+        elif node.type is NodeType.NOR:
+            lines.append("0" * k + " 1")
+        elif node.type in (NodeType.XOR, NodeType.XNOR):
+            odd = node.type is NodeType.XOR
+            for mask in range(1 << k):
+                ones = bin(mask).count("1")
+                if (ones % 2 == 1) == odd:
+                    pattern = "".join(
+                        "1" if mask >> (k - 1 - i) & 1 else "0" for i in range(k)
+                    )
+                    lines.append(pattern + " 1")
+        elif node.type is NodeType.MUX:
+            lines.append("01- 1")  # sel=0 -> a
+            lines.append("1-1 1")  # sel=1 -> b
+        else:  # pragma: no cover - exhaustive over NodeType
+            raise ParseError(f"cannot serialize node type {node.type}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to a BLIF file."""
+    Path(path).write_text(dumps(circuit))

@@ -1,0 +1,97 @@
+"""Tests for dominator-partitioned exact signal probability."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import (
+    DominatorPartitionedProbability,
+    SupportExplosion,
+    evaluate,
+    exact_signal_probabilities,
+    naive_signal_probabilities,
+)
+from repro.circuits.generators import (
+    carry_select_adder,
+    parity_tree,
+    random_single_output,
+)
+from repro.graph import CircuitBuilder
+
+
+def _truth_table_probability(circuit, net, input_probs=None):
+    total = 0.0
+    inputs = circuit.inputs
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        weight = 1.0
+        for name, bit in zip(inputs, bits):
+            p = 0.5 if input_probs is None else input_probs.get(name, 0.5)
+            weight *= p if bit else 1 - p
+        if weight and evaluate(circuit, dict(zip(inputs, bits)))[net]:
+            total += weight
+    return total
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_truth_table(self, seed):
+        circuit = random_single_output(4, 18, seed=seed)
+        out = circuit.outputs[0]
+        probs = exact_signal_probabilities(circuit, out)
+        for net in probs:
+            assert probs[net] == pytest.approx(
+                _truth_table_probability(circuit, net), abs=1e-12
+            )
+
+    def test_biased_inputs(self):
+        circuit = random_single_output(3, 10, seed=5)
+        out = circuit.outputs[0]
+        bias = {circuit.inputs[0]: 0.9, circuit.inputs[1]: 0.1}
+        probs = exact_signal_probabilities(circuit, out, input_probs=bias)
+        assert probs[out] == pytest.approx(
+            _truth_table_probability(circuit, out, bias), abs=1e-12
+        )
+
+    def test_contradiction_is_zero(self):
+        """P[a AND NOT a] must be exactly 0 (naive says 0.25)."""
+        b = CircuitBuilder()
+        a = b.input("a")
+        f = b.and_(a, b.not_(a), name="f")
+        circuit = b.finish([f])
+        assert exact_signal_probabilities(circuit)["f"] == 0.0
+        assert naive_signal_probabilities(circuit)["f"] == 0.25
+
+    def test_peak_support_reported(self):
+        circuit = carry_select_adder(6, block=3)
+        analysis = DominatorPartitionedProbability(
+            circuit, circuit.outputs[-1]
+        )
+        assert analysis.peak_support >= 1
+        assert analysis.probability(circuit.outputs[-1]) == pytest.approx(
+            0.5, abs=0.2
+        )
+
+    def test_support_explosion_guard(self):
+        circuit = carry_select_adder(8, block=4)
+        with pytest.raises(SupportExplosion):
+            exact_signal_probabilities(
+                circuit, circuit.outputs[-1], max_support=1
+            )
+
+
+class TestNaive:
+    def test_exact_on_trees(self):
+        """Without reconvergence the naive propagation is already exact."""
+        circuit = parity_tree(8)
+        naive = naive_signal_probabilities(circuit)
+        exact = exact_signal_probabilities(circuit)
+        for net in exact:
+            assert naive[net] == pytest.approx(exact[net], abs=1e-12)
+
+    def test_wrong_under_reconvergence(self):
+        circuit = carry_select_adder(6, block=3)
+        out = circuit.outputs[-1]
+        naive = naive_signal_probabilities(circuit)
+        exact = exact_signal_probabilities(circuit, out)
+        worst = max(abs(naive[n] - exact[n]) for n in exact)
+        assert worst > 0.01

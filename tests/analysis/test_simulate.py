@@ -1,0 +1,87 @@
+"""Tests for the logic simulators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import VectorSimulator, evaluate
+from repro.circuits.generators import random_single_output
+from repro.errors import CircuitError
+from repro.graph import CircuitBuilder
+
+
+class TestEvaluate:
+    def test_full_adder_truth_table(self):
+        b = CircuitBuilder()
+        a, bb, cin = b.inputs("a", "b", "cin")
+        p = b.xor(a, bb)
+        s = b.xor(p, cin, name="sum")
+        co = b.or_(b.and_(a, bb), b.and_(p, cin), name="cout")
+        c = b.finish([s, co])
+        for x, y, z in itertools.product((0, 1), repeat=3):
+            vals = evaluate(c, {"a": x, "b": y, "cin": z})
+            assert vals["sum"] == (x + y + z) % 2
+            assert vals["cout"] == (x + y + z) // 2
+
+    def test_missing_input_rejected(self, fig2):
+        with pytest.raises(CircuitError):
+            evaluate(fig2, {})
+
+    def test_constants(self):
+        b = CircuitBuilder()
+        one = b.constant(1)
+        x = b.input("x")
+        c = b.finish([b.and_(one, x, name="y")])
+        assert evaluate(c, {"x": 1})["y"] == 1
+        assert evaluate(c, {"x": 0})["y"] == 0
+
+
+class TestVectorSimulator:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_evaluation(self, seed):
+        circuit = random_single_output(4, 20, seed=seed)
+        sim = VectorSimulator(circuit)
+        vectors = {
+            name: np.array([0, 1, 0, 1], dtype=bool)
+            if i % 2
+            else np.array([0, 0, 1, 1], dtype=bool)
+            for i, name in enumerate(circuit.inputs)
+        }
+        batch = sim.run(vectors)
+        for row in range(4):
+            env = {name: int(vec[row]) for name, vec in vectors.items()}
+            scalar = evaluate(circuit, env)
+            for net, arr in batch.items():
+                assert int(arr[row]) == scalar[net]
+
+    def test_mismatched_lengths_rejected(self):
+        circuit = random_single_output(2, 5, seed=0)
+        sim = VectorSimulator(circuit)
+        with pytest.raises(CircuitError):
+            sim.run(
+                {
+                    circuit.inputs[0]: np.zeros(4, dtype=bool),
+                    circuit.inputs[1]: np.zeros(5, dtype=bool),
+                }
+            )
+
+    def test_input_probabilities_respected(self):
+        circuit = random_single_output(2, 4, seed=1)
+        sim = VectorSimulator(circuit)
+        probs = sim.monte_carlo_probabilities(
+            num_vectors=20000,
+            seed=3,
+            input_probs={circuit.inputs[0]: 0.9},
+        )
+        assert probs[circuit.inputs[0]] == pytest.approx(0.9, abs=0.02)
+
+    def test_switching_estimate_near_2p1p(self):
+        circuit = random_single_output(3, 6, seed=2)
+        sim = VectorSimulator(circuit)
+        probs = sim.monte_carlo_probabilities(40000, seed=5)
+        switching = sim.monte_carlo_switching(40000, seed=5)
+        for net, p in probs.items():
+            assert switching[net] == pytest.approx(
+                2 * p * (1 - p), abs=0.02
+            )

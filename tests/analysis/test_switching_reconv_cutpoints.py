@@ -1,0 +1,111 @@
+"""Tests for switching activity, reconvergence reports and cut points."""
+
+import pytest
+
+from repro.analysis import (
+    activity_from_probability,
+    average_power_proxy,
+    common_single_cutpoints,
+    reconvergence_report,
+    reconvergence_summary,
+    select_cut_frontiers,
+    switching_activities,
+    verify_frontier,
+)
+from repro.circuits.generators import (
+    array_multiplier,
+    parity_tree,
+    random_single_output,
+)
+from repro.graph import IndexedGraph
+
+
+class TestSwitching:
+    def test_activity_formula(self):
+        assert activity_from_probability(0.5) == 0.5
+        assert activity_from_probability(0.0) == 0.0
+        assert activity_from_probability(1.0) == 0.0
+
+    def test_activities_bounded(self):
+        circuit = random_single_output(4, 15, seed=1)
+        acts = switching_activities(circuit, circuit.outputs[0])
+        assert all(0.0 <= a <= 0.5 for a in acts.values())
+
+    def test_exact_vs_naive_differ_under_reconvergence(self):
+        circuit = random_single_output(4, 25, seed=6)
+        out = circuit.outputs[0]
+        exact = average_power_proxy(circuit, out, exact=True)
+        naive = average_power_proxy(circuit, out, exact=False)
+        assert exact > 0 and naive > 0
+
+    def test_custom_load(self):
+        circuit = random_single_output(3, 8, seed=2)
+        out = circuit.outputs[0]
+        acts = switching_activities(circuit, out)
+        heavy = average_power_proxy(
+            circuit, out, load={n: 10.0 for n in acts}
+        )
+        light = average_power_proxy(
+            circuit, out, load={n: 1.0 for n in acts}
+        )
+        assert heavy == pytest.approx(10 * light)
+
+
+class TestReconvergence:
+    def test_tree_has_no_nontrivial_origins(self):
+        graph = IndexedGraph.from_circuit(parity_tree(8))
+        assert reconvergence_report(graph) == []
+
+    def test_figure2_origins(self, fig2_graph):
+        report = reconvergence_report(fig2_graph)
+        origins = {r.origin for r in report}
+        # Multi-fanout vertices of Figure 2: u, a, d, t.
+        assert origins == {"u", "a", "d", "t"}
+        by_origin = {r.origin: r for r in report}
+        assert by_origin["u"].convergence == "t"
+        assert set(by_origin["u"].double_cut) == {"a", "b"}
+        assert by_origin["t"].convergence == "f"
+        assert set(by_origin["t"].double_cut) == {"k", "l"}
+
+    def test_double_cut_never_farther(self, fig2_graph):
+        for entry in reconvergence_report(fig2_graph):
+            if entry.double_span is not None:
+                assert entry.double_span <= entry.span
+
+    def test_summary_on_multiplier(self):
+        graph = IndexedGraph.from_circuit(
+            array_multiplier(4), array_multiplier(4).outputs[-2]
+        )
+        summary = reconvergence_summary(graph)
+        assert summary["origins"] > 0
+        assert summary["with_double_cut"] <= summary["origins"]
+
+
+class TestCutpoints:
+    def test_figure2_single_cutpoints(self, fig2_graph):
+        g = fig2_graph
+        cuts = common_single_cutpoints(g)
+        assert [g.name_of(v) for v in cuts] == ["t", "f"]
+
+    def test_frontiers_verified(self, fig2):
+        graph = IndexedGraph.from_circuit(fig2)
+        for frontier in select_cut_frontiers(fig2):
+            assert verify_frontier(graph, frontier.nets)
+
+    def test_frontier_widths(self, fig2):
+        frontiers = select_cut_frontiers(fig2)
+        singles = [f for f in frontiers if f.width == 1]
+        assert [f.nets for f in singles] == [("t",)]
+        doubles = [f for f in frontiers if f.width == 2]
+        assert len(doubles) == 12
+
+    def test_include_root_flag(self, fig2):
+        frontiers = select_cut_frontiers(fig2, include_root=True)
+        assert ("f",) in [f.nets for f in frontiers if f.width == 1]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits_all_verified(self, seed):
+        circuit = random_single_output(5, 30, seed=seed)
+        graph = IndexedGraph.from_circuit(circuit)
+        for frontier in select_cut_frontiers(circuit):
+            assert verify_frontier(graph, frontier.nets)

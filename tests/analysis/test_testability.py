@@ -1,0 +1,175 @@
+"""Tests for COP testability and the dominator observability bound."""
+
+import pytest
+
+from repro.analysis.testability import (
+    cop_controllability,
+    cop_observability,
+    detectability,
+    dominator_detectability_profile,
+    fault_detectability_exact,
+)
+from repro.circuits.generators import parity_tree, random_single_output
+from repro.graph import CircuitBuilder
+
+
+class TestControllability:
+    def test_inputs_default_half(self):
+        circuit = parity_tree(4)
+        c1 = cop_controllability(circuit)
+        for pi in circuit.inputs:
+            assert c1[pi] == 0.5
+
+    def test_and_chain_decays(self):
+        b = CircuitBuilder()
+        xs = b.inputs("a", "b", "c", "d")
+        out = b.and_tree(xs, name="out")
+        circuit = b.finish([out])
+        c1 = cop_controllability(circuit)
+        assert c1["out"] == pytest.approx(1 / 16)
+
+
+class TestObservability:
+    def test_output_is_fully_observable(self):
+        circuit = random_single_output(4, 15, seed=2)
+        obs = cop_observability(circuit, circuit.outputs[0])
+        assert obs[circuit.outputs[0]] == 1.0
+
+    def test_values_in_unit_interval(self):
+        circuit = random_single_output(5, 30, seed=4)
+        obs = cop_observability(circuit, circuit.outputs[0])
+        assert all(0.0 <= p <= 1.0 for p in obs.values())
+
+    def test_and_side_input_gates_observability(self):
+        """obs through an AND equals the other input's 1-controllability."""
+        b = CircuitBuilder()
+        a, bb = b.inputs("a", "b")
+        out = b.and_(a, bb, name="out")
+        circuit = b.finish([out])
+        obs = cop_observability(circuit)
+        assert obs["a"] == pytest.approx(0.5)
+
+    def test_xor_is_transparent(self):
+        b = CircuitBuilder()
+        a, bb = b.inputs("a", "b")
+        out = b.xor(a, bb, name="out")
+        circuit = b.finish([out])
+        obs = cop_observability(circuit)
+        assert obs["a"] == 1.0 and obs["b"] == 1.0
+
+    def test_mux_select_observability(self):
+        b = CircuitBuilder()
+        s, x, y = b.inputs("s", "x", "y")
+        out = b.mux(s, x, y, name="out")
+        circuit = b.finish([out])
+        obs = cop_observability(circuit)
+        assert obs["s"] == pytest.approx(0.5)  # P(x != y)
+        assert obs["x"] == pytest.approx(0.5)  # selected when s = 0
+
+
+class TestDetectability:
+    def test_resistant_fault_found(self):
+        """A wide AND's stuck-at-0 on the output needs all-ones: rare."""
+        b = CircuitBuilder()
+        xs = b.input_bus("x", 8)
+        out = b.and_tree(xs, name="out")
+        circuit = b.finish([out])
+        table, resistant = detectability(circuit, resistant_threshold=0.01)
+        assert table["out"].stuck_at_0 == pytest.approx(1 / 256)
+        assert "out" in resistant
+
+    def test_balanced_xor_not_resistant(self):
+        circuit = parity_tree(8)
+        table, resistant = detectability(
+            circuit, resistant_threshold=0.01
+        )
+        assert resistant == []
+
+
+class TestDominatorProfile:
+    def test_gated_probe_detectability(self):
+        """A probe gated by a rarely-true wide AND: the exact
+        detectability collapses to the gating probability (COP's
+        single-path estimate cannot see the correlation)."""
+        b = CircuitBuilder()
+        xs = b.input_bus("x", 6)
+        probe = b.input("probe")
+        wide = b.and_tree(list(xs))  # P[wide=1] = 1/64
+        mix = b.xor(probe, b.buf(wide))
+        gate = b.and_(mix, wide, name="out")
+        circuit = b.finish([gate])
+        exact = fault_detectability_exact(circuit, "probe", 0)
+        # Detection needs wide == 1 (to sensitize the AND) and probe == 1
+        # (to activate stuck-at-0): exactly 1/128.
+        assert exact == pytest.approx(1 / 128)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_profile_monotone_and_matches_simulation(self, seed):
+        """Monotone non-increasing along the chain, and the last entry
+        equals the exhaustive-simulation detectability."""
+        import itertools
+
+        from repro.analysis import evaluate
+
+        circuit = random_single_output(4, 16, seed=seed)
+        out = circuit.outputs[0]
+        from repro.graph import IndexedGraph
+
+        graph = IndexedGraph.from_circuit(circuit, out)
+        nets = [graph.name_of(v) for v in range(graph.n) if v != graph.root]
+        for net in nets[:5]:
+            for stuck in (0, 1):
+                profile = dominator_detectability_profile(
+                    circuit, net, stuck, out
+                )
+                values = [p for _, p in profile]
+                assert all(
+                    a >= b - 1e-12 for a, b in zip(values, values[1:])
+                )
+                # Exhaustive reference for the output entry.
+                inputs = [
+                    graph.name_of(s)
+                    for s in graph.sources()
+                ]
+                detected = 0
+                for bits in itertools.product((0, 1), repeat=len(inputs)):
+                    env = dict(zip(inputs, bits))
+                    good = evaluate(circuit, env)
+                    if good[net] == stuck:
+                        continue  # fault not activated -> same values
+                    # Re-simulate with the net forced (tiny circuits).
+                    forced = _simulate_with_forced(circuit, env, net, stuck)
+                    if forced[out] != good[out]:
+                        detected += 1
+                expected = detected / (1 << len(inputs))
+                assert values[-1] == pytest.approx(expected)
+
+    def test_bad_stuck_value_rejected(self):
+        circuit = random_single_output(3, 8, seed=1)
+        with pytest.raises(ValueError):
+            dominator_detectability_profile(
+                circuit, circuit.inputs[0], 2, circuit.outputs[0]
+            )
+
+    def test_root_has_empty_profile(self):
+        circuit = random_single_output(3, 8, seed=2)
+        out = circuit.outputs[0]
+        assert dominator_detectability_profile(circuit, out, 0, out) == []
+
+
+def _simulate_with_forced(circuit, env, forced_net, value):
+    """Evaluate with one internal net overridden (fault simulation)."""
+    from repro.graph.node import NodeType, evaluate_gate
+
+    values = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.type is NodeType.INPUT:
+            values[name] = env[name]
+        else:
+            values[name] = evaluate_gate(
+                node.type, [values[f] for f in node.fanins]
+            )
+        if name == forced_net:
+            values[name] = value
+    return values

@@ -1,0 +1,97 @@
+"""Tests for (statistical) timing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DelayModel,
+    MonteCarloTiming,
+    cut_criticality,
+    static_arrival_times,
+)
+from repro.circuits.generators import (
+    carry_select_adder,
+    cascade,
+    parity_tree,
+)
+from repro.graph import CircuitBuilder, IndexedGraph, levels_from_inputs
+
+
+class TestStatic:
+    def test_unit_delays_equal_levels(self, fig2):
+        arrival = static_arrival_times(fig2)
+        graph = IndexedGraph.from_circuit(fig2)
+        levels = levels_from_inputs(graph)
+        for v in range(graph.n):
+            assert arrival[graph.name_of(v)] == levels[v]
+
+    def test_custom_delays(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        x = b.not_(a, name="x")
+        y = b.not_(x, name="y")
+        circuit = b.finish([y])
+        arrival = static_arrival_times(circuit, {"x": 3.0, "y": 0.5})
+        assert arrival["y"] == 3.5
+
+
+class TestMonteCarlo:
+    def test_zero_sigma_matches_static(self):
+        circuit = carry_select_adder(4, 2)
+        out = circuit.outputs[-1]
+        timing = MonteCarloTiming(
+            circuit, out, num_samples=16, model=DelayModel(sigma=0.0)
+        )
+        static = static_arrival_times(circuit)
+        stats = timing.arrival_statistics()
+        assert stats[out].std == pytest.approx(0.0, abs=1e-12)
+        assert stats[out].mean == pytest.approx(static[out])
+
+    def test_statistics_are_ordered(self):
+        circuit = cascade(depth=10, num_inputs=4, num_outputs=1)
+        timing = MonteCarloTiming(circuit, num_samples=512, seed=3)
+        stats = timing.arrival_statistics()
+        root = circuit.outputs[0]
+        assert stats[root].q95 >= stats[root].mean
+        assert stats[root].std > 0
+
+    def test_samples_shape(self):
+        circuit = parity_tree(4)
+        timing = MonteCarloTiming(circuit, num_samples=64)
+        assert timing.output_distribution().shape == (64,)
+
+    def test_deterministic_per_seed(self):
+        circuit = cascade(depth=6, num_inputs=4, num_outputs=1)
+        a = MonteCarloTiming(circuit, num_samples=32, seed=11)
+        b = MonteCarloTiming(circuit, num_samples=32, seed=11)
+        assert np.array_equal(
+            a.output_distribution(), b.output_distribution()
+        )
+
+
+class TestCutCriticality:
+    def test_probabilities_complementary(self):
+        circuit = cascade(depth=15, num_inputs=5, num_outputs=1)
+        report = cut_criticality(circuit, num_samples=256, seed=1)
+        assert report  # cascades are full of 2-cut frontiers
+        for entry in report:
+            assert 0.0 <= entry.p_first <= 1.0
+            assert entry.p_first + entry.p_second <= 1.0 + 1e-9
+            assert 0.0 <= entry.balance <= 1.0
+
+    def test_tree_frontier_is_root_children(self):
+        """A balanced tree has no per-vertex dominator pairs, but the PI
+        *set* is jointly cut by the root's two children — exactly one
+        frontier."""
+        circuit = parity_tree(8)
+        report = cut_criticality(circuit, num_samples=128, seed=2)
+        assert len(report) == 1
+        root_fanins = set(circuit.node(circuit.outputs[0]).fanins)
+        assert set(report[0].nets) == root_fanins
+
+    def test_max_frontiers_cap(self):
+        circuit = cascade(depth=20, num_inputs=5, num_outputs=1)
+        report = cut_criticality(
+            circuit, num_samples=64, max_frontiers=3
+        )
+        assert len(report) <= 3

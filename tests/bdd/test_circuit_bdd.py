@@ -1,0 +1,122 @@
+"""Tests for circuit→BDD construction and cut-point equivalence."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.bdd import (
+    BDDManager,
+    CutpointError,
+    build_net_bdds,
+    check_equivalence,
+    output_bdd,
+    partitioned_output_bdd,
+)
+from repro.circuits.generators import (
+    carry_lookahead_adder,
+    cascade,
+    kogge_stone_adder,
+    random_single_output,
+    ripple_carry_adder,
+)
+from repro.graph import CircuitBuilder
+
+
+class TestBuild:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bdd_matches_simulation(self, seed):
+        circuit = random_single_output(4, 18, seed=seed)
+        manager, root = output_bdd(circuit, circuit.outputs[0])
+        order = circuit.inputs
+        for bits in itertools.product((0, 1), repeat=len(order)):
+            env = dict(zip(order, bits))
+            expected = evaluate(circuit, env)[circuit.outputs[0]]
+            got = manager.evaluate(root, dict(enumerate(bits)))
+            assert got == expected
+
+    def test_constants_and_mux(self):
+        b = CircuitBuilder()
+        s, x = b.inputs("s", "x")
+        one = b.constant(1)
+        m = b.mux(s, x, one, name="m")
+        circuit = b.finish([m])
+        manager, root = output_bdd(circuit, "m")
+        for sv, xv in itertools.product((0, 1), repeat=2):
+            assert manager.evaluate(root, {0: sv, 1: xv}) == (
+                1 if sv else xv
+            )
+
+    def test_multi_output_requires_choice(self):
+        from repro.circuits.generators import random_circuit
+
+        circuit = random_circuit(3, 10, num_outputs=2, seed=1)
+        with pytest.raises(CutpointError):
+            output_bdd(circuit)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("width", [3, 5])
+    def test_three_adders_equivalent(self, width):
+        rca = ripple_carry_adder(width, with_cin=True)
+        ks = kogge_stone_adder(width)
+        cla = carry_lookahead_adder(width)
+        assert check_equivalence(
+            rca, ks, outputs=list(zip(rca.outputs, ks.outputs))
+        )
+        assert check_equivalence(
+            rca, cla, outputs=list(zip(rca.outputs, cla.outputs))
+        )
+
+    def test_inequivalence_detected(self):
+        b1 = CircuitBuilder()
+        a, bb = b1.inputs("a", "b")
+        c1 = b1.finish([b1.and_(a, bb, name="y")])
+        b2 = CircuitBuilder()
+        a, bb = b2.inputs("a", "b")
+        c2 = b2.finish([b2.or_(a, bb, name="y")])
+        assert not check_equivalence(c1, c2)
+
+    def test_different_inputs_rejected(self):
+        b1 = CircuitBuilder()
+        (a,) = b1.inputs("a")
+        c1 = b1.finish([b1.not_(a, name="y")])
+        b2 = CircuitBuilder()
+        (z,) = b2.inputs("z")
+        c2 = b2.finish([b2.not_(z, name="y")])
+        with pytest.raises(CutpointError):
+            check_equivalence(c1, c2)
+
+
+class TestPartitioned:
+    @pytest.mark.parametrize("depth", [12, 30])
+    def test_composition_is_lossless(self, depth):
+        circuit = cascade(depth=depth, num_inputs=5, num_outputs=1, seed=4)
+        proof = partitioned_output_bdd(circuit)
+        assert proof.composed_matches
+        assert proof.peak_partitioned > 0
+
+    def test_explicit_frontier(self, fig2):
+        proof = partitioned_output_bdd(fig2, frontier=("k", "l"))
+        assert proof.composed_matches
+        assert proof.frontier == ("k", "l")
+
+    def test_every_figure2_frontier_composes(self, fig2):
+        from repro.analysis import select_cut_frontiers
+
+        for frontier in select_cut_frontiers(fig2):
+            if frontier.width != 2:
+                continue
+            proof = partitioned_output_bdd(fig2, frontier=frontier.nets)
+            assert proof.composed_matches, frontier
+
+    def test_no_frontier_raises(self):
+        from repro.circuits.generators import parity_tree
+
+        # A tree's only 2-frontier is the root's children — remove it by
+        # testing a 2-input tree whose "frontier" would be the PIs.
+        b = CircuitBuilder()
+        a, bb = b.inputs("a", "b")
+        circuit = b.finish([b.and_(a, bb, name="y")])
+        with pytest.raises(CutpointError):
+            partitioned_output_bdd(circuit)

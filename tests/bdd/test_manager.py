@@ -1,0 +1,176 @@
+"""Tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import ONE, ZERO, BddError, BDDManager
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.and_() == ONE
+        assert mgr.or_() == ZERO
+        assert mgr.not_(ZERO) == ONE
+        assert mgr.not_(ONE) == ZERO
+
+    def test_var_and_negation(self, mgr):
+        x = mgr.var(0)
+        assert mgr.evaluate(x, {0: 1}) == 1
+        assert mgr.evaluate(mgr.not_(x), {0: 1}) == 0
+
+    def test_canonicity(self, mgr):
+        """Equivalent formulas share the same node — the ROBDD property."""
+        x, y = mgr.var(0), mgr.var(1)
+        demorgan_a = mgr.not_(mgr.and_(x, y))
+        demorgan_b = mgr.or_(mgr.not_(x), mgr.not_(y))
+        assert demorgan_a == demorgan_b
+        assert mgr.xor(x, y) == mgr.xor(y, x)
+        assert mgr.and_(x, mgr.not_(x)) == ZERO
+        assert mgr.or_(x, mgr.not_(x)) == ONE
+
+    def test_negative_level_rejected(self, mgr):
+        with pytest.raises(BddError):
+            mgr.var(-1)
+
+    def test_node_budget(self):
+        small = BDDManager(max_nodes=4)
+        with pytest.raises(BddError):
+            small.xor(small.var(0), small.var(1), small.var(2))
+
+    def test_missing_assignment(self, mgr):
+        x = mgr.var(3)
+        with pytest.raises(BddError):
+            mgr.evaluate(x, {})
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,pyop",
+        [
+            ("and_", lambda a, b: a & b),
+            ("or_", lambda a, b: a | b),
+            ("xor", lambda a, b: a ^ b),
+            ("nand", lambda a, b: 1 - (a & b)),
+            ("nor", lambda a, b: 1 - (a | b)),
+            ("xnor", lambda a, b: 1 - (a ^ b)),
+        ],
+    )
+    def test_binary_truth_tables(self, mgr, op, pyop):
+        x, y = mgr.var(0), mgr.var(1)
+        f = getattr(mgr, op)(x, y)
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert mgr.evaluate(f, {0: a, 1: b}) == pyop(a, b)
+
+    def test_mux(self, mgr):
+        s, a, b = mgr.var(0), mgr.var(1), mgr.var(2)
+        f = mgr.mux(s, a, b)
+        for sv, av, bv in itertools.product((0, 1), repeat=3):
+            assert mgr.evaluate(f, {0: sv, 1: av, 2: bv}) == (
+                bv if sv else av
+            )
+
+    def test_restrict(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        f = mgr.and_(x, y)
+        assert mgr.restrict(f, 0, 1) == y
+        assert mgr.restrict(f, 0, 0) == ZERO
+
+    def test_compose(self, mgr):
+        x, y, z = mgr.var(0), mgr.var(1), mgr.var(2)
+        f = mgr.and_(x, y)
+        g = mgr.or_(y, z)
+        composed = mgr.compose(f, 0, g)  # (y|z) & y == y
+        assert composed == y
+
+    def test_support_and_size(self, mgr):
+        x, z = mgr.var(0), mgr.var(2)
+        f = mgr.xor(x, z)
+        assert mgr.support(f) == [0, 2]
+        assert mgr.size(f) == 3  # x node + two z nodes
+        assert mgr.size(ONE) == 0
+
+
+class TestCounting:
+    def test_sat_count(self, mgr):
+        x, y, z = mgr.var(0), mgr.var(1), mgr.var(2)
+        assert mgr.sat_count(mgr.and_(x, y), 3) == 2
+        assert mgr.sat_count(mgr.or_(x, y, z), 3) == 7
+        assert mgr.sat_count(ONE, 3) == 8
+        assert mgr.sat_count(ZERO, 3) == 0
+        assert mgr.sat_count(mgr.xor(x, y, z), 3) == 4
+
+    def test_any_sat(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        f = mgr.and_(x, mgr.not_(y))
+        model = mgr.any_sat(f)
+        assert model == {0: 1, 1: 0}
+        assert mgr.any_sat(ZERO) is None
+        assert mgr.any_sat(ONE) == {}
+
+
+@st.composite
+def formulas(draw, num_vars=4, depth=4):
+    """A random formula as (builder, python evaluator) pair."""
+    if depth == 0 or draw(st.booleans()) and depth < 3:
+        idx = draw(st.integers(0, num_vars - 1))
+        return ("var", idx)
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ("not", draw(formulas(num_vars=num_vars, depth=depth - 1)))
+    return (
+        op,
+        draw(formulas(num_vars=num_vars, depth=depth - 1)),
+        draw(formulas(num_vars=num_vars, depth=depth - 1)),
+    )
+
+
+def _build(mgr, tree):
+    if tree[0] == "var":
+        return mgr.var(tree[1])
+    if tree[0] == "not":
+        return mgr.not_(_build(mgr, tree[1]))
+    a = _build(mgr, tree[1])
+    b = _build(mgr, tree[2])
+    return {"and": mgr.and_, "or": mgr.or_, "xor": mgr.xor}[tree[0]](a, b)
+
+
+def _eval(tree, env):
+    if tree[0] == "var":
+        return env[tree[1]]
+    if tree[0] == "not":
+        return 1 - _eval(tree[1], env)
+    a = _eval(tree[1], env)
+    b = _eval(tree[2], env)
+    return {"and": a & b, "or": a | b, "xor": a ^ b}[tree[0]]
+
+
+@given(formulas())
+@settings(max_examples=80, deadline=None)
+def test_bdd_matches_formula_semantics(tree):
+    mgr = BDDManager()
+    f = _build(mgr, tree)
+    for bits in itertools.product((0, 1), repeat=4):
+        env = dict(enumerate(bits))
+        assert mgr.evaluate(f, env) == _eval(tree, env)
+
+
+@given(formulas(), formulas())
+@settings(max_examples=60, deadline=None)
+def test_canonicity_random(tree_a, tree_b):
+    """Two formulas get the same node iff they are logically equal."""
+    mgr = BDDManager()
+    fa, fb = _build(mgr, tree_a), _build(mgr, tree_b)
+    equal_semantically = all(
+        _eval(tree_a, dict(enumerate(bits)))
+        == _eval(tree_b, dict(enumerate(bits)))
+        for bits in itertools.product((0, 1), repeat=4)
+    )
+    assert (fa == fb) == equal_semantically

@@ -1,0 +1,156 @@
+"""Functional tests for the prefix/CRC/sorter generator families."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.circuits.generators import (
+    POLYNOMIALS,
+    batcher_sorter,
+    crc_circuit,
+    crc_reference,
+    kogge_stone_adder,
+    majority_network,
+    prefix_or_network,
+)
+from repro.graph import assert_well_formed
+
+
+def _drive(circuit, **buses):
+    env = {}
+    for prefix, value in buses.items():
+        width = sum(
+            1
+            for name in circuit.inputs
+            if name.startswith(prefix) and name[len(prefix):].isdigit()
+        )
+        for i in range(width):
+            env[f"{prefix}{i}"] = (value >> i) & 1
+    return env
+
+
+def _num(values, names):
+    return sum(values[name] << i for i, name in enumerate(names))
+
+
+class TestKoggeStone:
+    @pytest.mark.parametrize("width", [1, 2, 4, 5, 8])
+    def test_adds(self, width):
+        circuit = kogge_stone_adder(width)
+        rng = random.Random(width)
+        cases = (
+            itertools.product(range(1 << width), range(1 << width), (0, 1))
+            if width <= 3
+            else (
+                (
+                    rng.randrange(1 << width),
+                    rng.randrange(1 << width),
+                    rng.randrange(2),
+                )
+                for _ in range(40)
+            )
+        )
+        for a, b, cin in cases:
+            env = _drive(circuit, a=a, b=b)
+            env["cin"] = cin
+            vals = evaluate(circuit, env)
+            total = _num(vals, [f"s{i}" for i in range(width)]) + (
+                vals["cout"] << width
+            )
+            assert total == a + b + cin
+
+    def test_log_depth(self):
+        from repro.graph import IndexedGraph, depth
+
+        circuit = kogge_stone_adder(16)
+        graph = IndexedGraph.from_circuit(circuit, "cout")
+        # Prefix network: depth O(log w), far below the ripple ~2w.
+        assert depth(graph) <= 14
+
+    def test_matches_ripple_carry(self):
+        from repro.circuits.generators import ripple_carry_adder
+
+        ks = kogge_stone_adder(4)
+        rc = ripple_carry_adder(4, with_cin=True)
+        for a, b, cin in itertools.product(range(16), range(16), (0, 1)):
+            env = _drive(ks, a=a, b=b)
+            env["cin"] = cin
+            v1 = evaluate(ks, env)
+            v2 = evaluate(rc, env)
+            assert _num(v1, [f"s{i}" for i in range(4)]) == _num(
+                v2, rc.outputs[:-1]
+            )
+
+
+class TestPrefixOr:
+    def test_prefix_semantics(self):
+        circuit = prefix_or_network(9)
+        rng = random.Random(1)
+        for _ in range(20):
+            x = rng.randrange(1 << 9)
+            env = _drive(circuit, x=x)
+            vals = evaluate(circuit, env)
+            running = 0
+            for i in range(9):
+                running |= (x >> i) & 1
+                assert vals[f"y{i}"] == running
+
+
+class TestCrc:
+    @pytest.mark.parametrize("poly", sorted(POLYNOMIALS))
+    def test_matches_reference(self, poly):
+        data_bits = 12
+        circuit = crc_circuit(data_bits, poly)
+        assert_well_formed(circuit)
+        degree = len([o for o in circuit.outputs])
+        rng = random.Random(hash(poly) & 0xFFFF)
+        for _ in range(15):
+            data = rng.randrange(1 << data_bits)
+            init = rng.randrange(1 << degree)
+            env = _drive(circuit, d=data, c=init)
+            vals = evaluate(circuit, env)
+            got = _num(vals, circuit.outputs)
+            assert got == crc_reference(data, data_bits, poly, init)
+
+    def test_unknown_polynomial(self):
+        with pytest.raises(ValueError):
+            crc_circuit(8, "crc999")
+
+    def test_linear_in_data(self):
+        """CRC is linear over GF(2): crc(a^b, init=0) = crc(a) ^ crc(b)."""
+        poly = "crc8"
+        bits = 10
+        for a, b in ((0b1011001110, 0b0110110001), (5, 1000)):
+            lhs = crc_reference(a ^ b, bits, poly)
+            rhs = crc_reference(a, bits, poly) ^ crc_reference(b, bits, poly)
+            assert lhs == rhs
+
+
+class TestSorter:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_sorts_exhaustively(self, width):
+        circuit = batcher_sorter(width)
+        for x in range(1 << width):
+            env = _drive(circuit, x=x)
+            vals = evaluate(circuit, env)
+            ones = bin(x).count("1")
+            for k in range(width):
+                assert vals[f"y{k}"] == int(k < ones)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            batcher_sorter(6)
+
+    @pytest.mark.parametrize("width", [3, 5, 7])
+    def test_majority(self, width):
+        circuit = majority_network(width)
+        for x in range(1 << width):
+            env = _drive(circuit, x=x)
+            expected = int(bin(x).count("1") > width // 2)
+            assert evaluate(circuit, env)["maj"] == expected
+
+    def test_majority_needs_odd(self):
+        with pytest.raises(ValueError):
+            majority_network(4)

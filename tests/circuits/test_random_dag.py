@@ -1,0 +1,65 @@
+"""Tests for the clustered random-netlist generator."""
+
+import statistics
+
+import pytest
+
+from repro.circuits.generators import random_circuit
+from repro.graph import IndexedGraph, assert_well_formed
+
+
+class TestClusterStructure:
+    def test_cones_stay_small(self):
+        """The design goal: per-output cones are cluster-sized, not the
+        whole circuit (what makes multi-output Table-1 workloads
+        representative)."""
+        circuit = random_circuit(60, 500, num_outputs=40, seed=7)
+        sizes = [
+            IndexedGraph.from_circuit(circuit, out).n
+            for out in circuit.outputs
+        ]
+        assert statistics.mean(sizes) < len(circuit) / 2
+        assert max(sizes) < len(circuit)
+
+    def test_cones_overlap_through_shared_pool(self):
+        """Clusters tap shared logic, so cones are not disjoint."""
+        from repro.graph.traverse import output_cone
+
+        circuit = random_circuit(30, 200, num_outputs=8, seed=3)
+        cones = [output_cone(circuit, out) for out in circuit.outputs]
+        overlaps = sum(
+            1
+            for i in range(len(cones))
+            for j in range(i + 1, len(cones))
+            if cones[i] & cones[j] - set(circuit.inputs)
+        )
+        assert overlaps > 0
+
+    def test_no_dangling_gates(self):
+        for seed in range(4):
+            assert_well_formed(
+                random_circuit(20, 120, num_outputs=6, seed=seed)
+            )
+
+    def test_shared_fraction_zero(self):
+        circuit = random_circuit(
+            10, 50, num_outputs=3, seed=1, shared_fraction=0.0
+        )
+        assert_well_formed(circuit)
+
+    def test_exact_gate_budget_split(self):
+        circuit = random_circuit(8, 30, num_outputs=7, seed=2)
+        assert len(circuit.outputs) == 7
+        circuit.validate()
+
+    def test_single_output_includes_cluster(self):
+        circuit = random_circuit(5, 25, num_outputs=1, seed=9)
+        graph = IndexedGraph.from_circuit(circuit)
+        assert graph.n > 5
+
+    def test_reproducible(self):
+        a = random_circuit(12, 80, num_outputs=5, seed=123)
+        b = random_circuit(12, 80, num_outputs=5, seed=123)
+        assert [(n.name, n.type, n.fanins) for n in a.nodes()] == [
+            (n.name, n.type, n.fanins) for n in b.nodes()
+        ]

@@ -1,0 +1,71 @@
+"""Tests for the 30-circuit Table-1 suite registry."""
+
+import pytest
+
+from repro.circuits import (
+    QUICK_SUBSET,
+    benchmark_names,
+    get_benchmark,
+    table1_suite,
+)
+from repro.graph import assert_well_formed
+
+
+def test_thirty_entries_present():
+    names = benchmark_names()
+    assert len(names) == 30
+    for expected in (
+        "C432",
+        "C6288",
+        "C499",
+        "C1355",
+        "alu2",
+        "des",
+        "too_large",
+        "x4",
+    ):
+        assert expected in names
+
+
+def test_quick_subset_is_subset():
+    assert set(QUICK_SUBSET) <= set(benchmark_names())
+
+
+def test_paper_rows_recorded():
+    suite = table1_suite()
+    assert suite["C6288"].paper.t1_seconds == pytest.approx(58.89)
+    assert suite["too_large"].paper.improvement == pytest.approx(
+        614.1, rel=0.01
+    )
+    # The paper's headline: average improvement ~27.65x.
+    mean = sum(e.paper.improvement for e in suite.values()) / 30
+    assert mean == pytest.approx(27.65, rel=0.02)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_every_benchmark_builds_at_small_scale(name):
+    circuit = get_benchmark(name, scale=0.25)
+    circuit.validate()
+    assert circuit.name == name
+    assert circuit.outputs
+
+
+@pytest.mark.parametrize(
+    "name", ["alu2", "comp", "C432", "C6288", "cordic", "cmb"]
+)
+def test_io_counts_near_paper(name):
+    """At scale 1.0 the I/O counts track Table 1's in/out columns."""
+    entry = table1_suite()[name]
+    circuit = entry.circuit(1.0)
+    assert abs(len(circuit.inputs) - entry.paper.inputs) <= 2
+    assert abs(len(circuit.outputs) - entry.paper.outputs) <= 2
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        get_benchmark("c17_misspelled")
+
+
+def test_structured_families_well_formed():
+    for name in ("C6288", "comp", "C499"):
+        assert_well_formed(get_benchmark(name, scale=0.3))

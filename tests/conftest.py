@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.circuits.figures import figure1_circuit, figure2_circuit
+from repro.graph import IndexedGraph
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Figure 1 circuit."""
+    return figure1_circuit()
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    """The paper's Figure 2 circuit (dominator-chain running example)."""
+    return figure2_circuit()
+
+
+@pytest.fixture(scope="session")
+def fig1_graph(fig1):
+    return IndexedGraph.from_circuit(fig1)
+
+
+@pytest.fixture(scope="session")
+def fig2_graph(fig2):
+    return IndexedGraph.from_circuit(fig2)

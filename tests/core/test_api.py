@@ -1,0 +1,83 @@
+"""Tests for the high-level, name-based API (core.api)."""
+
+import pytest
+
+from repro.circuits.generators import parity_tree, random_circuit
+from repro.core import (
+    all_pi_chains,
+    chain_of,
+    count_double_dominators,
+    count_double_dominators_baseline,
+    count_single_dominators,
+    dominator_counts,
+)
+from repro.errors import UnknownNodeError
+
+
+class TestChainOf:
+    def test_figure2_walkthrough(self, fig2):
+        chain = chain_of(fig2, "u")
+        assert chain.dominates("d", "h")
+        assert not chain.dominates("g", "a")
+        assert set(chain.immediate()) == {"a", "b"}
+        assert len(chain) == 2
+
+    def test_pairs_and_matching_vectors(self, fig2):
+        chain = chain_of(fig2, "u")
+        assert len(chain.pairs()) == 12
+        assert chain.matching_vector("a") == ["b", "c", "d"]
+        assert "a,e,h" in chain.format() or "b,c,d,g" in chain.format()
+
+    def test_unknown_node_raises(self, fig2):
+        with pytest.raises(UnknownNodeError):
+            chain_of(fig2, "nonexistent")
+
+    def test_multi_output_requires_output_choice(self, fig1, fig2):
+        c = random_circuit(4, 20, num_outputs=2, seed=1)
+        from repro.errors import CircuitError
+
+        with pytest.raises(CircuitError):
+            chain_of(c, c.inputs[0])
+        # With an explicit output it works.
+        chain_of(c, c.inputs[0], output=c.outputs[0])
+
+
+class TestCounts:
+    def test_counts_agree_between_algorithms(self):
+        circuit = random_circuit(6, 60, num_outputs=3, seed=11)
+        new = count_double_dominators(circuit)
+        base = count_double_dominators_baseline(circuit)
+        assert new == base
+
+    def test_tree_counts(self):
+        """Section 6: tree-like circuit — n single doms, 0 double doms."""
+        circuit = parity_tree(16)
+        counts = dominator_counts(circuit)
+        assert counts.double == 0
+        assert counts.single > 0
+
+    def test_single_count_positive_on_figure2(self, fig2):
+        # u's idom chain contains t and f.
+        assert count_single_dominators(fig2) == 2
+
+    def test_figure2_double_count(self, fig2):
+        assert count_double_dominators(fig2) == 12
+
+    def test_cache_toggle_equivalent(self):
+        circuit = random_circuit(5, 40, num_outputs=2, seed=4)
+        assert count_double_dominators(
+            circuit, cache_regions=True
+        ) == count_double_dominators(circuit, cache_regions=False)
+
+
+class TestAllPiChains:
+    def test_keys_are_input_names(self, fig2):
+        chains = all_pi_chains(fig2)
+        assert set(chains) == {"u"}
+        assert chains["u"].chain.num_dominators() == 12
+
+    def test_multi_pi_circuit(self):
+        circuit = random_circuit(5, 30, num_outputs=1, seed=9)
+        chains = all_pi_chains(circuit)
+        cone_inputs = set(chains)
+        assert cone_inputs <= set(circuit.inputs)

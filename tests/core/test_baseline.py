@@ -1,0 +1,62 @@
+"""Tests for the baseline algorithm [11] (restriction scheme)."""
+
+import pytest
+
+from repro.circuits.generators import parity_tree, random_single_output
+from repro.core import (
+    all_double_dominators,
+    baseline_double_dominators,
+    baseline_double_dominators_of,
+    baseline_pi_double_dominators,
+)
+from repro.graph import IndexedGraph
+
+
+def _graph(circuit):
+    return IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_matches_bruteforce(seed):
+    graph = _graph(random_single_output(4, 16, seed=seed))
+    per_target = baseline_double_dominators(graph)
+    for u in graph.sources():
+        assert per_target[u] == all_double_dominators(graph, u)
+
+
+def test_figure2_pairs(fig2_graph):
+    g = fig2_graph
+    pairs = baseline_double_dominators_of(g, g.index_of("u"))
+    assert len(pairs) == 12
+
+
+def test_tree_yields_nothing():
+    graph = _graph(parity_tree(8))
+    assert baseline_pi_double_dominators(graph) == set()
+
+
+def test_explicit_targets_only():
+    graph = _graph(random_single_output(4, 20, seed=3))
+    sources = graph.sources()
+    result = baseline_double_dominators(graph, targets=sources[:1])
+    assert set(result) == {sources[0]}
+
+
+def test_internal_targets():
+    """The baseline accepts any vertex, not just primary inputs."""
+    graph = _graph(random_single_output(4, 20, seed=5))
+    internal = [
+        v
+        for v in range(graph.n)
+        if graph.pred[v] and v != graph.root
+    ][:4]
+    result = baseline_double_dominators(graph, targets=internal)
+    for u in internal:
+        assert result[u] == all_double_dominators(graph, u)
+
+
+def test_root_never_in_pairs():
+    graph = _graph(random_single_output(5, 25, seed=8))
+    for pairs in baseline_double_dominators(graph).values():
+        for pair in pairs:
+            assert graph.root not in pair

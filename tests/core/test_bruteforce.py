@@ -1,0 +1,63 @@
+"""Tests for the Definition-1 brute-force reference itself."""
+
+from repro.core.bruteforce import (
+    all_double_dominators,
+    all_pi_double_dominators,
+    is_double_dominator,
+)
+from repro.graph import CircuitBuilder, IndexedGraph
+
+
+def _diamond():
+    """u -> {a, b} -> root: the minimal double-dominator circuit."""
+    b = CircuitBuilder()
+    u = b.input("u")
+    left = b.buf(u, name="a")
+    right = b.not_(u, name="b")
+    b.and_(left, right, name="root")
+    return IndexedGraph.from_circuit(b.finish(["root"]))
+
+
+def test_diamond_pair():
+    g = _diamond()
+    u, a, bb = g.index_of("u"), g.index_of("a"), g.index_of("b")
+    assert is_double_dominator(g, u, a, bb)
+    assert all_double_dominators(g, u) == {frozenset((a, bb))}
+
+
+def test_condition2_redundancy_rejected(fig1_graph):
+    """{j, n} covers e but j is redundant (paper's Section 2 example)."""
+    g = fig1_graph
+    assert not is_double_dominator(
+        g, g.index_of("e"), g.index_of("j"), g.index_of("n")
+    )
+
+
+def test_degenerate_arguments():
+    g = _diamond()
+    u, a = g.index_of("u"), g.index_of("a")
+    assert not is_double_dominator(g, u, u, a)  # target inside the pair
+    assert not is_double_dominator(g, u, a, a)  # not a pair
+    assert not is_double_dominator(g, u, a, g.root)  # root can't be in one
+
+
+def test_chain_without_reconvergence_has_no_pairs():
+    b = CircuitBuilder()
+    u = b.input("u")
+    x = b.not_(u)
+    y = b.buf(x)
+    z = b.not_(y, name="out")
+    g = IndexedGraph.from_circuit(b.finish([z]))
+    assert all_double_dominators(g, g.index_of("u")) == set()
+
+
+def test_pi_union(fig2_graph):
+    """Figure 2 has a single PI, so the union equals D(u)."""
+    union = all_pi_double_dominators(fig2_graph)
+    assert len(union) == 12
+
+
+def test_candidates_restriction():
+    g = _diamond()
+    u, a = g.index_of("u"), g.index_of("a")
+    assert all_double_dominators(g, u, candidates=[a]) == set()

@@ -1,0 +1,141 @@
+"""Unit tests for the DominatorChain data structure itself."""
+
+import pytest
+
+from repro.core.chain import ChainPair, DominatorChain
+from repro.errors import ChainConstructionError
+
+
+def _simple_chain():
+    """Hand-built chain: one pair {<1,2>, <3,4>} with a staircase."""
+    pair = ChainPair(side1=(1, 2), side2=(3, 4))
+    intervals = {1: (1, 2), 2: (2, 2), 3: (1, 1), 4: (1, 2)}
+    return DominatorChain(target=0, pairs=[pair], intervals=intervals)
+
+
+class TestConstruction:
+    def test_empty_chain(self):
+        chain = DominatorChain(target=5, pairs=[], intervals={})
+        assert not chain
+        assert len(chain) == 0
+        assert chain.size == 0
+        assert chain.immediate() is None
+        assert chain.num_dominators() == 0
+        assert not chain.dominates(1, 2)
+        assert list(chain.iter_dominator_pairs()) == []
+
+    def test_empty_pair_vector_rejected(self):
+        with pytest.raises(ChainConstructionError):
+            ChainPair(side1=(), side2=(1,))
+
+    def test_duplicate_vertex_rejected(self):
+        """Lemma 3: vectors never share vertices."""
+        pair = ChainPair(side1=(1,), side2=(1,))
+        with pytest.raises(ChainConstructionError):
+            DominatorChain(0, [pair], {1: (1, 1)})
+
+    def test_missing_interval_rejected(self):
+        pair = ChainPair(side1=(1,), side2=(2,))
+        with pytest.raises(ChainConstructionError):
+            DominatorChain(0, [pair], {1: (1, 1)})
+
+    def test_out_of_bounds_interval_rejected(self):
+        pair = ChainPair(side1=(1,), side2=(2,))
+        with pytest.raises(ChainConstructionError):
+            DominatorChain(0, [pair], {1: (1, 5), 2: (1, 1)})
+
+    def test_asymmetric_matching_rejected(self):
+        pair = ChainPair(side1=(1, 2), side2=(3, 4))
+        intervals = {1: (1, 2), 2: (2, 2), 3: (1, 1), 4: (2, 2)}
+        # 1 claims partner 4 (position 2) but 4 only claims partner 2.
+        with pytest.raises(ChainConstructionError):
+            DominatorChain(0, [pair], intervals)
+
+    def test_interval_spanning_pairs_rejected(self):
+        pairs = [
+            ChainPair(side1=(1,), side2=(2,)),
+            ChainPair(side1=(3,), side2=(4,)),
+        ]
+        intervals = {1: (1, 2), 2: (1, 1), 3: (2, 2), 4: (2, 2)}
+        with pytest.raises(ChainConstructionError):
+            DominatorChain(0, pairs, intervals)
+
+
+class TestQueries:
+    def test_flags_and_indices(self):
+        chain = _simple_chain()
+        assert chain.flag(1) == 1 and chain.flag(2) == 1
+        assert chain.flag(3) == 2 and chain.flag(4) == 2
+        assert chain.index(1) == 1 and chain.index(2) == 2
+        assert chain.index(3) == 1 and chain.index(4) == 2
+
+    def test_lookup_matches_intervals(self):
+        chain = _simple_chain()
+        assert chain.dominates(1, 3)
+        assert chain.dominates(1, 4)
+        assert chain.dominates(2, 4)
+        assert not chain.dominates(2, 3)
+        # Symmetry of the two-probe check.
+        assert chain.dominates(3, 1)
+        assert chain.dominates(4, 2)
+        assert not chain.dominates(3, 2)
+
+    def test_same_flag_never_dominates(self):
+        chain = _simple_chain()
+        assert not chain.dominates(1, 2)
+        assert not chain.dominates(3, 4)
+
+    def test_unknown_vertex_lookup_is_false(self):
+        chain = _simple_chain()
+        assert not chain.dominates(1, 99)
+        assert not chain.dominates(99, 1)
+        assert not chain.dominates(98, 99)
+
+    def test_contains_and_vertices(self):
+        chain = _simple_chain()
+        assert 1 in chain and 4 in chain and 99 not in chain
+        assert sorted(chain.vertices()) == [1, 2, 3, 4]
+        assert chain.side(1) == [1, 2]
+        assert chain.side(2) == [3, 4]
+        with pytest.raises(ValueError):
+            chain.side(3)
+
+    def test_matching_vector_order(self):
+        chain = _simple_chain()
+        assert chain.matching_vector(1) == [3, 4]
+        assert chain.matching_vector(2) == [4]
+        assert chain.matching_vector(4) == [1, 2]
+
+    def test_pair_enumeration_matches_count(self):
+        chain = _simple_chain()
+        pairs = list(chain.iter_dominator_pairs())
+        assert len(pairs) == chain.num_dominators() == 3
+        assert chain.pair_set() == {
+            frozenset((1, 3)),
+            frozenset((1, 4)),
+            frozenset((2, 4)),
+        }
+
+    def test_immediate_is_first_elements(self):
+        chain = _simple_chain()
+        assert chain.immediate() == (1, 3)
+
+    def test_format(self):
+        chain = _simple_chain()
+        assert chain.format() == "<{<1,2>, <3,4>}>"
+        assert chain.format(lambda v: f"v{v}") == "<{<v1,v2>, <v3,v4>}>"
+
+
+class TestMultiPair:
+    def test_indices_run_across_pairs(self):
+        pairs = [
+            ChainPair(side1=(1,), side2=(2,)),
+            ChainPair(side1=(3,), side2=(4,)),
+        ]
+        intervals = {1: (1, 1), 2: (1, 1), 3: (2, 2), 4: (2, 2)}
+        chain = DominatorChain(0, pairs, intervals)
+        assert chain.index(3) == 2 and chain.index(4) == 2
+        assert chain.dominates(3, 4)
+        assert not chain.dominates(1, 4)
+        assert not chain.dominates(3, 2)
+        assert chain.num_dominators() == 2

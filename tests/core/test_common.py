@@ -1,0 +1,111 @@
+"""Tests for common dominators of vertex sets (Section 4 end)."""
+
+import pytest
+
+from repro.circuits.generators import random_single_output
+from repro.core import ChainComputer, dominator_chain
+from repro.core.common import (
+    common_chain,
+    common_dominator_pairs,
+    common_pairs_from_chains,
+    immediate_common_dominator,
+)
+from repro.core.multi import is_multi_dominator
+from repro.errors import DominatorError
+from repro.graph import IndexedGraph
+
+
+def _graph(seed, gates=25):
+    return IndexedGraph.from_circuit(
+        random_single_output(4, gates, seed=seed)
+    )
+
+
+class TestCommonChain:
+    def test_single_vertex_degenerates_to_plain_chain(self, fig2_graph):
+        g = fig2_graph
+        u = g.index_of("u")
+        assert common_chain(g, [u]).pair_set() == dominator_chain(
+            g, u
+        ).pair_set()
+
+    def test_rejects_empty_and_root(self, fig2_graph):
+        with pytest.raises(DominatorError):
+            common_chain(fig2_graph, [])
+        with pytest.raises(DominatorError):
+            common_chain(fig2_graph, [fig2_graph.root])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_common_pairs_satisfy_definition1(self, seed):
+        """Every filtered common pair is a Definition-1 common dominator:
+        it cuts each target from the root and each pair vertex keeps a
+        private path from some target."""
+        graph = _graph(seed)
+        sources = graph.sources()
+        for pair in common_dominator_pairs(graph, sources):
+            v1, v2 = tuple(pair)
+            # Condition 1 per target.
+            for u in sources:
+                banned = {v1, v2}
+                seen = {u}
+                stack = [u]
+                reached = False
+                while stack:
+                    x = stack.pop()
+                    if x == graph.root:
+                        reached = True
+                        break
+                    for w in graph.succ[x]:
+                        if w not in seen and w not in banned:
+                            seen.add(w)
+                            stack.append(w)
+                assert not reached
+
+    def test_filtered_pairs_exclude_targets(self):
+        graph = _graph(3)
+        sources = graph.sources()
+        for pair in common_dominator_pairs(graph, sources):
+            assert not pair & set(sources)
+
+
+class TestChainIntersection:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_intersection_subset_of_fake_vertex_pairs(self, seed):
+        """Pairs dominating each u_i individually are common dominators of
+        the set; the converse can fail when a pair vertex single-dominates
+        one u_i (redundancy is per-target)."""
+        graph = _graph(seed, gates=30)
+        sources = graph.sources()
+        computer = ChainComputer(graph)
+        chains = [computer.chain(u) for u in sources]
+        intersected = common_pairs_from_chains(chains)
+        via_fake = common_dominator_pairs(graph, sources)
+        assert intersected <= via_fake
+
+    def test_intersection_of_one_chain_is_itself(self, fig2_graph):
+        chain = dominator_chain(fig2_graph, fig2_graph.index_of("u"))
+        assert common_pairs_from_chains([chain]) == chain.pair_set()
+
+    def test_intersection_requires_chains(self):
+        with pytest.raises(DominatorError):
+            common_pairs_from_chains([])
+
+
+class TestImmediateCommon:
+    def test_figure2_immediate_common(self, fig2_graph):
+        g = fig2_graph
+        pair = immediate_common_dominator(
+            g, [g.index_of("h"), g.index_of("g")]
+        )
+        assert {g.name_of(v) for v in pair} == {"k", "l"}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_immediate_is_unique_and_valid(self, seed):
+        """Theorem 1 extended to common dominators: uniqueness holds (the
+        helper raises otherwise), and the result is a genuine common
+        multi-dominator in the Definition-1 sense for the fake target."""
+        graph = _graph(seed + 20, gates=30)
+        sources = graph.sources()[:2]
+        pair = immediate_common_dominator(graph, sources)
+        if pair is not None:
+            assert frozenset(pair) in common_dominator_pairs(graph, sources)

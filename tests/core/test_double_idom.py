@@ -1,0 +1,107 @@
+"""Tests for DOUBLEIDOM (max-flow immediate pair)."""
+
+import pytest
+
+from repro.circuits.generators import parity_tree, random_single_output
+from repro.core import all_double_dominators, double_idom
+from repro.core.common import common_chain, immediate_common_dominator
+from repro.graph import IndexedGraph
+
+
+def _graph(circuit):
+    return IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+
+
+class TestFigure2:
+    def test_immediate_pair_of_u_within_region(self, fig2_graph):
+        """Called as the algorithm calls it: sink = idom(u) = t."""
+        g = fig2_graph
+        pair = double_idom(g, [g.index_of("u")], sink=g.index_of("t"))
+        assert {g.name_of(v) for v in pair} == {"a", "b"}
+
+    def test_single_dominator_in_between_means_no_cut(self, fig2_graph):
+        """With the sink at the root, the single dominator t makes the
+        min cut size 1 — DOUBLEIDOM must return empty (this is exactly why
+        the algorithm partitions into regions first)."""
+        g = fig2_graph
+        assert double_idom(g, [g.index_of("u")]) is None
+
+    def test_immediate_common_pair_of_h_g(self, fig2_graph):
+        """{k,l} is the immediate common double dominator of {h,g}."""
+        g = fig2_graph
+        pair = immediate_common_dominator(
+            g, [g.index_of("h"), g.index_of("g")]
+        )
+        assert {g.name_of(v) for v in pair} == {"k", "l"}
+
+    def test_no_pair_within_region_beyond_h_g(self, fig2_graph):
+        """Inside region 1 (sink t), {h,g} has no further pair: both feed
+        t directly, so no interior vertex can cut them."""
+        g = fig2_graph
+        assert (
+            double_idom(
+                g,
+                [g.index_of("h"), g.index_of("g")],
+                sink=g.index_of("t"),
+            )
+            is None
+        )
+
+    def test_no_common_pair_beyond_m_n(self, fig2_graph):
+        """{m,n} has no common double-vertex dominator (end of chain)."""
+        g = fig2_graph
+        assert double_idom(g, [g.index_of("m"), g.index_of("n")]) is None
+        assert (
+            immediate_common_dominator(g, [g.index_of("m"), g.index_of("n")])
+            is None
+        )
+
+    def test_region2_immediate_pair(self, fig2_graph):
+        """Region 2 entered at t yields {k,l} as its immediate pair."""
+        g = fig2_graph
+        pair = double_idom(g, [g.index_of("t")])
+        assert {g.name_of(v) for v in pair} == {"k", "l"}
+
+
+class TestGeneral:
+    def test_tree_has_no_immediate_pair(self):
+        graph = _graph(parity_tree(8))
+        for u in graph.sources():
+            assert double_idom(graph, [u]) is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_returned_pair_is_a_real_dominator(self, seed):
+        """Whenever DOUBLEIDOM finds a pair (sink = root, i.e. no single
+        dominator intervenes), that pair satisfies Definition 1."""
+        graph = _graph(random_single_output(4, 20, seed=seed))
+        for u in graph.sources():
+            immediate = double_idom(graph, [u])
+            if immediate is not None:
+                assert frozenset(immediate) in all_double_dominators(
+                    graph, u
+                )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_immediate_matches_chain_head(self, seed):
+        """DOUBLEIDOM on the first region equals the chain's first pair."""
+        from repro.core import dominator_chain
+        from repro.dominators import circuit_dominator_tree
+        from repro.graph.transform import region_between
+
+        graph = _graph(random_single_output(4, 25, seed=seed + 30))
+        tree = circuit_dominator_tree(graph)
+        for u in graph.sources():
+            chain = dominator_chain(graph, u)
+            walk = tree.chain(u)
+            first_found = None
+            for start, sink in zip(walk, walk[1:]):
+                sub, orig_of = region_between(graph, start, sink)
+                local = {orig: i for i, orig in enumerate(orig_of)}
+                pair = double_idom(sub, [local[start]])
+                if pair is not None:
+                    first_found = {orig_of[pair[0]], orig_of[pair[1]]}
+                    break
+            if chain.immediate() is None:
+                assert first_found is None
+            else:
+                assert first_found == set(chain.immediate())

@@ -1,0 +1,178 @@
+"""Every fact the paper states about its Figures 1 and 2, as assertions.
+
+These tests pin the reproduction to the paper text: the worked examples
+must come out exactly as printed (up to the side permutation of chain
+pairs, which Definition 3 explicitly allows).
+"""
+
+import pytest
+
+from repro.circuits.figures import FIGURE2_PAIRS
+from repro.core import (
+    all_double_dominators,
+    dominator_chain,
+    immediate_multi_dominators,
+    multi_vertex_dominators,
+)
+from repro.dominators import circuit_dominator_tree
+
+
+def _pairs_by_name(graph, chain):
+    return {
+        frozenset((graph.name_of(a), graph.name_of(b)))
+        for a, b in chain.iter_dominator_pairs()
+    }
+
+
+class TestFigure1:
+    def test_idom_facts(self, fig1_graph):
+        """n = idom(j, e, k); f = idom(n, p); idom(b) = idom(g) = f."""
+        g = fig1_graph
+        tree = circuit_dominator_tree(g)
+        expected = {
+            "j": "n",
+            "e": "n",
+            "k": "n",
+            "n": "f",
+            "p": "f",
+            "b": "f",
+            "g": "f",
+            "h": "p",
+        }
+        for child, parent in expected.items():
+            assert tree.idom[g.index_of(child)] == g.index_of(parent)
+
+    def test_n_dominates_e_and_p_dominates_h(self, fig1_graph):
+        g = fig1_graph
+        tree = circuit_dominator_tree(g)
+        assert tree.dominates(g.index_of("n"), g.index_of("e"))
+        assert tree.dominates(g.index_of("p"), g.index_of("h"))
+
+    def test_b_dominated_by_e_h(self, fig1_graph):
+        """Primary input b is dominated by the set {e, h} (and it is the
+        immediate double-vertex dominator, by Theorem 1 unique)."""
+        g = fig1_graph
+        chain = dominator_chain(g, g.index_of("b"))
+        immediate = chain.immediate()
+        assert {g.name_of(v) for v in immediate} == {"e", "h"}
+
+    def test_two_immediate_3vertex_dominators_of_b(self, fig1_graph):
+        """b has exactly the immediate 3-vertex dominators {e,l,m}, {h,j,k}."""
+        g = fig1_graph
+        result = immediate_multi_dominators(g, g.index_of("b"), 3)
+        names = {
+            frozenset(g.name_of(v) for v in dom) for dom in result
+        }
+        assert names == {
+            frozenset(("e", "l", "m")),
+            frozenset(("h", "j", "k")),
+        }
+
+    def test_j_n_covers_e_to_f_with_j_redundant(self, fig1_graph):
+        """All paths from e to f pass {j, n}, but j is redundant because n
+        single-dominates e — so {j, n} is NOT a double-vertex dominator."""
+        g = fig1_graph
+        pairs = all_double_dominators(g, g.index_of("e"))
+        assert frozenset((g.index_of("j"), g.index_of("n"))) not in pairs
+
+    def test_immediate_2vertex_dominator_is_unique(self, fig1_graph):
+        """Theorem 1 boundary: unique for k=2 even though k=3 gives two."""
+        g = fig1_graph
+        result = immediate_multi_dominators(g, g.index_of("b"), 2)
+        assert len(result) == 1
+        assert {g.name_of(v) for v in next(iter(result))} == {"e", "h"}
+
+
+class TestFigure2:
+    def test_all_twelve_pairs(self, fig2_graph):
+        """The set of all double-vertex dominators for u, verbatim."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        expected = {frozenset(p) for p in FIGURE2_PAIRS}
+        assert _pairs_by_name(g, chain) == expected
+
+    def test_chain_structure(self, fig2_graph):
+        """D(u) = <{<a,e,h>, <b,c,d,g>}, {<k,m>, <l,n>}> up to side swap."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        assert len(chain) == 2
+        first = {
+            tuple(g.name_of(v) for v in chain.pairs[0].side1),
+            tuple(g.name_of(v) for v in chain.pairs[0].side2),
+        }
+        second = {
+            tuple(g.name_of(v) for v in chain.pairs[1].side1),
+            tuple(g.name_of(v) for v in chain.pairs[1].side2),
+        }
+        assert first == {("a", "e", "h"), ("b", "c", "d", "g")}
+        assert second == {("k", "m"), ("l", "n")}
+
+    def test_immediate_pair_and_continuation(self, fig2_graph):
+        """{a,b} immediate for u; {k,l} immediate common for {h,g};
+        {m,n} has no common double-vertex dominator."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        assert {g.name_of(v) for v in chain.pairs[0].first} == {"a", "b"}
+        assert {g.name_of(v) for v in chain.pairs[0].last} == {"h", "g"}
+        assert {g.name_of(v) for v in chain.pairs[1].first} == {"k", "l"}
+        assert {g.name_of(v) for v in chain.pairs[1].last} == {"m", "n"}
+
+    def test_published_indices(self, fig2_graph):
+        """index(b)=1, index(c)=2, index(l)=5, index(n)=6."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        for name, expected in (("b", 1), ("c", 2), ("l", 5), ("n", 6)):
+            assert chain.index(g.index_of(name)) == expected
+
+    def test_published_intervals(self, fig2_graph):
+        """(min,max): b=(1,1), c=(1,3), d=(1,3), g=(3,3)."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        for name, expected in (
+            ("b", (1, 1)),
+            ("c", (1, 3)),
+            ("d", (1, 3)),
+            ("g", (3, 3)),
+        ):
+            assert chain.interval(g.index_of(name)) == expected
+
+    def test_lookup_walkthrough(self, fig2_graph):
+        """{d,h} dominates u; {g,a} does not (Section 4 walkthrough).
+
+        The paper's prose says index(h)=2 in the {d,h} example but its own
+        chain listing puts h third in <a,e,h> — with index(h)=3 the check
+        1 <= 3 <= 3 still succeeds, so the published typo is immaterial.
+        """
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        assert chain.index(g.index_of("h")) == 3
+        assert chain.dominates(g.index_of("d"), g.index_of("h"))
+        assert chain.dominates(g.index_of("h"), g.index_of("d"))
+        assert not chain.dominates(g.index_of("g"), g.index_of("a"))
+        assert not chain.dominates(g.index_of("a"), g.index_of("g"))
+
+    def test_matching_vectors(self, fig2_graph):
+        """W(a) = <b,c,d>; W(d) = <a,e,h> (Section 4 examples)."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        assert [
+            g.name_of(w) for w in chain.matching_vector(g.index_of("a"))
+        ] == ["b", "c", "d"]
+        assert [
+            g.name_of(w) for w in chain.matching_vector(g.index_of("d"))
+        ] == ["a", "e", "h"]
+
+    def test_pair_count_is_twelve(self, fig2_graph):
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        assert chain.num_dominators() == 12
+        assert len(list(chain.iter_dominator_pairs())) == 12
+
+    def test_same_flag_pairs_rejected(self, fig2_graph):
+        """Step 1 of the lookup: same-side pairs are never dominators."""
+        g = fig2_graph
+        chain = dominator_chain(g, g.index_of("u"))
+        side1 = chain.side(1)
+        for i, v in enumerate(side1):
+            for w in side1[i + 1 :]:
+                assert not chain.dominates(v, w)

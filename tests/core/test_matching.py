@@ -1,0 +1,78 @@
+"""Tests for FINDMATCHINGVECTOR / expand_pair (core.matching)."""
+
+import pytest
+
+from repro.core.matching import expand_pair, find_matching_vector
+from repro.errors import ChainConstructionError
+from repro.graph.transform import region_between
+
+
+def _region1(fig2_graph):
+    """Figure 2's first search region (u .. t), local indices."""
+    g = fig2_graph
+    sub, orig_of = region_between(g, g.index_of("u"), g.index_of("t"))
+    return g, sub, {g.name_of(orig_of[i]): i for i in range(sub.n)}
+
+
+class TestFindMatchingVector:
+    def test_matching_vector_of_a(self, fig2_graph):
+        """W(a) = <b, c, d>: walk from b in (region - a)."""
+        g, sub, local = _region1(fig2_graph)
+        w = find_matching_vector(sub, local["a"], local["b"])
+        assert [sub.name_of(x) for x in w] == ["b", "c", "d"]
+
+    def test_matching_vector_of_b(self, fig2_graph):
+        """W(b) = <a>: a's restricted idom is already the local root."""
+        g, sub, local = _region1(fig2_graph)
+        w = find_matching_vector(sub, local["b"], local["a"])
+        assert [sub.name_of(x) for x in w] == ["a"]
+
+    def test_matching_vector_of_h(self, fig2_graph):
+        """W(h) = <c, d, g>."""
+        g, sub, local = _region1(fig2_graph)
+        w = find_matching_vector(sub, local["h"], local["c"])
+        assert [sub.name_of(x) for x in w] == ["c", "d", "g"]
+
+    def test_vanished_partner_raises(self, fig2_graph):
+        """c's only fanout is d, so removing d prunes c from the region —
+        a walk can then not start at c."""
+        g, sub, local = _region1(fig2_graph)
+        with pytest.raises(ChainConstructionError):
+            find_matching_vector(sub, local["d"], local["c"])
+
+
+class TestExpandPair:
+    def test_figure2_first_pair(self, fig2_graph):
+        g, sub, local = _region1(fig2_graph)
+        expanded = expand_pair(sub, local["a"], local["b"])
+        side1 = [sub.name_of(x) for x in expanded.side1]
+        side2 = [sub.name_of(x) for x in expanded.side2]
+        assert side1 == ["a", "e", "h"]
+        assert side2 == ["b", "c", "d", "g"]
+
+    def test_figure2_intervals(self, fig2_graph):
+        g, sub, local = _region1(fig2_graph)
+        expanded = expand_pair(sub, local["a"], local["b"])
+        by_name = {
+            sub.name_of(v): iv for v, iv in expanded.intervals.items()
+        }
+        assert by_name["a"] == (1, 3)  # partners b, c, d
+        assert by_name["e"] == (2, 3)  # partners c, d
+        assert by_name["h"] == (2, 4)  # partners c, d, g
+        assert by_name["b"] == (1, 1)
+        assert by_name["c"] == (1, 3)
+        assert by_name["d"] == (1, 3)
+        assert by_name["g"] == (3, 3)
+
+    def test_symmetric_seed_order(self, fig2_graph):
+        """Expanding from (b, a) instead of (a, b) swaps the sides but
+        produces the same pair structure."""
+        g, sub, local = _region1(fig2_graph)
+        expanded = expand_pair(sub, local["b"], local["a"])
+        assert [sub.name_of(x) for x in expanded.side1] == [
+            "b",
+            "c",
+            "d",
+            "g",
+        ]
+        assert [sub.name_of(x) for x in expanded.side2] == ["a", "e", "h"]

@@ -1,0 +1,99 @@
+"""Tests for k-vertex dominators (the Section 3 generalization)."""
+
+import pytest
+
+from repro.circuits.generators import random_single_output
+from repro.core import dominator_chain
+from repro.core.multi import (
+    immediate_multi_dominators,
+    is_multi_dominator,
+    multi_vertex_dominators,
+)
+from repro.dominators import circuit_dominator_tree
+from repro.graph import IndexedGraph
+
+
+def _graph(seed, gates=16):
+    return IndexedGraph.from_circuit(
+        random_single_output(4, gates, seed=seed)
+    )
+
+
+class TestKEqualsOne:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_k1_equals_strict_dominators(self, seed):
+        graph = _graph(seed)
+        tree = circuit_dominator_tree(graph)
+        for u in graph.sources():
+            got = multi_vertex_dominators(graph, u, 1)
+            expected = {
+                frozenset((d,)) for d in tree.strict_dominators(u)
+            }
+            assert got == expected
+
+
+class TestKEqualsTwo:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_k2_equals_chain_pairs(self, seed):
+        """The generic restriction scheme must agree with the paper's
+        specialized chain algorithm at k = 2."""
+        graph = _graph(seed)
+        for u in graph.sources():
+            assert multi_vertex_dominators(graph, u, 2) == dominator_chain(
+                graph, u
+            ).pair_set()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_immediate_k2_unique(self, seed):
+        """Theorem 1: at most one immediate double-vertex dominator."""
+        graph = _graph(seed + 40)
+        for u in graph.sources():
+            immediates = immediate_multi_dominators(graph, u, 2)
+            assert len(immediates) <= 1
+            chain = dominator_chain(graph, u)
+            if chain.immediate() is not None:
+                assert immediates == {frozenset(chain.immediate())}
+            else:
+                assert immediates == set()
+
+
+class TestKEqualsThree:
+    def test_figure1_immediates(self, fig1_graph):
+        g = fig1_graph
+        result = immediate_multi_dominators(g, g.index_of("b"), 3)
+        names = {frozenset(g.name_of(v) for v in s) for s in result}
+        assert names == {
+            frozenset(("e", "l", "m")),
+            frozenset(("h", "j", "k")),
+        }
+
+    def test_k3_members_satisfy_definition(self, fig1_graph):
+        g = fig1_graph
+        b = g.index_of("b")
+        for dom in multi_vertex_dominators(g, b, 3):
+            assert is_multi_dominator(g, b, tuple(dom))
+
+
+class TestDefinitionChecker:
+    def test_rejects_root_and_target(self, fig2_graph):
+        g = fig2_graph
+        u = g.index_of("u")
+        a = g.index_of("a")
+        assert not is_multi_dominator(g, u, (u, a))
+        assert not is_multi_dominator(g, u, (g.root, a))
+
+    def test_rejects_duplicates(self, fig2_graph):
+        g = fig2_graph
+        assert not is_multi_dominator(
+            g, g.index_of("u"), (g.index_of("a"), g.index_of("a"))
+        )
+
+    def test_accepts_known_pair(self, fig2_graph):
+        g = fig2_graph
+        assert is_multi_dominator(
+            g, g.index_of("u"), (g.index_of("a"), g.index_of("b"))
+        )
+
+    def test_k_must_be_positive(self, fig2_graph):
+        with pytest.raises(ValueError):
+            multi_vertex_dominators(fig2_graph, 0, 0)

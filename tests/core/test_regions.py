@@ -1,0 +1,68 @@
+"""Tests for the search-region decomposition."""
+
+import pytest
+
+from repro.circuits.generators import random_single_output
+from repro.core import all_double_dominators, search_regions
+from repro.dominators import circuit_dominator_tree
+from repro.graph import IndexedGraph
+
+
+def _graph(seed, gates=25):
+    return IndexedGraph.from_circuit(
+        random_single_output(4, gates, seed=seed)
+    )
+
+
+def test_figure2_regions(fig2_graph):
+    g = fig2_graph
+    tree = circuit_dominator_tree(g)
+    regions = list(search_regions(g, g.index_of("u"), tree))
+    assert [g.name_of(r.start) for r in regions] == ["u", "t"]
+    assert [g.name_of(r.sink) for r in regions] == ["t", "f"]
+    # Region 1 holds u, a..h, g, t; region 2 holds t, k..n, f.
+    names1 = {r for r in (regions[0].graph.names)}
+    assert {"u", "a", "b", "c", "d", "e", "h", "g", "t"} == names1
+    names2 = set(regions[1].graph.names)
+    assert {"t", "k", "l", "m", "n", "f"} == names2
+
+
+def test_region_graph_rooted_at_sink(fig2_graph):
+    g = fig2_graph
+    tree = circuit_dominator_tree(g)
+    for region in search_regions(g, g.index_of("u"), tree):
+        assert region.orig_of[region.graph.root] == region.sink
+        assert region.orig_of[region.local_start] == region.start
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_no_pair_straddles_a_region_boundary(seed):
+    """The module docstring's no-straddle lemma, checked by brute force:
+    every dominator pair of u lies fully inside one region."""
+    graph = _graph(seed)
+    tree = circuit_dominator_tree(graph)
+    for u in graph.sources():
+        region_sets = [
+            set(r.orig_of) - {r.start, r.sink}
+            for r in search_regions(graph, u, tree)
+        ]
+        for pair in all_double_dominators(graph, u):
+            containing = [
+                i
+                for i, vertices in enumerate(region_sets)
+                if pair <= vertices
+            ]
+            assert len(containing) == 1
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_regions_cover_chain(seed):
+    graph = _graph(seed)
+    tree = circuit_dominator_tree(graph)
+    for u in graph.sources():
+        chain = tree.chain(u)
+        regions = list(search_regions(graph, u, tree))
+        assert len(regions) == len(chain) - 1
+        # Consecutive regions share exactly the boundary vertex.
+        for a, b in zip(regions, regions[1:]):
+            assert a.sink == b.start

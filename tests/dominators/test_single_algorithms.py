@@ -1,0 +1,110 @@
+"""Tests for the three single-vertex dominator algorithms.
+
+Lengauer–Tarjan, the CHK iterative algorithm and the naive set-based
+fixpoint must agree on every graph; the naive version is additionally
+checked against hand-computed dominator sets on classic flow graphs.
+"""
+
+import random
+
+import pytest
+
+from repro.dominators import UNREACHABLE, iterative, lengauer_tarjan, naive
+
+ALGOS = [lengauer_tarjan.compute_idoms, iterative.compute_idoms, naive.compute_idoms]
+
+
+def _random_flowgraph(n, extra_edges, seed, allow_back=True):
+    """A random connected-ish digraph (not necessarily acyclic)."""
+    rng = random.Random(seed)
+    succ = [[] for _ in range(n)]
+    for v in range(1, n):
+        succ[rng.randrange(v)].append(v)  # spanning structure from 0
+    for _ in range(extra_edges):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and (allow_back or a < b):
+            succ[a].append(b)
+    return succ
+
+
+class TestKnownGraphs:
+    def test_diamond(self):
+        #   0 -> 1 -> 3, 0 -> 2 -> 3
+        succ = [[1, 2], [3], [3], []]
+        for algo in ALGOS:
+            idom = algo(4, succ, 0)
+            assert idom == [0, 0, 0, 0]
+
+    def test_linear_chain(self):
+        succ = [[1], [2], [3], []]
+        for algo in ALGOS:
+            assert algo(4, succ, 0) == [0, 0, 1, 2]
+
+    def test_unreachable_marked(self):
+        succ = [[1], [], [1]]  # vertex 2 unreachable from 0
+        for algo in ALGOS:
+            idom = algo(3, succ, 0)
+            assert idom[2] == UNREACHABLE
+            assert idom[1] == 0
+
+    def test_loop_graph(self):
+        """Cycles are fine for flow-graph dominators (0->1->2->1, 1->3)."""
+        succ = [[1], [2, 3], [1], []]
+        for algo in ALGOS:
+            assert algo(4, succ, 0) == [0, 0, 1, 1]
+
+    def test_classic_lt_example(self):
+        """The irreducible example from the Lengauer–Tarjan paper family:
+        two entries into a loop; idoms collapse to the branch point."""
+        # 0 -> 1, 0 -> 2; 1 -> 3; 2 -> 3; 3 -> 1 (back edge)
+        succ = [[1, 2], [3], [3], [1]]
+        for algo in ALGOS:
+            assert algo(4, succ, 0) == [0, 0, 0, 0]
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_all_algorithms_agree_on_digraphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 40)
+        succ = _random_flowgraph(n, extra_edges=rng.randint(0, 2 * n), seed=seed)
+        results = [algo(n, succ, 0) for algo in ALGOS]
+        assert results[0] == results[1] == results[2]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_idom_is_a_dominator(self, seed):
+        """idom(v) lies on every 0→v path (checked by path sampling of
+        the dominator-set definition via the naive algorithm)."""
+        rng = random.Random(seed + 99)
+        n = rng.randint(4, 25)
+        succ = _random_flowgraph(n, extra_edges=n, seed=seed + 99)
+        dom_sets = naive.dominator_sets(n, succ, 0)
+        idoms = lengauer_tarjan.compute_idoms(n, succ, 0)
+        for v in range(1, n):
+            if dom_sets[v] is None:
+                assert idoms[v] == UNREACHABLE
+            else:
+                assert idoms[v] in dom_sets[v]
+                # The idom is the strict dominator with maximal set.
+                strict = dom_sets[v] - {v}
+                assert all(
+                    len(dom_sets[idoms[v]]) >= len(dom_sets[d])
+                    for d in strict
+                )
+
+    def test_precomputed_pred_equivalent(self):
+        succ = [[1, 2], [3], [3], []]
+        pred = [[], [0], [0], [1, 2]]
+        assert lengauer_tarjan.compute_idoms(
+            4, succ, 0, pred=pred
+        ) == lengauer_tarjan.compute_idoms(4, succ, 0)
+
+
+class TestRpo:
+    def test_reverse_post_order(self):
+        succ = [[1, 2], [3], [3], []]
+        rpo = iterative.reverse_post_order(4, succ, 0)
+        assert rpo[0] == 0
+        assert rpo.index(3) > rpo.index(1)
+        assert rpo.index(3) > rpo.index(2)
+        assert set(rpo) == {0, 1, 2, 3}

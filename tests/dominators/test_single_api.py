@@ -1,0 +1,65 @@
+"""Tests for the circuit-oriented single-dominator API (paper orientation)."""
+
+import pytest
+
+from repro.circuits.generators import parity_tree
+from repro.dominators import (
+    circuit_dominator_tree,
+    circuit_idoms,
+    count_single_pi_dominators,
+    idom_chain,
+    pi_dominator_vertices,
+    single_dominators_of,
+)
+from repro.graph import IndexedGraph
+
+
+class TestOrientation:
+    def test_paper_orientation(self, fig1_graph):
+        """'v dominates u' = every u→output path contains v."""
+        g = fig1_graph
+        idoms = circuit_idoms(g)
+        assert idoms[g.index_of("e")] == g.index_of("n")
+        assert idoms[g.index_of("h")] == g.index_of("p")
+        assert idoms[g.root] == g.root
+
+    def test_idom_chain(self, fig2_graph):
+        g = fig2_graph
+        chain = idom_chain(g, g.index_of("u"))
+        assert [g.name_of(v) for v in chain] == ["u", "t", "f"]
+
+    def test_single_dominators_of(self, fig2_graph):
+        g = fig2_graph
+        doms = single_dominators_of(g, g.index_of("e"))
+        assert [g.name_of(v) for v in doms] == ["h", "t", "f"]
+
+    def test_unknown_algorithm_rejected(self, fig2_graph):
+        with pytest.raises(ValueError):
+            circuit_idoms(fig2_graph, algorithm="magic")
+
+    @pytest.mark.parametrize("algorithm", ["lt", "iterative", "naive", "chk"])
+    def test_algorithm_aliases_agree(self, algorithm, fig2_graph):
+        assert circuit_idoms(fig2_graph, algorithm) == circuit_idoms(
+            fig2_graph, "lengauer-tarjan"
+        )
+
+
+class TestPiCounting:
+    def test_tree_counts_every_internal_vertex(self):
+        """In a fanout-free tree every vertex above a PI dominates it, so
+        the count equals the number of gates (Section 6's remark)."""
+        circuit = parity_tree(16)
+        graph = IndexedGraph.from_circuit(circuit)
+        assert count_single_pi_dominators(graph) == circuit.gate_count()
+
+    def test_figure2_count(self, fig2_graph):
+        assert count_single_pi_dominators(fig2_graph) == 2  # t and f
+
+    def test_common_dominators_counted_once(self, fig1_graph):
+        """f dominates every PI of Figure 1 but is counted once."""
+        g = fig1_graph
+        tree = circuit_dominator_tree(g)
+        marked = pi_dominator_vertices(tree, g.sources())
+        assert g.index_of("f") in marked
+        # d's dominators: n, f; a's: e? (a feeds only e) ...
+        assert g.index_of("n") in marked

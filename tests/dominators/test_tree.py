@@ -1,0 +1,80 @@
+"""Tests for the DominatorTree wrapper."""
+
+import pytest
+
+from repro.circuits.generators import random_single_output
+from repro.dominators import DominatorTree, circuit_dominator_tree
+from repro.errors import UnreachableVertexError
+from repro.graph import IndexedGraph
+
+
+def _tree(fig2_graph):
+    return circuit_dominator_tree(fig2_graph)
+
+
+class TestQueries:
+    def test_dominates_matches_chain(self, fig2_graph):
+        tree = _tree(fig2_graph)
+        g = fig2_graph
+        for v in range(g.n):
+            chain = set(tree.chain(v))
+            for w in range(g.n):
+                assert tree.dominates(w, v) == (w in chain)
+
+    def test_strict_dominators(self, fig2_graph):
+        g = fig2_graph
+        tree = _tree(g)
+        u = g.index_of("u")
+        assert [g.name_of(x) for x in tree.strict_dominators(u)] == [
+            "t",
+            "f",
+        ]
+
+    def test_depth(self, fig2_graph):
+        g = fig2_graph
+        tree = _tree(g)
+        assert tree.depth(g.root) == 0
+        assert tree.depth(g.index_of("t")) == 1
+        assert tree.depth(g.index_of("u")) == 2
+
+    def test_children_partition(self, fig2_graph):
+        tree = _tree(fig2_graph)
+        seen = set()
+        for v in tree.iter_reachable():
+            for c in tree.children(v):
+                assert c not in seen
+                seen.add(c)
+        assert len(seen) == fig2_graph.n - 1  # everyone except the root
+
+    def test_dominated_by(self, fig2_graph):
+        g = fig2_graph
+        tree = _tree(g)
+        t_set = {g.name_of(v) for v in tree.dominated_by(g.index_of("t"))}
+        assert t_set == {"t", "u", "a", "b", "c", "d", "e", "g", "h"}
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            DominatorTree([1, 1], root=0)
+
+    def test_unreachable_vertex_raises(self):
+        # Vertex 2 unreachable: idom = -1.
+        tree = DominatorTree([0, 0, -1], root=0)
+        assert not tree.is_reachable(2)
+        with pytest.raises(UnreachableVertexError):
+            tree.chain(2)
+        with pytest.raises(UnreachableVertexError):
+            tree.depth(2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_interval_query_equals_walk(self, seed):
+        graph = IndexedGraph.from_circuit(
+            random_single_output(4, 30, seed=seed)
+        )
+        tree = circuit_dominator_tree(graph)
+        for v in range(graph.n):
+            ancestors = set(tree.chain(v))
+            for w in range(graph.n):
+                assert tree.dominates(w, v) == (w in ancestors)
+                assert tree.strictly_dominates(w, v) == (
+                    w in ancestors and w != v
+                )

@@ -1,0 +1,80 @@
+"""Tests for the Table-1 harness, reporting and ablation studies."""
+
+import pytest
+
+from repro.circuits.generators import random_circuit
+from repro.circuits.suite import table1_suite
+from repro.experiments import (
+    format_results,
+    format_table,
+    lookup_study,
+    measure_circuit,
+    region_cache_study,
+    run_entry,
+    run_table1,
+    scaling_study,
+    single_algorithm_study,
+)
+from repro.experiments.reporting import format_markdown_table
+
+
+class TestMeasure:
+    def test_measure_small_circuit_with_check(self):
+        circuit = random_circuit(5, 35, num_outputs=2, seed=77)
+        row = measure_circuit(circuit, check=True)
+        assert row.inputs == 5
+        assert row.outputs == 2
+        assert row.t1 > 0 and row.t2 > 0
+        assert row.single_doms >= 0
+        assert row.double_doms >= 0
+
+    def test_run_entry_attaches_paper_numbers(self):
+        entry = table1_suite()["alu2"]
+        row = run_entry(entry, scale=1.0, check=True)
+        assert row.paper_single == 48
+        assert row.paper_double == 55
+        assert row.paper_improvement == pytest.approx(55 / 55 * 0.81 / 0.16)
+
+    def test_run_table1_selection(self):
+        rows = run_table1(names=["alu2"], verbose=False)
+        assert len(rows) == 1
+        assert rows[0].name == "alu2"
+
+
+class TestFormatting:
+    def test_format_results_plain_and_markdown(self):
+        rows = run_table1(names=["alu2"], verbose=False)
+        plain = format_results(rows)
+        assert "alu2" in plain and "average" in plain
+        md = format_results(rows, markdown=True)
+        assert md.startswith("| name |")
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+
+    def test_markdown_table(self):
+        md = format_markdown_table(["h1", "h2"], [[1, 2.5]])
+        assert md.splitlines()[1] == "|---|---|"
+        assert "2.500" in md
+
+
+class TestAblations:
+    def test_scaling_study_shapes(self):
+        rows = scaling_study(family="cascade", sizes=(6, 12))
+        assert [r["size"] for r in rows] == [6, 12]
+        assert all(r["improvement"] > 0 for r in rows)
+
+    def test_lookup_study_consistency(self):
+        rows = lookup_study(family="cascade", sizes=(8,), queries=300)
+        assert rows[0]["chain_us"] > 0
+
+    def test_region_cache_study(self):
+        rows = region_cache_study(family="cascade", sizes=(8,))
+        assert rows[0]["cached_s"] > 0 and rows[0]["uncached_s"] > 0
+
+    def test_engine_study_counts_agree(self):
+        rows = single_algorithm_study(family="cascade", size=10)
+        assert len({r["pairs"] for r in rows}) == 1

@@ -1,0 +1,41 @@
+"""Tests for the module-level CLI entry points of the harness."""
+
+import pytest
+
+from repro.experiments import ablation, table1
+
+
+class TestTable1Main:
+    def test_main_with_names(self, capsys, tmp_path):
+        md = tmp_path / "out.md"
+        assert (
+            table1.main(["--names", "alu2", "--markdown", str(md)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "alu2" in out
+        assert md.read_text().startswith("| name |")
+
+    def test_main_check_flag(self, capsys):
+        assert table1.main(["--names", "alu2", "--check"]) == 0
+
+    def test_main_scale(self, capsys):
+        assert table1.main(["--names", "cmb", "--scale", "0.5"]) == 0
+        assert "cmb" in capsys.readouterr().out
+
+
+class TestAblationMain:
+    @pytest.mark.parametrize("study", ["engine"])
+    def test_main_runs_study(self, study, capsys, monkeypatch):
+        # Shrink the study so the test is quick.
+        monkeypatch.setitem(
+            ablation._STUDIES,
+            "engine",
+            lambda family: ablation.single_algorithm_study(family, size=8),
+        )
+        assert ablation.main(["--study", study]) == 0
+        out = capsys.readouterr().out
+        assert "ablation: engine" in out
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            ablation.main(["--study", "nonsense"])

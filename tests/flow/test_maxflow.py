@@ -1,0 +1,96 @@
+"""Tests for the residual network and bounded Edmonds–Karp."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import (
+    ResidualNetwork,
+    bfs_augmenting_path,
+    in_node,
+    max_flow,
+    out_node,
+)
+
+
+class TestResidualNetwork:
+    def test_arc_pairing(self):
+        net = ResidualNetwork(3)
+        arc = net.add_arc(0, 1, 5)
+        assert net.head[arc] == 1
+        assert net.head[arc ^ 1] == 0
+        assert net.cap[arc] == 5
+        assert net.cap[arc ^ 1] == 0
+
+    def test_push_updates_reverse(self):
+        net = ResidualNetwork(2)
+        arc = net.add_arc(0, 1, 2)
+        net.push(arc, 2)
+        assert net.cap[arc] == 0
+        assert net.cap[arc ^ 1] == 2
+
+    def test_over_push_rejected(self):
+        net = ResidualNetwork(2)
+        arc = net.add_arc(0, 1, 1)
+        with pytest.raises(FlowError):
+            net.push(arc, 2)
+
+    def test_negative_capacity_rejected(self):
+        net = ResidualNetwork(2)
+        with pytest.raises(FlowError):
+            net.add_arc(0, 1, -1)
+
+    def test_reachability(self):
+        net = ResidualNetwork(3)
+        net.add_arc(0, 1, 1)
+        net.add_arc(1, 2, 0)  # zero capacity: not traversable
+        seen = net.reachable_from(0)
+        assert seen == [True, True, False]
+
+
+class TestMaxFlow:
+    def _parallel_paths(self):
+        """0 -> {1, 2} -> 3 with capacities 1 each."""
+        net = ResidualNetwork(4)
+        net.add_arc(0, 1, 1)
+        net.add_arc(0, 2, 1)
+        net.add_arc(1, 3, 1)
+        net.add_arc(2, 3, 1)
+        return net
+
+    def test_two_disjoint_paths(self):
+        assert max_flow(self._parallel_paths(), 0, 3) == 2
+
+    def test_limit_stops_early(self):
+        assert max_flow(self._parallel_paths(), 0, 3, limit=1) == 1
+
+    def test_bottleneck(self):
+        net = ResidualNetwork(3)
+        net.add_arc(0, 1, 5)
+        net.add_arc(1, 2, 2)
+        assert max_flow(net, 0, 2) == 2
+
+    def test_no_path(self):
+        net = ResidualNetwork(3)
+        net.add_arc(1, 2, 1)
+        assert max_flow(net, 0, 2) == 0
+
+    def test_augmenting_path_found(self):
+        net = self._parallel_paths()
+        path = bfs_augmenting_path(net, 0, 3)
+        assert path is not None
+        assert net.head[path[-1]] == 3
+
+    def test_flow_requires_residual_path(self):
+        net = self._parallel_paths()
+        max_flow(net, 0, 3)
+        assert bfs_augmenting_path(net, 0, 3) is None
+
+    def test_classic_crossing_network(self):
+        """Flow must reroute through the cross edge (classic EK case)."""
+        net = ResidualNetwork(4)
+        net.add_arc(0, 1, 1)
+        net.add_arc(0, 2, 1)
+        net.add_arc(1, 2, 1)
+        net.add_arc(1, 3, 1)
+        net.add_arc(2, 3, 1)
+        assert max_flow(net, 0, 3) == 2

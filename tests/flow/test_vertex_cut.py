@@ -1,0 +1,94 @@
+"""Tests for minimum vertex cuts (the DOUBLEIDOM engine)."""
+
+import pytest
+
+from repro.circuits.generators import random_single_output
+from repro.errors import FlowError
+from repro.flow import count_disjoint_paths, min_vertex_cut
+from repro.graph import IndexedGraph
+
+
+def _graph(circuit):
+    return IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+
+
+class TestFigure2:
+    def test_cut_from_u_to_t(self, fig2_graph):
+        g = fig2_graph
+        result = min_vertex_cut(g, [g.index_of("u")], g.index_of("t"))
+        assert result.flow == 2
+        assert {g.name_of(v) for v in result.cut} == {"a", "b"}
+
+    def test_source_nearest_cut(self, fig2_graph):
+        """{a,b} — not {e,c} or {h,g} — is returned: nearest the source."""
+        g = fig2_graph
+        result = min_vertex_cut(g, [g.index_of("u")], g.index_of("t"))
+        assert {g.name_of(v) for v in result.cut} == {"a", "b"}
+
+    def test_direct_edge_means_bounded(self, fig2_graph):
+        """h feeds t directly: no interior vertex can cut {h} from t."""
+        g = fig2_graph
+        result = min_vertex_cut(g, [g.index_of("h")], g.index_of("t"))
+        assert result.bounded
+        assert result.cut is None
+
+    def test_multi_source(self, fig2_graph):
+        g = fig2_graph
+        result = min_vertex_cut(
+            g, [g.index_of("k"), g.index_of("l")], g.root, limit=5
+        )
+        assert result.flow == 2
+        assert {g.name_of(v) for v in result.cut} == {"m", "n"}
+
+
+class TestValidation:
+    def test_sink_in_sources_rejected(self, fig2_graph):
+        with pytest.raises(FlowError):
+            min_vertex_cut(fig2_graph, [fig2_graph.root], fig2_graph.root)
+
+    def test_empty_sources_rejected(self, fig2_graph):
+        with pytest.raises(FlowError):
+            min_vertex_cut(fig2_graph, [], fig2_graph.root)
+
+
+class TestCutProperties:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_cut_disconnects_and_is_minimum(self, seed):
+        """On random cones: the returned cut really separates the source
+        from the root, and no single vertex does (when flow == 2)."""
+        graph = _graph(random_single_output(4, 25, seed=seed))
+        for u in graph.sources():
+            result = min_vertex_cut(graph, [u], graph.root, limit=3)
+            if result.cut is None or result.flow != 2:
+                continue
+            banned = set(result.cut)
+            # Removing the cut disconnects u from the root.
+            seen, stack, reached = {u}, [u], False
+            while stack:
+                v = stack.pop()
+                if v == graph.root:
+                    reached = True
+                    break
+                for w in graph.succ[v]:
+                    if w not in seen and w not in banned:
+                        seen.add(w)
+                        stack.append(w)
+            assert not reached
+            # Minimality: no single interior vertex disconnects.
+            single = min_vertex_cut(graph, [u], graph.root, limit=2)
+            assert single.flow == 2
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_menger(self, seed):
+        """Flow value == number of internally disjoint paths (no direct
+        source→sink edges in these cones because gates intervene)."""
+        graph = _graph(random_single_output(4, 25, seed=seed + 100))
+        for u in graph.sources():
+            if graph.root in graph.succ[u]:
+                continue
+            paths = count_disjoint_paths(graph, [u], graph.root)
+            result = min_vertex_cut(
+                graph, [u], graph.root, limit=graph.n + 1
+            )
+            assert result.flow == paths
+            assert len(result.cut) == paths

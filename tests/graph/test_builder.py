@@ -1,0 +1,82 @@
+"""Tests for the fluent CircuitBuilder."""
+
+import pytest
+
+from repro.graph import CircuitBuilder, NodeType
+
+
+class TestGateHelpers:
+    def test_named_gates(self):
+        b = CircuitBuilder("t")
+        a, bb = b.inputs("a", "b")
+        s = b.xor(a, bb, name="s")
+        c = b.finish([s])
+        assert c.node("s").type is NodeType.XOR
+        assert c.node("s").fanins == ("a", "b")
+
+    def test_auto_names_unique(self):
+        b = CircuitBuilder()
+        a = b.input()
+        names = {b.not_(a) for _ in range(20)}
+        assert len(names) == 20
+
+    def test_degenerate_nary_passthrough(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        assert b.and_(a) == "a"  # unary AND is the wire itself
+        assert b.or_(a) == "a"
+        assert b.xor(a) == "a"
+
+    def test_mux(self):
+        b = CircuitBuilder()
+        s, x, y = b.inputs("s", "x", "y")
+        m = b.mux(s, x, y, name="m")
+        c = b.finish([m])
+        assert c.node("m").fanins == ("s", "x", "y")
+
+    def test_input_bus(self):
+        b = CircuitBuilder()
+        bus = b.input_bus("d", 4)
+        assert bus == ["d0", "d1", "d2", "d3"]
+
+    def test_constant(self):
+        b = CircuitBuilder()
+        one = b.constant(1)
+        x = b.input("x")
+        c = b.finish([b.and_(one, x, name="y")])
+        assert c.node(one).type is NodeType.CONST1
+
+
+class TestTrees:
+    def test_balanced_tree_depth(self):
+        b = CircuitBuilder()
+        xs = b.input_bus("x", 8)
+        out = b.and_tree(xs, name="out")
+        c = b.finish([out])
+        # 8 leaves with arity 2 -> 7 internal AND gates.
+        assert c.gate_count() == 7
+
+    def test_tree_with_single_signal_and_name(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        out = b.xor_tree([x], name="out")
+        c = b.finish([out])
+        assert c.node("out").type is NodeType.BUF
+
+    def test_tree_rejects_empty(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.or_tree([])
+
+    def test_wide_arity_tree(self):
+        b = CircuitBuilder()
+        xs = b.input_bus("x", 9)
+        out = b.tree(NodeType.OR, xs, arity=3, name="out")
+        c = b.finish([out])
+        assert c.gate_count() == 4  # 3 + 1
+
+    def test_finish_validates(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        circuit = b.finish([x])
+        assert circuit.outputs == ["x"]

@@ -1,0 +1,131 @@
+"""Tests for the Circuit netlist model."""
+
+import pytest
+
+from repro.errors import (
+    CircuitError,
+    DuplicateNodeError,
+    NotADagError,
+    UnknownNodeError,
+)
+from repro.graph import Circuit, NodeType
+
+
+def _half_adder():
+    c = Circuit("ha")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("s", NodeType.XOR, ["a", "b"])
+    c.add_gate("co", NodeType.AND, ["a", "b"])
+    c.set_outputs(["s", "co"])
+    return c
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = _half_adder()
+        c.validate()
+        assert len(c) == 4
+        assert c.gate_count() == 2
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["s", "co"]
+
+    def test_duplicate_name_rejected(self):
+        c = _half_adder()
+        with pytest.raises(DuplicateNodeError):
+            c.add_input("a")
+        with pytest.raises(DuplicateNodeError):
+            c.add_gate("s", NodeType.OR, ["a"])
+
+    def test_input_via_add_gate_rejected(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.add_gate("x", NodeType.INPUT, [])
+
+    def test_bad_arity_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        with pytest.raises(CircuitError):
+            c.add_gate("n", NodeType.NOT, ["a", "b"])
+        with pytest.raises(CircuitError):
+            c.add_gate("m", NodeType.MUX, ["a", "b"])
+
+    def test_undefined_fanin_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", NodeType.AND, ["a", "ghost"])
+        c.set_outputs(["g"])
+        with pytest.raises(UnknownNodeError):
+            c.validate()
+
+    def test_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("x", NodeType.AND, ["a", "y"])
+        c.add_gate("y", NodeType.OR, ["x", "a"])
+        c.set_outputs(["y"])
+        with pytest.raises(NotADagError):
+            c.topological_order()
+
+    def test_undefined_output_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.set_outputs(["nope"])
+        with pytest.raises(UnknownNodeError):
+            c.validate()
+
+    def test_constants(self):
+        c = Circuit()
+        c.add_constant("one", 1)
+        c.add_constant("zero", 0)
+        assert c.node("one").type is NodeType.CONST1
+        assert c.node("zero").type is NodeType.CONST0
+
+
+class TestDerived:
+    def test_fanouts(self):
+        c = _half_adder()
+        assert sorted(c.fanouts("a")) == ["co", "s"]
+        assert c.fanout_degree("a") == 2
+        assert c.fanouts("s") == []
+
+    def test_topological_order(self):
+        c = _half_adder()
+        order = c.topological_order()
+        assert order.index("a") < order.index("s")
+        assert order.index("b") < order.index("co")
+        assert len(order) == 4
+
+    def test_mutation_invalidates_caches(self):
+        c = _half_adder()
+        assert c.fanout_degree("a") == 2
+        c.add_gate("extra", NodeType.NOT, ["a"])
+        c.add_output("extra")
+        assert c.fanout_degree("a") == 3
+        assert "extra" in c.topological_order()
+
+    def test_outputs_deduplicated_in_order(self):
+        c = _half_adder()
+        c.set_outputs(["co", "s", "co"])
+        assert c.outputs == ["co", "s"]
+
+    def test_copy_is_independent(self):
+        c = _half_adder()
+        dup = c.copy("ha2")
+        dup.add_input("extra")
+        assert "extra" in dup
+        assert "extra" not in c
+        assert dup.name == "ha2"
+
+    def test_unknown_lookup(self):
+        c = _half_adder()
+        with pytest.raises(UnknownNodeError):
+            c.node("ghost")
+        assert "ghost" not in c
+        assert "a" in c
+
+    def test_iteration(self):
+        c = _half_adder()
+        assert sorted(c) == ["a", "b", "co", "s"]
+        assert len(list(c.nodes())) == 4

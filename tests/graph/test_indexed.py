@@ -1,0 +1,111 @@
+"""Tests for the IndexedGraph view."""
+
+import pytest
+
+from repro.errors import CircuitError, UnknownNodeError
+from repro.graph import Circuit, CircuitBuilder, IndexedGraph, NodeType
+
+
+def _two_output_circuit():
+    b = CircuitBuilder()
+    a, bb, c = b.inputs("a", "b", "c")
+    x = b.and_(a, bb, name="x")
+    y = b.or_(bb, c, name="y")
+    return b.finish([x, y])
+
+
+class TestConeExtraction:
+    def test_cone_restricts_to_fanin(self):
+        circuit = _two_output_circuit()
+        cone = IndexedGraph.from_circuit(circuit, "x")
+        assert sorted(n for n in cone.names) == ["a", "b", "x"]
+        assert cone.name_of(cone.root) == "x"
+
+    def test_single_output_inferred(self, fig2):
+        g = IndexedGraph.from_circuit(fig2)
+        assert g.name_of(g.root) == "f"
+
+    def test_multi_output_requires_choice(self):
+        with pytest.raises(CircuitError):
+            IndexedGraph.from_circuit(_two_output_circuit())
+
+    def test_unknown_output(self):
+        with pytest.raises(UnknownNodeError):
+            IndexedGraph.from_circuit(_two_output_circuit(), "ghost")
+
+    def test_edges_in_signal_direction(self, fig2_graph):
+        g = fig2_graph
+        u, a = g.index_of("u"), g.index_of("a")
+        assert a in g.succ[u]
+        assert u in g.pred[a]
+
+    def test_sources_are_cone_inputs(self):
+        cone = IndexedGraph.from_circuit(_two_output_circuit(), "y")
+        assert {cone.name_of(s) for s in cone.sources()} == {"b", "c"}
+
+
+class TestTraversal:
+    def test_reachable_from(self, fig2_graph):
+        g = fig2_graph
+        reach = g.reachable_from(g.index_of("k"))
+        names = {g.name_of(v) for v in range(g.n) if reach[v]}
+        assert names == {"k", "m", "f"}
+
+    def test_reachable_with_exclusion(self, fig2_graph):
+        g = fig2_graph
+        reach = g.reachable_from(g.index_of("u"), exclude=g.index_of("a"))
+        assert not reach[g.index_of("e")]
+        assert reach[g.index_of("c")]  # via b
+
+    def test_exclude_start_is_empty(self, fig2_graph):
+        g = fig2_graph
+        u = g.index_of("u")
+        assert not any(g.reachable_from(u, exclude=u))
+
+    def test_coreachable_to(self, fig2_graph):
+        g = fig2_graph
+        co = g.coreachable_to(g.index_of("t"))
+        names = {g.name_of(v) for v in range(g.n) if co[v]}
+        assert names == {"u", "a", "b", "c", "d", "e", "g", "h", "t"}
+
+    def test_topological_order(self, fig2_graph):
+        g = fig2_graph
+        pos = {v: i for i, v in enumerate(g.topological_order())}
+        for v in range(g.n):
+            for w in g.succ[v]:
+                assert pos[v] < pos[w]
+
+
+class TestDerivedGraphs:
+    def test_subgraph_mapping(self, fig2_graph):
+        g = fig2_graph
+        keep = g.coreachable_to(g.index_of("t"))
+        sub, orig_of = g.subgraph(keep, g.index_of("t"))
+        assert sub.n == sum(keep)
+        for i, orig in enumerate(orig_of):
+            assert sub.name_of(i) == g.name_of(orig)
+
+    def test_subgraph_requires_kept_root(self, fig2_graph):
+        g = fig2_graph
+        keep = [False] * g.n
+        with pytest.raises(CircuitError):
+            g.subgraph(keep, g.root)
+
+    def test_fake_source(self, fig2_graph):
+        g = fig2_graph
+        targets = [g.index_of("k"), g.index_of("l")]
+        aug = g.with_fake_source(targets)
+        assert aug.n == g.n + 1
+        assert sorted(aug.succ[g.n]) == sorted(targets)
+        assert aug.names[g.n] is None
+        assert aug.name_of(g.n) == f"#{g.n}"
+
+    def test_name_lookup(self, fig2_graph):
+        g = fig2_graph
+        assert g.name_of(g.index_of("d")) == "d"
+        with pytest.raises(UnknownNodeError):
+            g.index_of("ghost")
+
+    def test_edge_count(self, fig2_graph):
+        g = fig2_graph
+        assert g.edge_count() == sum(len(p) for p in g.pred)

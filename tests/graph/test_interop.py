@@ -1,0 +1,76 @@
+"""Tests for networkx interoperability."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits.generators import random_circuit
+from repro.errors import CircuitError
+from repro.graph import (
+    IndexedGraph,
+    circuit_from_networkx,
+    circuit_to_networkx,
+    indexed_to_networkx,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_circuit_roundtrip(self, seed):
+        original = random_circuit(4, 20, num_outputs=2, seed=seed)
+        graph = circuit_to_networkx(original)
+        restored = circuit_from_networkx(graph)
+        assert set(restored.inputs) == set(original.inputs)
+        assert set(restored.outputs) == set(original.outputs)
+        for node in original.nodes():
+            other = restored.node(node.name)
+            assert other.type is node.type
+            assert other.fanins == node.fanins  # position attr preserved
+
+    def test_mux_operand_order_preserved(self):
+        from repro.graph import CircuitBuilder
+
+        b = CircuitBuilder()
+        s, x, y = b.inputs("s", "x", "y")
+        b.mux(s, x, y, name="m")
+        circuit = b.finish(["m"])
+        restored = circuit_from_networkx(circuit_to_networkx(circuit))
+        assert restored.node("m").fanins == ("s", "x", "y")
+
+    def test_cycle_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", type="and")
+        graph.add_node("b", type="and")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        with pytest.raises(CircuitError):
+            circuit_from_networkx(graph)
+
+    def test_outputs_inferred_from_sinks(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", type="input")
+        graph.add_node("x", type="not")
+        graph.add_edge("a", "x")
+        circuit = circuit_from_networkx(graph)
+        assert circuit.outputs == ["x"]
+
+
+class TestIndexedExport:
+    def test_indexed_to_networkx(self, fig2_graph):
+        graph = indexed_to_networkx(fig2_graph)
+        assert graph.number_of_nodes() == fig2_graph.n
+        assert graph.nodes["f"]["is_root"]
+        assert graph.has_edge("u", "a")
+
+    def test_dominators_match_networkx_idoms(self, fig2_graph):
+        """Cross-validate Lengauer–Tarjan against networkx's
+        immediate_dominators on the reversed graph."""
+        from repro.dominators import circuit_idoms
+
+        g = indexed_to_networkx(fig2_graph).reverse()
+        nx_idoms = nx.immediate_dominators(g, "f")
+        ours = circuit_idoms(fig2_graph)
+        for v in range(fig2_graph.n):
+            name = fig2_graph.name_of(v)
+            if name == "f":
+                continue
+            assert fig2_graph.name_of(ours[v]) == nx_idoms[name]

@@ -1,0 +1,82 @@
+"""Tests for gate types and evaluation."""
+
+import pytest
+
+from repro.graph.node import (
+    MAX_FANIN,
+    MIN_FANIN,
+    NodeType,
+    evaluate_gate,
+    parse_node_type,
+)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "gate,bits,expected",
+        [
+            (NodeType.AND, (1, 1, 1), 1),
+            (NodeType.AND, (1, 0, 1), 0),
+            (NodeType.NAND, (1, 1), 0),
+            (NodeType.NAND, (0, 1), 1),
+            (NodeType.OR, (0, 0), 0),
+            (NodeType.OR, (0, 1), 1),
+            (NodeType.NOR, (0, 0), 1),
+            (NodeType.XOR, (1, 1, 1), 1),
+            (NodeType.XOR, (1, 1), 0),
+            (NodeType.XNOR, (1, 0), 0),
+            (NodeType.XNOR, (1, 1), 1),
+            (NodeType.NOT, (1,), 0),
+            (NodeType.BUF, (1,), 1),
+            (NodeType.MUX, (0, 1, 0), 1),  # sel=0 -> a
+            (NodeType.MUX, (1, 1, 0), 0),  # sel=1 -> b
+            (NodeType.CONST0, (), 0),
+            (NodeType.CONST1, (), 1),
+        ],
+    )
+    def test_truth_tables(self, gate, bits, expected):
+        assert evaluate_gate(gate, bits) == expected
+
+    def test_input_has_no_function(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(NodeType.INPUT, ())
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(NodeType.NOT, (1, 0))
+        with pytest.raises(ValueError):
+            evaluate_gate(NodeType.MUX, (1, 0))
+
+    def test_fanin_tables_cover_all_types(self):
+        assert set(MIN_FANIN) == set(NodeType)
+        assert set(MAX_FANIN) == set(NodeType)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("AND", NodeType.AND),
+            ("nand", NodeType.NAND),
+            ("Not", NodeType.NOT),
+            ("INV", NodeType.NOT),
+            ("BUFF", NodeType.BUF),
+            ("vdd", NodeType.CONST1),
+            ("gnd", NodeType.CONST0),
+        ],
+    )
+    def test_aliases(self, token, expected):
+        assert parse_node_type(token) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            parse_node_type("flipflop")
+
+
+class TestTypePredicates:
+    def test_predicates(self):
+        assert NodeType.INPUT.is_input
+        assert NodeType.CONST1.is_constant
+        assert NodeType.AND.is_gate
+        assert not NodeType.INPUT.is_gate
+        assert not NodeType.CONST0.is_gate

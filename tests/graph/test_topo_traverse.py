@@ -1,0 +1,82 @@
+"""Tests for topological metrics and name-level traversals."""
+
+import pytest
+
+from repro.graph import (
+    CircuitBuilder,
+    IndexedGraph,
+    cone_inputs,
+    dead_nodes,
+    depth,
+    levels_from_inputs,
+    longest_path_to_root,
+    output_cone,
+    shortest_path_to_root,
+    strip_dead_nodes,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+class TestTopo:
+    def test_levels(self, fig2_graph):
+        g = fig2_graph
+        levels = levels_from_inputs(g)
+        assert levels[g.index_of("u")] == 0
+        assert levels[g.index_of("a")] == 1
+        assert levels[g.index_of("c")] == 2
+        # t is reached via the longest path u-b-c-d-g-t or u-a-c-d-h-t.
+        assert levels[g.index_of("t")] == 5
+
+    def test_longest_path_to_root(self, fig2_graph):
+        g = fig2_graph
+        dist = longest_path_to_root(g)
+        assert dist[g.root] == 0
+        assert dist[g.index_of("u")] == 8  # u-a-c-d-h-t-k-m-f
+        assert dist[g.index_of("m")] == 1
+
+    def test_shortest_path_to_root(self, fig2_graph):
+        g = fig2_graph
+        dist = shortest_path_to_root(g)
+        assert dist[g.index_of("u")] == 7  # u-a-e-h-t-k-m-f
+        assert dist[g.index_of("t")] == 3
+
+    def test_depth(self, fig2_graph):
+        assert depth(fig2_graph) == levels_from_inputs(fig2_graph)[
+            fig2_graph.root
+        ]
+
+
+class TestTraverse:
+    def _circuit(self):
+        b = CircuitBuilder()
+        a, bb, c = b.inputs("a", "b", "c")
+        x = b.and_(a, bb, name="x")
+        y = b.or_(x, c, name="y")
+        b.not_(c, name="dangling")
+        circuit = b.circuit
+        circuit.set_outputs(["y"])
+        return circuit
+
+    def test_transitive_fanin(self):
+        c = self._circuit()
+        assert transitive_fanin(c, "y") == {"x", "a", "b", "c"}
+        assert transitive_fanin(c, "a") == set()
+
+    def test_transitive_fanout(self):
+        c = self._circuit()
+        assert transitive_fanout(c, "a") == {"x", "y"}
+        assert transitive_fanout(c, "c") == {"y", "dangling"}
+
+    def test_output_cone_and_inputs(self):
+        c = self._circuit()
+        assert output_cone(c, "y") == {"y", "x", "a", "b", "c"}
+        assert cone_inputs(c, "y") == ["a", "b", "c"]
+
+    def test_dead_nodes_and_strip(self):
+        c = self._circuit()
+        assert dead_nodes(c) == {"dangling"}
+        stripped = strip_dead_nodes(c)
+        assert "dangling" not in stripped
+        assert set(stripped.inputs) == {"a", "b", "c"}
+        stripped.validate()

@@ -1,0 +1,79 @@
+"""Tests for graph restrictions (transform module)."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.graph import IndexedGraph
+from repro.graph.transform import (
+    merge_sources,
+    region_between,
+    remove_vertex,
+    remove_vertices,
+    reversed_graph,
+)
+
+
+class TestRemoveVertex:
+    def test_prunes_dead_branches(self, fig2_graph):
+        """Removing d also prunes c (its only path to the root runs
+        through d)."""
+        g = fig2_graph
+        sub, orig_of = remove_vertex(g, g.index_of("d"))
+        names = {sub.name_of(i) for i in range(sub.n)}
+        assert "d" not in names
+        assert "c" not in names
+        assert "b" not in names  # b -> c -> d only
+        assert "a" in names and "e" in names
+
+    def test_root_removal_rejected(self, fig2_graph):
+        with pytest.raises(CircuitError):
+            remove_vertex(fig2_graph, fig2_graph.root)
+
+    def test_mapping_consistent(self, fig2_graph):
+        g = fig2_graph
+        sub, orig_of = remove_vertex(g, g.index_of("a"))
+        for i, orig in enumerate(orig_of):
+            assert sub.name_of(i) == g.name_of(orig)
+
+
+class TestRemoveVertices:
+    def test_removing_pair_disconnects(self, fig2_graph):
+        g = fig2_graph
+        sub, orig_of = remove_vertices(
+            g, [g.index_of("a"), g.index_of("b")]
+        )
+        names = {sub.name_of(i) for i in range(sub.n)}
+        assert "u" not in names  # fully cut off from the root
+        assert "t" in names
+
+    def test_empty_removal_keeps_coreachable(self, fig2_graph):
+        g = fig2_graph
+        sub, orig_of = remove_vertices(g, [])
+        assert sub.n == g.n  # every Figure-2 vertex co-reaches f
+
+
+class TestRegionBetween:
+    def test_region_bounds(self, fig2_graph):
+        g = fig2_graph
+        sub, orig_of = region_between(g, g.index_of("t"), g.index_of("f"))
+        names = {sub.name_of(i) for i in range(sub.n)}
+        assert names == {"t", "k", "l", "m", "n", "f"}
+        assert sub.name_of(sub.root) == "f"
+
+    def test_unreachable_sink_rejected(self, fig2_graph):
+        g = fig2_graph
+        with pytest.raises(CircuitError):
+            region_between(g, g.index_of("k"), g.index_of("l"))
+
+
+class TestOther:
+    def test_merge_sources_empty_rejected(self, fig2_graph):
+        with pytest.raises(CircuitError):
+            merge_sources(fig2_graph, [])
+
+    def test_reversed_graph(self, fig2_graph):
+        g = fig2_graph
+        rev = reversed_graph(g)
+        for v in range(g.n):
+            assert sorted(rev.succ[v]) == sorted(g.pred[v])
+            assert sorted(rev.pred[v]) == sorted(g.succ[v])

@@ -1,0 +1,117 @@
+"""Tests for validation helpers, statistics and structural rewrites."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.circuits.generators import parity_tree, random_single_output
+from repro.errors import CircuitError
+from repro.graph import (
+    CircuitBuilder,
+    IndexedGraph,
+    assert_well_formed,
+    check_cone,
+    check_no_dangling,
+    circuit_stats,
+    reconvergent_fraction,
+)
+from repro.graph.rewrite import expand_xors, gate_type_histogram
+from repro.graph.node import NodeType
+
+
+class TestValidate:
+    def test_check_cone_accepts_cone(self, fig2_graph):
+        check_cone(fig2_graph)
+
+    def test_check_cone_rejects_stranded(self, fig2_graph):
+        g = fig2_graph
+        aug = g.with_fake_source([g.index_of("u")])
+        # A second fake vertex with no fanout cannot reach the root.
+        from repro.graph import IndexedGraph as IG
+
+        succ = [list(adj) for adj in aug.succ] + [[]]
+        bad = IG(succ, root=aug.root, names=list(aug.names) + ["stray"])
+        with pytest.raises(CircuitError):
+            check_cone(bad)
+
+    def test_dangling_detection(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        b.not_(a, name="dead")
+        keep = b.buf(a, name="out")
+        circuit = b.circuit
+        circuit.set_outputs([keep])
+        assert check_no_dangling(circuit) == ["dead"]
+        with pytest.raises(CircuitError):
+            assert_well_formed(circuit)
+
+    def test_no_outputs_rejected(self):
+        b = CircuitBuilder()
+        b.input("a")
+        with pytest.raises(CircuitError):
+            assert_well_formed(b.circuit)
+
+
+class TestStats:
+    def test_tree_has_zero_reconvergence(self):
+        assert reconvergent_fraction(parity_tree(16)) == 0.0
+
+    def test_stats_fields(self, fig2):
+        st = circuit_stats(fig2)
+        assert st.num_inputs == 1
+        assert st.num_outputs == 1
+        assert st.num_gates == 13
+        assert st.max_depth == 8
+        assert st.max_fanout == 2
+        assert 0 < st.reconvergent_fraction < 1
+        assert st.as_dict()["name"] == "figure2"
+
+
+class TestExpandXors:
+    def test_function_preserved(self):
+        circuit = random_single_output(4, 15, seed=2)
+        expanded = expand_xors(circuit)
+        hist = gate_type_histogram(expanded)
+        assert NodeType.XOR not in hist
+        assert NodeType.XNOR not in hist
+        for bits in itertools.product((0, 1), repeat=len(circuit.inputs)):
+            env = dict(zip(circuit.inputs, bits))
+            out = circuit.outputs[0]
+            assert evaluate(circuit, env)[out] == evaluate(expanded, env)[out]
+
+    def test_wide_xor(self):
+        b = CircuitBuilder()
+        xs = b.inputs("a", "b", "c")
+        out = b.gate(NodeType.XOR, xs, name="out")
+        circuit = b.finish([out])
+        expanded = expand_xors(circuit)
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(["a", "b", "c"], bits))
+            assert (
+                evaluate(expanded, env)["out"]
+                == evaluate(circuit, env)["out"]
+            )
+
+    def test_xnor_and_unary(self):
+        b = CircuitBuilder()
+        a, bb = b.inputs("a", "b")
+        x = b.xnor(a, bb, name="x")
+        circuit = b.finish([x])
+        expanded = expand_xors(circuit)
+        for bits in itertools.product((0, 1), repeat=2):
+            env = dict(zip(["a", "b"], bits))
+            assert (
+                evaluate(expanded, env)["x"] == evaluate(circuit, env)["x"]
+            )
+
+    def test_reconvergence_increases(self):
+        """The NAND expansion adds re-converging diamonds (C499→C1355)."""
+        b = CircuitBuilder()
+        xs = b.input_bus("x", 8)
+        out = b.xor_tree(xs, name="p")
+        circuit = b.finish([out])
+        expanded = expand_xors(circuit)
+        assert reconvergent_fraction(expanded) > reconvergent_fraction(
+            circuit
+        )

@@ -1,0 +1,92 @@
+"""Tests for the ISCAS .bench parser/writer."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.circuits.generators import random_circuit
+from repro.errors import ParseError
+from repro.graph import NodeType
+from repro.parsers import bench
+
+SAMPLE = """
+# simple sample
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G5)
+G3 = NAND(G1, G2)
+G4 = NOT(G3)
+G5 = AND(G4, G1)
+"""
+
+
+class TestLoads:
+    def test_basic_parse(self):
+        c = bench.loads(SAMPLE, name="sample")
+        assert c.inputs == ["G1", "G2"]
+        assert c.outputs == ["G5"]
+        assert c.node("G3").type is NodeType.NAND
+        assert c.node("G4").fanins == ("G3",)
+
+    def test_comments_and_blanks_ignored(self):
+        c = bench.loads("INPUT(a)\n\n# hi\nOUTPUT(a)\n")
+        assert c.inputs == ["a"]
+
+    def test_case_insensitive_keywords(self):
+        c = bench.loads("input(a)\noutput(b)\nb = not(a)\n")
+        assert c.node("b").type is NodeType.NOT
+
+    def test_dff_rejected(self):
+        with pytest.raises(ParseError) as err:
+            bench.loads("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+        assert "DFF" in str(err.value)
+        assert err.value.line == 3
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            bench.loads("INPUT(a)\nOUTPUT(b)\nb = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ParseError):
+            bench.loads("INPUT(a)\nwhat is this\n")
+
+    def test_buff_alias(self):
+        c = bench.loads("INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n")
+        assert c.node("b").type is NodeType.BUF
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_structural_roundtrip(self, seed):
+        original = random_circuit(4, 20, num_outputs=2, seed=seed)
+        restored = bench.loads(bench.dumps(original), name=original.name)
+        assert restored.inputs == original.inputs
+        assert restored.outputs == original.outputs
+        assert len(restored) == len(original)
+        for node in original.nodes():
+            other = restored.node(node.name)
+            assert other.type is node.type
+            assert other.fanins == node.fanins
+
+    def test_functional_roundtrip(self):
+        original = random_circuit(4, 12, num_outputs=1, seed=3)
+        restored = bench.loads(bench.dumps(original))
+        for bits in itertools.product((0, 1), repeat=4):
+            env = dict(zip(original.inputs, bits))
+            for out in original.outputs:
+                assert (
+                    evaluate(original, env)[out]
+                    == evaluate(restored, env)[out]
+                )
+
+    def test_file_roundtrip(self, tmp_path, fig2):
+        path = tmp_path / "fig2.bench"
+        bench.dump(fig2, path)
+        restored = bench.load(path)
+        assert restored.name == "fig2"
+        assert len(restored) == len(fig2)
+
+    def test_figure1_roundtrip(self, fig1):
+        restored = bench.loads(bench.dumps(fig1))
+        assert sorted(restored) == sorted(fig1)

@@ -1,0 +1,129 @@
+"""Tests for the BLIF parser/writer."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.circuits.generators import random_circuit
+from repro.errors import ParseError
+from repro.graph import NodeType
+from repro.parsers import blif
+
+SAMPLE = """
+.model sample
+.inputs a b c
+.outputs f
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.end
+"""
+
+
+class TestLoads:
+    def test_basic_parse(self):
+        c = blif.loads(SAMPLE)
+        assert c.name == "sample"
+        assert c.inputs == ["a", "b", "c"]
+        assert c.node("t1").type is NodeType.AND
+        assert c.node("f").type is NodeType.OR
+
+    def test_inverter_and_buffer_covers(self):
+        src = ".model m\n.inputs a\n.outputs x y\n.names a x\n0 1\n.names a y\n1 1\n.end\n"
+        c = blif.loads(src)
+        assert c.node("x").type is NodeType.NOT
+        assert c.node("y").type is NodeType.BUF
+
+    def test_nor_cover(self):
+        src = ".model m\n.inputs a b\n.outputs x\n.names a b x\n00 1\n.end\n"
+        assert blif.loads(src).node("x").type is NodeType.NOR
+
+    def test_constants(self):
+        src = ".model m\n.inputs a\n.outputs one zero keep\n.names one\n1\n.names zero\n.names a keep\n1 1\n.end\n"
+        c = blif.loads(src)
+        assert c.node("one").type is NodeType.CONST1
+        assert c.node("zero").type is NodeType.CONST0
+
+    def test_generic_sop_expansion(self):
+        """An XOR cover is not a standard gate: expanded to AND/OR/NOT."""
+        src = ".model m\n.inputs a b\n.outputs x\n.names a b x\n10 1\n01 1\n.end\n"
+        c = blif.loads(src)
+        for bits in itertools.product((0, 1), repeat=2):
+            env = dict(zip(["a", "b"], bits))
+            assert evaluate(c, env)["x"] == bits[0] ^ bits[1]
+
+    def test_line_continuation(self):
+        src = ".model m\n.inputs a \\\n b\n.outputs x\n.names a b x\n11 1\n.end\n"
+        assert blif.loads(src).inputs == ["a", "b"]
+
+    def test_latch_rejected(self):
+        src = ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n"
+        with pytest.raises(ParseError):
+            blif.loads(src)
+
+    def test_bad_cover_row_rejected(self):
+        src = ".model m\n.inputs a b\n.outputs x\n.names a b x\n1 1\n.end\n"
+        with pytest.raises(ParseError):
+            blif.loads(src)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ParseError):
+            blif.loads(".frobnicate\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_functional_roundtrip(self, seed):
+        original = random_circuit(4, 15, num_outputs=2, seed=seed)
+        restored = blif.loads(blif.dumps(original))
+        for bits in itertools.product((0, 1), repeat=4):
+            env = dict(zip(original.inputs, bits))
+            for out in original.outputs:
+                assert (
+                    evaluate(original, env)[out]
+                    == evaluate(restored, env)[out]
+                )
+
+    def test_mux_roundtrip(self):
+        from repro.graph import CircuitBuilder
+
+        b = CircuitBuilder("m")
+        s, x, y = b.inputs("s", "x", "y")
+        b.mux(s, x, y, name="out")
+        original = b.finish(["out"])
+        restored = blif.loads(blif.dumps(original))
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(["s", "x", "y"], bits))
+            assert (
+                evaluate(original, env)["out"]
+                == evaluate(restored, env)["out"]
+            )
+
+    def test_file_roundtrip(self, tmp_path, fig1):
+        path = tmp_path / "fig1.blif"
+        blif.dump(fig1, path)
+        restored = blif.load(path)
+        assert set(restored.outputs) == set(fig1.outputs)
+
+
+class TestParityCovers:
+    def test_xnor_cover_recognized(self):
+        src = ".model m\n.inputs a b\n.outputs x\n.names a b x\n00 1\n11 1\n.end\n"
+        assert blif.loads(src).node("x").type is NodeType.XNOR
+
+    def test_xor_cover_recognized(self):
+        src = ".model m\n.inputs a b c\n.outputs x\n.names a b c x\n001 1\n010 1\n100 1\n111 1\n.end\n"
+        assert blif.loads(src).node("x").type is NodeType.XOR
+
+    def test_xnor_structural_roundtrip(self):
+        from repro.graph import CircuitBuilder
+
+        b = CircuitBuilder("m")
+        a, bb = b.inputs("a", "b")
+        b.xnor(a, bb, name="x")
+        original = b.finish(["x"])
+        restored = blif.loads(blif.dumps(original))
+        assert restored.node("x").type is NodeType.XNOR

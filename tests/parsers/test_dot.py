@@ -1,0 +1,35 @@
+"""Tests for Graphviz DOT export."""
+
+from repro.core import dominator_chain
+from repro.dominators import circuit_dominator_tree
+from repro.parsers import chain_to_dot, circuit_to_dot, dominator_tree_to_dot
+from repro.parsers.dot import write_dot
+
+
+def test_circuit_dot_contains_nodes_and_edges(fig2):
+    text = circuit_to_dot(fig2)
+    assert text.startswith('digraph "figure2"')
+    assert '"u" -> "a";' in text
+    assert '"m" -> "f";' in text
+    assert "peripheries=2" in text  # output marked
+
+
+def test_dominator_tree_dot(fig2_graph):
+    tree = circuit_dominator_tree(fig2_graph)
+    text = dominator_tree_to_dot(fig2_graph, tree)
+    assert '"u" -> "t"' in text
+    assert '"t" -> "f"' in text
+    assert "style=dashed" in text
+
+
+def test_chain_dot_highlights_sides(fig2_graph):
+    chain = dominator_chain(fig2_graph, fig2_graph.index_of("u"))
+    text = chain_to_dot(fig2_graph, chain)
+    assert "lightblue" in text and "palegreen" in text
+    assert "orange" in text  # the target u
+
+
+def test_write_dot(tmp_path, fig2):
+    path = tmp_path / "c.dot"
+    write_dot(circuit_to_dot(fig2), path)
+    assert path.read_text().startswith("digraph")

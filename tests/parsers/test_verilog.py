@@ -1,0 +1,112 @@
+"""Tests for the structural Verilog parser/writer."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.errors import ParseError
+from repro.graph import NodeType
+from repro.parsers import verilog
+
+SAMPLE = """
+// a tiny mux built from primitives
+module tinymux (s, a, b, y);
+  input s, a, b;
+  output y;
+  wire ns, t1, t2;
+  not g1 (ns, s);
+  and g2 (t1, ns, a);
+  and g3 (t2, s, b);
+  or  g4 (y, t1, t2);
+endmodule
+"""
+
+
+class TestLoads:
+    def test_basic_parse(self):
+        c = verilog.loads(SAMPLE)
+        assert c.name == "tinymux"
+        assert c.inputs == ["s", "a", "b"]
+        assert c.outputs == ["y"]
+        assert c.node("t1").type is NodeType.AND
+        assert c.node("y").fanins == ("t1", "t2")
+
+    def test_function(self):
+        c = verilog.loads(SAMPLE)
+        for s, a, b in itertools.product((0, 1), repeat=3):
+            vals = evaluate(c, {"s": s, "a": a, "b": b})
+            assert vals["y"] == (b if s else a)
+
+    def test_block_comments_stripped(self):
+        src = SAMPLE.replace("wire ns, t1, t2;", "/* x\n y */ wire ns, t1, t2;")
+        verilog.loads(src)
+
+    def test_assign_alias(self):
+        src = """
+        module m (a, y);
+          input a; output y;
+          wire w;
+          not g (w, a);
+          assign y = w;
+        endmodule
+        """
+        c = verilog.loads(src)
+        assert c.node("y").type is NodeType.BUF
+        assert evaluate(c, {"a": 0})["y"] == 1
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(ParseError):
+            verilog.loads("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(ParseError):
+            verilog.loads("module m (a); input a;")
+
+    def test_vector_ports_rejected(self):
+        src = "module m (a, y); input [3:0] a; output y; endmodule"
+        with pytest.raises(ParseError):
+            verilog.loads(src)
+
+    def test_behavioral_rejected(self):
+        src = "module m (a, y); input a; output y; assign y = a & a; endmodule"
+        with pytest.raises(ParseError):
+            verilog.loads(src)
+
+    def test_unknown_instance_rejected(self):
+        src = "module m (a, y); input a; output y; dff g (y, a); endmodule"
+        with pytest.raises(ParseError):
+            verilog.loads(src)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_functional_roundtrip(self, seed):
+        from repro.circuits.generators import random_single_output
+
+        original = random_single_output(4, 15, seed=seed)
+        restored = verilog.loads(verilog.dumps(original))
+        out = original.outputs[0]
+        for bits in itertools.product((0, 1), repeat=4):
+            env = dict(zip(original.inputs, bits))
+            assert (
+                evaluate(original, env)[out] == evaluate(restored, env)[out]
+            )
+
+    def test_figure_roundtrip(self, fig1, tmp_path):
+        path = tmp_path / "fig1.v"
+        verilog.dump(fig1, path)
+        restored = verilog.load(path)
+        assert sorted(restored) == sorted(fig1)
+        for node in fig1.nodes():
+            assert restored.node(node.name).fanins == node.fanins
+
+    def test_mux_dump_rejected(self):
+        from repro.graph import CircuitBuilder
+
+        b = CircuitBuilder()
+        s, x, y = b.inputs("s", "x", "y")
+        b.mux(s, x, y, name="m")
+        circuit = b.finish(["m"])
+        with pytest.raises(ParseError):
+            verilog.dumps(circuit)

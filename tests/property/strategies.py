@@ -1,0 +1,59 @@
+"""Hypothesis strategies generating random circuit DAGs.
+
+``small_circuits()`` draws a netlist gate by gate (good shrinking: a
+failing example minimizes toward the smallest circuit exhibiting the
+bug); ``small_cones()`` additionally extracts the single-output
+:class:`IndexedGraph` view the dominator algorithms consume.
+"""
+
+from hypothesis import strategies as st
+
+from repro.graph import CircuitBuilder, IndexedGraph, NodeType
+
+_GATES = [
+    NodeType.AND,
+    NodeType.OR,
+    NodeType.XOR,
+    NodeType.NAND,
+    NodeType.NOR,
+    NodeType.NOT,
+    NodeType.BUF,
+]
+
+
+@st.composite
+def small_circuits(draw, min_gates=2, max_gates=22, max_inputs=5):
+    """A random single-output combinational circuit."""
+    num_inputs = draw(st.integers(2, max_inputs))
+    num_gates = draw(st.integers(min_gates, max_gates))
+    builder = CircuitBuilder("hyp")
+    signals = builder.input_bus("i", num_inputs)
+    for _ in range(num_gates):
+        gate = draw(st.sampled_from(_GATES))
+        if gate in (NodeType.NOT, NodeType.BUF):
+            arity = 1
+        else:
+            arity = draw(st.integers(2, 3))
+        window = min(len(signals), 7)
+        fanins = [
+            signals[len(signals) - 1 - draw(st.integers(0, window - 1))]
+            for _ in range(arity)
+        ]
+        signals.append(builder.gate(gate, fanins))
+    return builder.finish([signals[-1]])
+
+
+@st.composite
+def small_cones(draw, **kwargs):
+    """A random single-output cone as an IndexedGraph."""
+    circuit = draw(small_circuits(**kwargs))
+    return IndexedGraph.from_circuit(circuit)
+
+
+@st.composite
+def cones_with_target(draw, **kwargs):
+    """A random cone plus one primary-input target vertex."""
+    graph = draw(small_cones(**kwargs))
+    sources = graph.sources()
+    target = sources[draw(st.integers(0, len(sources) - 1))]
+    return graph, target

@@ -1,0 +1,140 @@
+"""The paper's Lemmas 1–3 and Theorems 1–2 as executable properties.
+
+A note on formalization: the paper's Lemma 1/2 statements write
+``{v1, v2} ∈ Dom(v3)``, but their *proofs* only establish that every path
+from the vertex to the root meets the pair — condition 1 of Definition 1.
+Condition 2 (no redundancy) is relative to the target and does not
+transfer, and random counterexamples to the strict reading exist.  The
+tests below therefore use the coverage relation
+(:func:`repro.core.bruteforce.pair_covers`), which is also the notion the
+chain-uniqueness argument actually needs.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import all_double_dominators, dominator_chain
+from repro.core.bruteforce import is_double_dominator, pair_covers
+from repro.graph.topo import longest_path_to_root
+
+from tests.property.strategies import cones_with_target
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+@given(cones_with_target())
+@settings(**SETTINGS)
+def test_lemma1_shared_vertex(graph_and_target):
+    """Lemma 1 (coverage form): {v1,v2}, {v2,v3} ∈ Dom(u) ⇒ {v1,v2}
+    covers v3 or {v2,v3} covers v1."""
+    graph, u = graph_and_target
+    pairs = all_double_dominators(graph, u)
+    by_vertex = {}
+    for pair in pairs:
+        for v in pair:
+            by_vertex.setdefault(v, []).append(pair)
+    for v2, sharing in by_vertex.items():
+        for i, p in enumerate(sharing):
+            for q in sharing[i + 1 :]:
+                (v1,) = p - {v2}
+                (v3,) = q - {v2}
+                assert pair_covers(graph, v3, (v1, v2)) or pair_covers(
+                    graph, v1, (v2, v3)
+                )
+
+
+@given(cones_with_target())
+@settings(max_examples=30, deadline=None)
+def test_lemma2_disjoint_pairs_exchange(graph_and_target):
+    """Lemma 2 (coverage form): for disjoint pairs where neither covers
+    the other, a crosswise re-matching yields two dominator pairs of u."""
+    graph, u = graph_and_target
+    pairs = list(all_double_dominators(graph, u))
+    for i, p in enumerate(pairs):
+        for q in pairs[i + 1 :]:
+            if p & q:
+                continue
+            v1, v2 = tuple(p)
+            v3, v4 = tuple(q)
+            if all(pair_covers(graph, x, q) for x in p):
+                continue
+            if all(pair_covers(graph, x, p) for x in q):
+                continue
+            crossings = (
+                is_double_dominator(graph, u, v1, v4)
+                and is_double_dominator(graph, u, v2, v3)
+            ) or (
+                is_double_dominator(graph, u, v1, v3)
+                and is_double_dominator(graph, u, v2, v4)
+            )
+            assert crossings
+
+
+@given(cones_with_target())
+@settings(**SETTINGS)
+def test_theorem1_immediate_unique(graph_and_target):
+    """Theorem 1: the immediate double-vertex dominator (Definition 2,
+    with 'dominated by W' in the coverage sense) is unique, and equals
+    the chain's first pair."""
+    graph, u = graph_and_target
+    pairs = all_double_dominators(graph, u)
+    immediates = []
+    for p in pairs:
+        dominated = False
+        for q in pairs:
+            if q != p and all(
+                x in p or pair_covers(graph, x, tuple(p)) for x in q
+            ):
+                dominated = True
+                break
+        if not dominated:
+            immediates.append(p)
+    assert len(immediates) <= 1
+    chain = dominator_chain(graph, u)
+    if immediates:
+        assert frozenset(chain.immediate()) == immediates[0]
+    else:
+        assert chain.immediate() is None
+
+
+@given(cones_with_target())
+@settings(**SETTINGS)
+def test_lemma3_vectors_disjoint(graph_and_target):
+    """Lemma 3: chain vectors never share vertices (each vertex appears
+    exactly once — enforced at construction, revalidated here)."""
+    graph, u = graph_and_target
+    chain = dominator_chain(graph, u)
+    seen = set()
+    for pair in chain.pairs:
+        for v in pair.vertices():
+            assert v not in seen
+            seen.add(v)
+
+
+@given(cones_with_target())
+@settings(**SETTINGS)
+def test_theorem2_linear_size(graph_and_target):
+    """Theorem 2: per side, the total vector length is smaller than the
+    longest path from u to the root."""
+    graph, u = graph_and_target
+    chain = dominator_chain(graph, u)
+    bound = longest_path_to_root(graph)[u]
+    for flag in (1, 2):
+        assert len(chain.side(flag)) <= max(0, bound)
+    assert chain.size <= 2 * max(0, bound)
+
+
+@given(cones_with_target())
+@settings(**SETTINGS)
+def test_matching_vector_order_property(graph_and_target):
+    """Definition 3, property 1 ordering: within the matching vector W of
+    v, if {v, w_r} dominates w_t then t < r."""
+    graph, u = graph_and_target
+    chain = dominator_chain(graph, u)
+    for v in chain.vertices():
+        matching = chain.matching_vector(v)
+        for t, wt in enumerate(matching):
+            for r, wr in enumerate(matching):
+                if t == r:
+                    continue
+                if is_double_dominator(graph, wt, v, wr):
+                    assert t < r

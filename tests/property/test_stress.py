@@ -1,0 +1,71 @@
+"""Heavier randomized stress checks (seeded, deterministic).
+
+The hypothesis suites favor small, shrinkable examples; these seeded
+sweeps push the same cross-checks through larger circuits — the sizes
+where the region machinery, caching and flow bounds actually interact.
+"""
+
+import pytest
+
+from repro.circuits.generators import (
+    array_multiplier,
+    carry_select_adder,
+    cascade,
+    feistel_network,
+    kogge_stone_adder,
+    random_single_output,
+)
+from repro.core import ChainComputer, baseline_double_dominators
+from repro.graph import IndexedGraph
+
+
+def _cross_check(graph):
+    base = baseline_double_dominators(graph)
+    computer = ChainComputer(graph)
+    total = 0
+    for u in graph.sources():
+        pairs = computer.chain(u).pair_set()
+        assert pairs == base[u]
+        total += len(pairs)
+    return total
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_large_random_cones(seed):
+    graph = IndexedGraph.from_circuit(
+        random_single_output(10, 220, seed=seed + 1000)
+    )
+    _cross_check(graph)
+
+
+def test_multiplier_cone():
+    circuit = array_multiplier(6)
+    graph = IndexedGraph.from_circuit(circuit, circuit.outputs[-2])
+    assert _cross_check(graph) > 0
+
+
+def test_deep_cascade():
+    # Each PI re-enters the cascade every num_inputs blocks, so only the
+    # blocks after a PI's *last* injection contribute pairs to its chain:
+    # the union stays tail-sized regardless of depth.
+    circuit = cascade(depth=120, num_inputs=7, num_outputs=1, seed=3)
+    graph = IndexedGraph.from_circuit(circuit)
+    assert _cross_check(graph) > 10
+
+
+def test_carry_select_cone():
+    circuit = carry_select_adder(12, block=4)
+    graph = IndexedGraph.from_circuit(circuit, "cout")
+    _cross_check(graph)
+
+
+def test_prefix_adder_cone():
+    circuit = kogge_stone_adder(10)
+    graph = IndexedGraph.from_circuit(circuit, "cout")
+    _cross_check(graph)
+
+
+def test_feistel_cone():
+    circuit = feistel_network(16, 16, rounds=2)
+    graph = IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+    _cross_check(graph)

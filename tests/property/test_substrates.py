@@ -1,0 +1,112 @@
+"""Property tests for the substrate layers: dominators, flow, parsers."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import evaluate
+from repro.core.common import common_dominator_pairs, common_pairs_from_chains
+from repro.core.algorithm import ChainComputer
+from repro.dominators import UNREACHABLE, iterative, lengauer_tarjan, naive
+from repro.flow import count_disjoint_paths, min_vertex_cut
+from repro.parsers import bench, blif
+
+from tests.property.strategies import small_circuits, small_cones
+
+
+@st.composite
+def flowgraphs(draw, max_n=16):
+    """Random digraphs (cycles allowed) rooted at 0."""
+    n = draw(st.integers(2, max_n))
+    succ = [[] for _ in range(n)]
+    for v in range(1, n):
+        succ[draw(st.integers(0, v - 1))].append(v)
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            succ[a].append(b)
+    return n, succ
+
+
+@given(flowgraphs())
+@settings(max_examples=80, deadline=None)
+def test_dominator_algorithms_agree(fg):
+    """LT, CHK-iterative and the naive fixpoint agree on any digraph."""
+    n, succ = fg
+    lt = lengauer_tarjan.compute_idoms(n, succ, 0)
+    it = iterative.compute_idoms(n, succ, 0)
+    nv = naive.compute_idoms(n, succ, 0)
+    assert lt == it == nv
+
+
+@given(flowgraphs())
+@settings(max_examples=50, deadline=None)
+def test_idom_belongs_to_every_dominator_set(fg):
+    n, succ = fg
+    dom = naive.dominator_sets(n, succ, 0)
+    idoms = lengauer_tarjan.compute_idoms(n, succ, 0)
+    for v in range(1, n):
+        if dom[v] is None:
+            assert idoms[v] == UNREACHABLE
+        else:
+            assert idoms[v] in dom[v]
+
+
+@given(small_cones())
+@settings(max_examples=50, deadline=None)
+def test_vertex_cut_disconnects(graph):
+    """Any unbounded min cut really separates the sources from the root,
+    and matches Menger's count when no direct source→root edge exists."""
+    for u in graph.sources():
+        if graph.root in graph.succ[u]:
+            continue
+        result = min_vertex_cut(graph, [u], graph.root, limit=graph.n + 1)
+        assert result.cut is not None
+        assert result.flow == count_disjoint_paths(graph, [u], graph.root)
+        banned = set(result.cut)
+        seen, stack = {u}, [u]
+        while stack:
+            v = stack.pop()
+            assert v != graph.root
+            for w in graph.succ[v]:
+                if w not in seen and w not in banned:
+                    seen.add(w)
+                    stack.append(w)
+
+
+@given(small_circuits(max_gates=14, max_inputs=4))
+@settings(max_examples=25, deadline=None)
+def test_bench_roundtrip_functional(circuit):
+    restored = bench.loads(bench.dumps(circuit))
+    inputs = circuit.inputs
+    out = circuit.outputs[0]
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        env = dict(zip(inputs, bits))
+        assert evaluate(circuit, env)[out] == evaluate(restored, env)[out]
+
+
+@given(small_circuits(max_gates=12, max_inputs=4))
+@settings(max_examples=25, deadline=None)
+def test_blif_roundtrip_functional(circuit):
+    restored = blif.loads(blif.dumps(circuit))
+    inputs = circuit.inputs
+    out = circuit.outputs[0]
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        env = dict(zip(inputs, bits))
+        assert evaluate(circuit, env)[out] == evaluate(restored, env)[out]
+
+
+@given(small_cones(max_gates=16))
+@settings(max_examples=40, deadline=None)
+def test_common_intersection_subset_of_fake_vertex(graph):
+    """Chain intersection (per-target redundancy) refines the fake-vertex
+    common pairs (set-level redundancy)."""
+    sources = graph.sources()
+    computer = ChainComputer(graph)
+    chains = [computer.chain(u) for u in sources]
+    intersected = common_pairs_from_chains(chains)
+    common = common_dominator_pairs(graph, sources)
+    assert intersected <= common

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_netlist, main
+from repro.circuits.figures import figure2_circuit
+from repro.parsers import bench, blif
+
+
+@pytest.fixture
+def bench_file(tmp_path):
+    path = tmp_path / "fig2.bench"
+    bench.dump(figure2_circuit(), path)
+    return str(path)
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    path = tmp_path / "fig2.blif"
+    blif.dump(figure2_circuit(), path)
+    return str(path)
+
+
+class TestLoad:
+    def test_load_bench(self, bench_file):
+        assert len(load_netlist(bench_file)) == 14
+
+    def test_load_blif(self, blif_file):
+        assert len(load_netlist(blif_file)) == 14
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "x.edif"
+        path.write_text("")
+        with pytest.raises(SystemExit):
+            load_netlist(str(path))
+
+
+class TestCommands:
+    def test_chains_all_inputs(self, bench_file, capsys):
+        assert main(["chains", bench_file]) == 0
+        out = capsys.readouterr().out
+        assert "u: 12 pairs" in out
+
+    def test_chains_single_target(self, bench_file, capsys):
+        assert main(["chains", bench_file, "--target", "u"]) == 0
+        assert "12 pairs" in capsys.readouterr().out
+
+    def test_stats(self, blif_file, capsys):
+        assert main(["stats", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out
+
+    def test_counts(self, bench_file, capsys):
+        assert main(["counts", bench_file]) == 0
+        out = capsys.readouterr().out
+        assert ": 12" in out
+        assert ": 2" in out
+
+    def test_multi_output_requires_flag(self, tmp_path, capsys):
+        from repro.circuits.generators import random_circuit
+
+        circuit = random_circuit(3, 10, num_outputs=2, seed=0)
+        path = tmp_path / "two.bench"
+        bench.dump(circuit, path)
+        assert main(["chains", str(path)]) == 2
+        assert main(["chains", str(path), "--output", circuit.outputs[0]]) == 0
+
+
+def test_load_verilog(tmp_path):
+    from repro.parsers import verilog
+
+    path = tmp_path / "fig2.v"
+    verilog.dump(figure2_circuit(), path)
+    # MUX-free figure circuit round-trips through the CLI loader.
+    assert len(load_netlist(str(path))) == 14
+
+
+def test_cli_chains_on_verilog(tmp_path, capsys):
+    from repro.parsers import verilog
+
+    path = tmp_path / "fig2.v"
+    verilog.dump(figure2_circuit(), path)
+    assert main(["chains", str(path), "--target", "u"]) == 0
+    assert "12 pairs" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""End-to-end integration tests spanning every layer of the library.
+
+Each test exercises a realistic pipeline: generate → serialize → reload →
+analyze → cross-check, the way a downstream user would chain the APIs.
+"""
+
+import pytest
+
+from repro import ChainComputer, IndexedGraph, dominator_counts
+from repro.analysis import (
+    VectorSimulator,
+    exact_signal_probabilities,
+    select_cut_frontiers,
+    verify_frontier,
+)
+from repro.circuits import get_benchmark
+from repro.core import (
+    baseline_double_dominators,
+    count_double_dominators,
+    count_double_dominators_baseline,
+)
+from repro.parsers import bench, blif
+
+
+@pytest.mark.parametrize("name", ["alu2", "comp", "C432", "cordic"])
+def test_pipeline_generate_serialize_analyze(tmp_path, name):
+    """Suite circuit → .bench file → reload → both algorithms agree."""
+    circuit = get_benchmark(name, scale=0.5)
+    path = tmp_path / f"{name}.bench"
+    bench.dump(circuit, path)
+    reloaded = bench.load(path)
+    assert count_double_dominators(reloaded) == count_double_dominators_baseline(
+        reloaded
+    )
+
+
+def test_pipeline_blif_roundtrip_preserves_counts(tmp_path):
+    """Dominator structure is purely topological: for circuits whose
+    gates BLIF can represent one-to-one (no MUX — MUX covers reload as a
+    sum-of-products network with different topology), the round trip
+    preserves the counts node-for-node."""
+    circuit = get_benchmark("comp", scale=0.6)
+    counts = dominator_counts(circuit)
+    path = tmp_path / "comp.blif"
+    blif.dump(circuit, path)
+    reloaded = blif.load(path)
+    assert dominator_counts(reloaded) == counts
+
+
+def test_pipeline_probability_vs_simulation():
+    """Exact signal probability on a suite circuit vs Monte Carlo."""
+    circuit = get_benchmark("alu2", scale=1.0)
+    out = circuit.outputs[0]
+    exact = exact_signal_probabilities(circuit, out)
+    mc = VectorSimulator(circuit).monte_carlo_probabilities(
+        50_000, seed=9, nets=list(exact)
+    )
+    for net in exact:
+        assert abs(exact[net] - mc[net]) < 0.02
+
+
+def test_pipeline_frontiers_on_suite_circuit():
+    circuit = get_benchmark("cordic", scale=1.0)
+    out = circuit.outputs[0]
+    graph = IndexedGraph.from_circuit(circuit, out)
+    frontiers = select_cut_frontiers(circuit, out)
+    assert frontiers, "cascade family must expose cut frontiers"
+    for frontier in frontiers:
+        assert verify_frontier(graph, frontier.nets)
+
+
+def test_pipeline_chains_consistent_across_representations():
+    """Chains computed on the generated circuit equal chains computed on
+    the DOT-of-bench-of-circuit round trip (pure topology)."""
+    circuit = get_benchmark("cmb", scale=1.0)
+    reloaded = bench.loads(bench.dumps(circuit))
+    for out in circuit.outputs:
+        g1 = IndexedGraph.from_circuit(circuit, out)
+        g2 = IndexedGraph.from_circuit(reloaded, out)
+        c1 = ChainComputer(g1)
+        c2 = ChainComputer(g2)
+        for u in g1.sources():
+            names1 = {
+                frozenset((g1.name_of(a), g1.name_of(b)))
+                for a, b in c1.chain(u).iter_dominator_pairs()
+            }
+            u2 = g2.index_of(g1.name_of(u))
+            names2 = {
+                frozenset((g2.name_of(a), g2.name_of(b)))
+                for a, b in c2.chain(u2).iter_dominator_pairs()
+            }
+            assert names1 == names2
+
+
+def test_pipeline_baseline_and_chain_per_target_on_suite():
+    circuit = get_benchmark("C432", scale=0.5)
+    for out in circuit.outputs[:2]:
+        graph = IndexedGraph.from_circuit(circuit, out)
+        base = baseline_double_dominators(graph)
+        computer = ChainComputer(graph)
+        for u in graph.sources():
+            assert computer.chain(u).pair_set() == base[u]
