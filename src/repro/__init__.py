@@ -41,18 +41,23 @@ from .core import (
     double_idom,
     multi_vertex_dominators,
 )
+from .core.region_cache import CacheStats, RegionCache
 from .dominators import DominatorTree, circuit_dominator_tree, idom_chain
 from .graph import Circuit, CircuitBuilder, IndexedGraph, NodeType
+from .incremental import IncrementalEngine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheStats",
     "ChainComputer",
     "Circuit",
     "CircuitBuilder",
     "DominatorChain",
     "DominatorTree",
+    "IncrementalEngine",
     "IndexedGraph",
+    "RegionCache",
     "NamedDominatorChain",
     "NodeType",
     "all_pi_chains",

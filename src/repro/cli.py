@@ -15,12 +15,20 @@ Commands
     python -m repro counts design.bench
 
 ``table1``  — delegate to the full experiment harness.
+
+``edit-session`` — replay a JSON edit script against one cone with the
+incremental engine, re-querying chains after every edit and reporting
+cache hit/miss/invalidation statistics (optionally comparing against
+full recomputation)::
+
+    python -m repro edit-session design.bench edits.json --compare
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -90,6 +98,69 @@ def _cmd_counts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_edit_session(args: argparse.Namespace) -> int:
+    from .incremental import IncrementalEngine, load_script
+
+    circuit = load_netlist(args.netlist)
+    output = args.output or (
+        circuit.outputs[0] if len(circuit.outputs) == 1 else None
+    )
+    if output is None:
+        print(
+            f"circuit has {len(circuit.outputs)} outputs; pass --output",
+            file=sys.stderr,
+        )
+        return 2
+    edits = load_script(args.script)
+    engine = IncrementalEngine.from_circuit(circuit, output)
+
+    def query():
+        chains = engine.chains_for_sources()
+        return len(chains), sum(c.num_dominators() for c in chains.values())
+
+    start = time.perf_counter()
+    n_chains, n_pairs = query()
+    print(
+        f"initial: {n_chains} PI chains, {n_pairs} dominator pairs "
+        f"({engine.graph.n} vertices)"
+    )
+    for step, edit in enumerate(edits, 1):
+        touched = engine.apply(edit)
+        n_chains, n_pairs = query()
+        print(
+            f"edit {step:3d} [{type(edit).__name__}]: "
+            f"{len(touched)} vertices touched, "
+            f"{n_chains} chains, {n_pairs} pairs"
+        )
+    incremental_time = time.perf_counter() - start
+
+    print("\nsession statistics:")
+    for key, value in engine.stats.as_dict().items():
+        print(f"  {key:14s} {value}")
+
+    if args.compare:
+        # replay as a cold engine per step: the from-scratch strawman
+        start = time.perf_counter()
+        cold = IncrementalEngine.from_circuit(circuit, output)
+        ChainComputer(cold.graph, tree=None).chains_for_sources()
+        for edit in edits:
+            cold.apply(edit)
+            cold.flush()
+            fresh = ChainComputer(cold.graph)
+            tree = fresh.tree
+            for u in cold.graph.sources():
+                if tree.is_reachable(u):
+                    fresh.chain(u)
+        recompute_time = time.perf_counter() - start
+        speedup = recompute_time / incremental_time if incremental_time else 0
+        print(
+            f"\nincremental {incremental_time * 1e3:9.1f} ms   "
+            f"full recompute {recompute_time * 1e3:9.1f} ms   "
+            f"speedup {speedup:.1f}x"
+        )
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import table1
 
@@ -120,6 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_counts = sub.add_parser("counts", help="Table-1 dominator counts")
     p_counts.add_argument("netlist")
     p_counts.set_defaults(func=_cmd_counts)
+
+    p_edit = sub.add_parser(
+        "edit-session",
+        help="replay a JSON edit script with the incremental engine",
+    )
+    p_edit.add_argument("netlist")
+    p_edit.add_argument("script", help="JSON edit script (see repro.incremental.edits)")
+    p_edit.add_argument("--output", help="output cone to analyze")
+    p_edit.add_argument(
+        "--compare",
+        action="store_true",
+        help="also time from-scratch recomputation per edit",
+    )
+    p_edit.set_defaults(func=_cmd_edit_session)
 
     p_t1 = sub.add_parser("table1", help="run the Table-1 harness")
     p_t1.add_argument("--quick", action="store_true")

@@ -31,6 +31,7 @@ from .common import (
 )
 from .double_idom import double_idom
 from .matching import ExpandedPair, expand_pair, find_matching_vector
+from .region_cache import CacheStats, RegionCache, RegionEntry
 from .multi import (
     immediate_multi_dominators,
     is_multi_dominator,
@@ -39,12 +40,15 @@ from .multi import (
 from .regions import SearchRegion, search_regions
 
 __all__ = [
+    "CacheStats",
     "ChainComputer",
     "ChainPair",
     "DominatorChain",
     "DominatorCounts",
     "ExpandedPair",
     "NamedDominatorChain",
+    "RegionCache",
+    "RegionEntry",
     "SearchRegion",
     "all_double_dominators",
     "all_pi_chains",

@@ -24,10 +24,8 @@ from .chain import ChainPair, DominatorChain
 from .double_idom import double_idom
 from .matching import expand_pair
 from ..graph.transform import region_between
+from .region_cache import CacheStats, RegionCache, RegionPair
 from .regions import SearchRegion
-
-#: One fully expanded pair in original indices with pair-local intervals.
-RegionPair = Tuple[List[int], List[int], Dict[int, Tuple[int, int]]]
 
 
 def _expand_region(region: SearchRegion, algorithm: str) -> List[RegionPair]:
@@ -87,6 +85,12 @@ class ChainComputer:
         Reuse expanded regions across targets.  A region is identified by
         its entry vertex; disabling the cache re-runs the flow search for
         every target exactly as a literal reading of Figure 3 would.
+    region_cache:
+        An external :class:`~repro.core.region_cache.RegionCache` to use
+        instead of a private one.  This is the incremental-engine hook:
+        the cache can outlive this computer (and the dominator tree it
+        was built against), so expansions survive circuit edits until
+        explicitly invalidated.  Ignored when ``cache_regions`` is false.
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class ChainComputer:
         algorithm: str = "lt",
         cache_regions: bool = True,
         tree: Optional[DominatorTree] = None,
+        region_cache: Optional[RegionCache] = None,
     ):
         self.graph = graph
         self.algorithm = algorithm
@@ -102,16 +107,39 @@ class ChainComputer:
         self.tree = tree if tree is not None else circuit_dominator_tree(
             graph, algorithm
         )
-        self._region_cache: Dict[int, List[RegionPair]] = {}
+        self.region_cache: Optional[RegionCache] = (
+            (region_cache if region_cache is not None else RegionCache())
+            if cache_regions
+            else None
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/invalidation counters of the region cache.
+
+        With ``cache_regions=False`` a fresh all-zero record is returned.
+        """
+        if self.region_cache is None:
+            return CacheStats()
+        return self.region_cache.stats
+
+    @property
+    def _region_cache(self) -> Dict[int, List[RegionPair]]:
+        """Legacy ``{start: pairs}`` view of the cache (read-only)."""
+        if self.region_cache is None:
+            return {}
+        return self.region_cache.pairs_by_start()
 
     def chain(self, u: int) -> DominatorChain:
         """The dominator chain ``D(u)`` (empty for the root)."""
         chain_vertices = self.tree.chain(u)
         region_lists: List[List[RegionPair]] = []
         for start, sink in zip(chain_vertices, chain_vertices[1:]):
-            if self.cache_regions and start in self._region_cache:
-                region_lists.append(self._region_cache[start])
-                continue
+            if self.region_cache is not None:
+                cached = self.region_cache.lookup(start, sink)
+                if cached is not None:
+                    region_lists.append(cached)
+                    continue
             sub, orig_of = region_between(self.graph, start, sink)
             local_of = {orig: i for i, orig in enumerate(orig_of)}
             region = SearchRegion(
@@ -122,8 +150,8 @@ class ChainComputer:
                 local_start=local_of[start],
             )
             expanded = _expand_region(region, self.algorithm)
-            if self.cache_regions:
-                self._region_cache[start] = expanded
+            if self.region_cache is not None:
+                self.region_cache.store(start, sink, orig_of, expanded)
             region_lists.append(expanded)
         return _assemble(u, region_lists)
 
@@ -140,22 +168,17 @@ class ChainComputer:
         recomputation — every other cached region is still valid provided
         the single-dominator structure outside them is unchanged.  The
         caller is responsible for rebuilding the :class:`ChainComputer`
-        (graph and tree) when the edit moves single dominators.
+        (graph and tree) when the edit moves single dominators;
+        :class:`repro.incremental.IncrementalEngine` automates both.
+
+        Eviction tests the full region member set, so edits to interior
+        region vertices that appear on no chain are caught too.
 
         Returns the number of evicted regions.
         """
-        dirty = set(vertices)
-        evicted = 0
-        for start in list(self._region_cache):
-            pairs = self._region_cache[start]
-            touched = start in dirty or any(
-                dirty.intersection(side1) or dirty.intersection(side2)
-                for side1, side2, _ in pairs
-            )
-            if touched:
-                del self._region_cache[start]
-                evicted += 1
-        return evicted
+        if self.region_cache is None:
+            return 0
+        return self.region_cache.invalidate_touching(vertices)
 
 
 def dominator_chain(

@@ -41,7 +41,7 @@ class IndexedGraph:
         vertices such as the fake super-source of Section 4).
     """
 
-    __slots__ = ("n", "succ", "pred", "root", "names", "_name_index")
+    __slots__ = ("n", "succ", "pred", "root", "names", "dead", "_name_index")
 
     def __init__(
         self,
@@ -65,6 +65,9 @@ class IndexedGraph:
         self.names: List[Optional[str]] = (
             list(names) if names is not None else [None] * self.n
         )
+        #: Tombstoned vertices (see :meth:`kill_vertex`).  Indices are
+        #: never reused, so edits keep every live vertex's index stable.
+        self.dead: set = set()
         self._name_index: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
@@ -72,12 +75,8 @@ class IndexedGraph:
     # ------------------------------------------------------------------
     def index_of(self, name: str) -> int:
         """Vertex index of a named node."""
-        if self._name_index is None:
-            self._name_index = {
-                nm: i for i, nm in enumerate(self.names) if nm is not None
-            }
         try:
-            return self._name_index[name]
+            return self._ensure_name_index()[name]
         except KeyError:
             raise UnknownNodeError(f"no vertex named {name!r}") from None
 
@@ -91,7 +90,11 @@ class IndexedGraph:
 
     def sources(self) -> List[int]:
         """Vertices with no fanin (primary inputs of the cone)."""
-        return [v for v in range(self.n) if not self.pred[v]]
+        return [
+            v
+            for v in range(self.n)
+            if not self.pred[v] and v not in self.dead
+        ]
 
     # ------------------------------------------------------------------
     # construction from circuits
@@ -194,6 +197,128 @@ class IndexedGraph:
         if len(order) != self.n:
             raise CircuitError("graph is not acyclic")
         return order
+
+    # ------------------------------------------------------------------
+    # in-place editing (incremental-engine substrate)
+    # ------------------------------------------------------------------
+    # All edits preserve the indices of untouched vertices: new vertices
+    # take fresh indices at the end, removed vertices become tombstones
+    # (``dead``) with no incident edges.  That stability is what lets a
+    # cross-edit region cache keyed by vertex index survive edits
+    # (:mod:`repro.incremental`) without any re-indexing pass.
+
+    def is_alive(self, v: int) -> bool:
+        """True while *v* exists (has not been :meth:`kill_vertex`-ed)."""
+        return 0 <= v < self.n and v not in self.dead
+
+    def _require_alive(self, v: int) -> None:
+        if not (0 <= v < self.n):
+            raise CircuitError(f"vertex {v} out of range for n={self.n}")
+        if v in self.dead:
+            raise CircuitError(f"vertex {v} has been removed")
+
+    def add_vertex(self, name: Optional[str] = None) -> int:
+        """Append an isolated vertex; returns its (fresh) index.
+
+        The vertex starts with no edges — it joins the cone once
+        :meth:`add_edge` connects it toward the root.
+        """
+        if name is not None:
+            index = self._ensure_name_index()
+            if name in index:
+                raise CircuitError(f"a vertex named {name!r} already exists")
+        v = self.n
+        self.n += 1
+        self.succ.append([])
+        self.pred.append([])
+        self.names.append(name)
+        if name is not None and self._name_index is not None:
+            self._name_index[name] = v
+        return v
+
+    def add_edge(self, v: int, w: int) -> None:
+        """Insert the edge ``v -> w`` (signal direction), keeping the DAG.
+
+        Parallel edges are allowed (a gate may list the same driver
+        twice, e.g. ``NAND(x, x)`` as an inverter).  Raises
+        :class:`CircuitError` if the edge would close a cycle.
+        """
+        self._require_alive(v)
+        self._require_alive(w)
+        if v == w or self.reachable_from(w)[v]:
+            raise CircuitError(
+                f"edge {v}->{w} would create a cycle"
+            )
+        self.succ[v].append(w)
+        self.pred[w].append(v)
+
+    def remove_edge(self, v: int, w: int) -> None:
+        """Remove one occurrence of the edge ``v -> w``."""
+        self._require_alive(v)
+        self._require_alive(w)
+        try:
+            self.succ[v].remove(w)
+            self.pred[w].remove(v)
+        except ValueError:
+            raise CircuitError(f"no edge {v}->{w} to remove") from None
+
+    def set_fanins(self, v: int, fanins: Sequence[int]) -> List[int]:
+        """Replace the fanin list of *v* (a rewire edit).
+
+        Returns the structurally touched vertices: *v* plus the old and
+        new fanins.  Raises :class:`CircuitError` if any new fanin is
+        reachable from *v* (cycle) or is dead.
+        """
+        self._require_alive(v)
+        new = list(fanins)
+        for p in new:
+            self._require_alive(p)
+        reach = self.reachable_from(v)
+        for p in new:
+            if reach[p]:
+                raise CircuitError(
+                    f"fanin {p} of {v} is in {v}'s fanout cone (cycle)"
+                )
+        old = list(self.pred[v])
+        for p in old:
+            self.succ[p].remove(v)
+        self.pred[v] = new
+        for p in new:
+            self.succ[p].append(v)
+        return [v] + old + new
+
+    def kill_vertex(self, v: int) -> List[int]:
+        """Tombstone *v*: drop it and every incident edge.
+
+        The index is never reused; the vertex simply stops participating
+        in traversals (and loses its name, freeing it for re-use).
+        Returns the structurally touched vertices: *v* plus its former
+        neighbours.  The root cannot be removed.
+        """
+        self._require_alive(v)
+        if v == self.root:
+            raise CircuitError("cannot remove the root vertex")
+        touched = [v] + self.pred[v] + self.succ[v]
+        for p in list(self.pred[v]):
+            self.succ[p] = [w for w in self.succ[p] if w != v]
+        for w in list(self.succ[v]):
+            self.pred[w] = [p for p in self.pred[w] if p != v]
+        self.pred[v] = []
+        self.succ[v] = []
+        self.dead.add(v)
+        name = self.names[v]
+        if name is not None:
+            self.names[v] = None
+            if self._name_index is not None:
+                self._name_index.pop(name, None)
+        return touched
+
+    def _ensure_name_index(self) -> Dict[str, int]:
+        if self._name_index is None:
+            self._name_index = {
+                nm: i for i, nm in enumerate(self.names) if nm is not None
+            }
+        return self._name_index
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -1,0 +1,197 @@
+"""Typed circuit edits — the input language of the incremental engine.
+
+Edits are small, name-based, serializable records.  Four kinds:
+
+* :class:`AddGate` — introduce a new gate driven by existing signals,
+* :class:`RemoveGate` — delete a gate and every incident net,
+* :class:`Rewire` — replace a gate's fanin list (optionally its type),
+* :class:`ReplaceSubgraph` — a batch of the above applied atomically
+  from the cache's point of view (one invalidation pass), the shape in
+  which :mod:`repro.graph.rewrite`-style local rewrites are replayed.
+
+Names rather than vertex indices keep scripts stable across sessions
+and make them human-writable; the engine resolves names against its
+live :class:`~repro.graph.indexed.IndexedGraph`.
+
+The JSON form (``edit_to_dict``/``edit_from_dict``, ``load_script``/
+``dump_script``) is what ``python -m repro edit-session`` replays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class AddGate:
+    """Add gate ``name`` driven by ``fanins`` (existing signal names)."""
+
+    name: str
+    fanins: Tuple[str, ...]
+    gate_type: str = "and"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fanins", tuple(self.fanins))
+
+
+@dataclass(frozen=True)
+class RemoveGate:
+    """Remove gate ``name`` and all nets touching it."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Rewire:
+    """Replace the fanin list of ``name`` (and optionally its type)."""
+
+    name: str
+    fanins: Tuple[str, ...]
+    gate_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fanins", tuple(self.fanins))
+
+
+@dataclass(frozen=True)
+class ReplaceSubgraph:
+    """A local rewrite: removals, then additions, then rewires.
+
+    The three phases run in that fixed order, so added gates may
+    reference surviving signals and the final rewires may reference the
+    added gates — sufficient to express the XOR→NAND expansion of
+    :func:`repro.graph.rewrite.expand_xors` one gate at a time
+    (:func:`xor_to_nand_edit`).
+    """
+
+    remove: Tuple[str, ...] = ()
+    add: Tuple[AddGate, ...] = ()
+    rewire: Tuple[Rewire, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "remove", tuple(self.remove))
+        object.__setattr__(self, "add", tuple(self.add))
+        object.__setattr__(self, "rewire", tuple(self.rewire))
+
+
+Edit = Union[AddGate, RemoveGate, Rewire, ReplaceSubgraph]
+
+
+def xor_to_nand_edit(
+    name: str, a: str, b: str, prefix: Optional[str] = None
+) -> ReplaceSubgraph:
+    """The C499→C1355 rewrite for one 2-input XOR gate, as an edit.
+
+    ``a XOR b = NAND(NAND(a, t), NAND(b, t))`` with ``t = NAND(a, b)``
+    (same decomposition as :func:`repro.graph.rewrite.expand_xors`).
+    The gate keeps its name — it is rewired to the top NAND — so no
+    fanout of ``name`` needs touching.
+    """
+    p = prefix if prefix is not None else f"{name}_x"
+    return ReplaceSubgraph(
+        add=(
+            AddGate(f"{p}_nt", (a, b), "nand"),
+            AddGate(f"{p}_nl", (a, f"{p}_nt"), "nand"),
+            AddGate(f"{p}_nr", (b, f"{p}_nt"), "nand"),
+        ),
+        rewire=(Rewire(name, (f"{p}_nl", f"{p}_nr"), "nand"),),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON (de)serialization
+# ----------------------------------------------------------------------
+def edit_to_dict(edit: Edit) -> Dict[str, object]:
+    """JSON-serializable form of one edit (inverse of ``edit_from_dict``)."""
+    if isinstance(edit, AddGate):
+        return {
+            "op": "add-gate",
+            "name": edit.name,
+            "fanins": list(edit.fanins),
+            "type": edit.gate_type,
+        }
+    if isinstance(edit, RemoveGate):
+        return {"op": "remove-gate", "name": edit.name}
+    if isinstance(edit, Rewire):
+        data: Dict[str, object] = {
+            "op": "rewire",
+            "name": edit.name,
+            "fanins": list(edit.fanins),
+        }
+        if edit.gate_type is not None:
+            data["type"] = edit.gate_type
+        return data
+    if isinstance(edit, ReplaceSubgraph):
+        return {
+            "op": "replace-subgraph",
+            "remove": list(edit.remove),
+            "add": [edit_to_dict(g) for g in edit.add],
+            "rewire": [edit_to_dict(r) for r in edit.rewire],
+        }
+    raise CircuitError(f"not an edit: {edit!r}")
+
+
+def edit_from_dict(data: Dict[str, object]) -> Edit:
+    """Parse one edit record; raises :class:`CircuitError` on bad input."""
+    try:
+        op = data["op"]
+    except (TypeError, KeyError):
+        raise CircuitError(f"edit record without 'op': {data!r}") from None
+    if op == "add-gate":
+        return AddGate(
+            str(data["name"]),
+            tuple(data.get("fanins", ())),  # type: ignore[arg-type]
+            str(data.get("type", "and")),
+        )
+    if op == "remove-gate":
+        return RemoveGate(str(data["name"]))
+    if op == "rewire":
+        gate_type = data.get("type")
+        return Rewire(
+            str(data["name"]),
+            tuple(data.get("fanins", ())),  # type: ignore[arg-type]
+            None if gate_type is None else str(gate_type),
+        )
+    if op == "replace-subgraph":
+        adds = [edit_from_dict(d) for d in data.get("add", ())]  # type: ignore[union-attr]
+        rewires = [edit_from_dict(d) for d in data.get("rewire", ())]  # type: ignore[union-attr]
+        if not all(isinstance(g, AddGate) for g in adds):
+            raise CircuitError("replace-subgraph 'add' must hold add-gate ops")
+        if not all(isinstance(r, Rewire) for r in rewires):
+            raise CircuitError("replace-subgraph 'rewire' must hold rewire ops")
+        return ReplaceSubgraph(
+            tuple(data.get("remove", ())),  # type: ignore[arg-type]
+            tuple(adds),  # type: ignore[arg-type]
+            tuple(rewires),  # type: ignore[arg-type]
+        )
+    raise CircuitError(f"unknown edit op {op!r}")
+
+
+def loads_script(text: str) -> List[Edit]:
+    """Parse an edit script: a JSON list or ``{"edits": [...]}``."""
+    data = json.loads(text)
+    if isinstance(data, dict):
+        data = data.get("edits", [])
+    if not isinstance(data, list):
+        raise CircuitError("edit script must be a list of edit records")
+    return [edit_from_dict(d) for d in data]
+
+
+def load_script(path: str) -> List[Edit]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_script(handle.read())
+
+
+def dumps_script(edits: Sequence[Edit], indent: int = 2) -> str:
+    return json.dumps(
+        {"edits": [edit_to_dict(e) for e in edits]}, indent=indent
+    )
+
+
+def dump_script(edits: Sequence[Edit], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_script(edits) + "\n")

@@ -1,0 +1,289 @@
+"""The incremental dominator engine — stateful sessions over a mutating cone.
+
+The paper closes by noting the algorithm's speed "makes it suitable for
+running in an incremental manner during logic synthesis".
+:class:`IncrementalEngine` is that serving layer: it owns a live
+:class:`~repro.graph.indexed.IndexedGraph`, applies typed edits
+(:mod:`repro.incremental.edits`) **in place** (vertex indices of
+untouched gates never move), and keeps a cross-edit
+:class:`~repro.core.region_cache.RegionCache` of expanded search
+regions.  Queries between edits recompute only the regions the edits
+could have affected:
+
+* edits are applied eagerly to the graph but dominator state is lazy —
+  the dirty set accumulates until the next query ("flush");
+* a flush refreshes the single-vertex dominator tree — patched inside
+  the edit's affected cone (:mod:`repro.incremental.idom_update`) when
+  the cone is small, rebuilt from scratch otherwise — and runs the
+  dirty-cone invalidation of :mod:`repro.incremental.invalidate` over
+  the region cache (the expensive max-flow expansions are the entries
+  being preserved);
+* chain queries then run through a regular
+  :class:`~repro.core.algorithm.ChainComputer` bound to the surviving
+  cache — untouched regions are cache hits, dirty ones recompute.
+
+A failed edit (unknown name, cycle, removing the root) raises before or
+mid-way through a batch; already-applied elementary operations of that
+batch stay applied — replay scripts should be validated with
+``dry_run`` if all-or-nothing behaviour matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from ..core.algorithm import ChainComputer
+from ..core.chain import DominatorChain
+from ..core.region_cache import CacheStats, RegionCache
+from ..dominators.single import circuit_dominator_tree
+from ..dominators.tree import DominatorTree
+from ..errors import CircuitError
+from ..graph.circuit import Circuit
+from ..graph.indexed import IndexedGraph
+from .edits import AddGate, Edit, RemoveGate, ReplaceSubgraph, Rewire
+from .idom_update import affected_cone, downstream_of, update_idoms
+from .invalidate import invalidate_dirty
+
+
+@dataclass
+class EngineStats:
+    """Session counters, cheap enough to read at any time.
+
+    ``cache`` aliases the live :class:`CacheStats` of the region cache,
+    so hit/miss counts are always current.
+    """
+
+    edits: int = 0  # edit records applied (a ReplaceSubgraph counts once)
+    operations: int = 0  # elementary graph mutations
+    flushes: int = 0  # dominator-state refreshes (one per dirty query)
+    tree_patches: int = 0  # flushes served by the dirty-cone idom update
+    tree_rebuilds: int = 0  # flushes that fell back to a full rebuild
+    evictions: int = 0  # cache entries dropped by edit invalidation
+    chain_hits: int = 0  # queries served by an already-assembled chain
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "edits": self.edits,
+            "operations": self.operations,
+            "flushes": self.flushes,
+            "tree_patches": self.tree_patches,
+            "tree_rebuilds": self.tree_rebuilds,
+            "evictions": self.evictions,
+            "chain_hits": self.chain_hits,
+        }
+        data.update(self.cache.as_dict())
+        return data
+
+
+class IncrementalEngine:
+    """A stateful dominator-chain session over one output cone.
+
+    Parameters
+    ----------
+    graph:
+        The cone to serve.  The engine edits this object **in place**;
+        hand it a private copy if the original must stay pristine.
+    algorithm:
+        Single-dominator algorithm for tree rebuilds (``"lt"``,
+        ``"iterative"`` or ``"naive"``).
+
+    Examples
+    --------
+    >>> from repro.circuits.figures import figure2_circuit
+    >>> from repro.incremental import IncrementalEngine, Rewire
+    >>> engine = IncrementalEngine.from_circuit(figure2_circuit())
+    >>> chain = engine.chain("u")          # cold query, fills the cache
+    >>> engine.apply(Rewire("k", ("e", "h")))
+    >>> engine.chain("u").num_dominators() >= 0   # re-query after the edit
+    True
+    """
+
+    def __init__(self, graph: IndexedGraph, algorithm: str = "lt"):
+        self.graph = graph
+        self.algorithm = algorithm
+        self.cache = RegionCache()
+        self.gate_types: Dict[str, str] = {}
+        self.log: List[Edit] = []
+        self.stats = EngineStats(cache=self.cache.stats)
+        self._dirty: Set[int] = set()
+        self._computer: Optional[ChainComputer] = None
+        self._tree: Optional[DominatorTree] = None
+        # assembled-chain cache: u -> (chain, its region cells at assembly
+        # time).  A cell is (start, RegionEntry-identity); the chain is
+        # valid while the tree chain visits the same cells and every cell
+        # still holds the very same entry object (entries are immutable
+        # and replaced wholesale, so identity is a validity token).
+        self._chains: Dict[int, tuple] = {}
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: Circuit,
+        output: Optional[str] = None,
+        algorithm: str = "lt",
+    ) -> "IncrementalEngine":
+        """Open a session on one output cone of a netlist."""
+        graph = IndexedGraph.from_circuit(circuit, output)
+        engine = cls(graph, algorithm)
+        for name in graph.names:
+            if name is not None and name in circuit:
+                engine.gate_types[name] = circuit.node(name).type.value
+        return engine
+
+    # ------------------------------------------------------------------
+    # edits
+    # ------------------------------------------------------------------
+    def apply(self, *edits: Edit) -> List[int]:
+        """Apply edit records in order; returns the touched vertex indices.
+
+        Dominator state is not recomputed here — the next query pays one
+        tree rebuild plus recomputation of the invalidated regions only.
+        """
+        touched: Set[int] = set()
+        for edit in edits:
+            self._apply_one(edit, touched)
+            self.log.append(edit)
+            self.stats.edits += 1
+        self._dirty |= touched
+        if touched:
+            self._computer = None
+        return sorted(touched)
+
+    def _apply_one(self, edit: Edit, touched: Set[int]) -> None:
+        graph = self.graph
+        if isinstance(edit, AddGate):
+            fanins = [graph.index_of(f) for f in edit.fanins]
+            v = graph.add_vertex(edit.name)
+            for f in fanins:
+                graph.add_edge(f, v)
+            touched.add(v)
+            touched.update(fanins)
+            self.gate_types[edit.name] = edit.gate_type
+            self.stats.operations += 1 + len(fanins)
+        elif isinstance(edit, RemoveGate):
+            v = graph.index_of(edit.name)
+            touched.update(graph.kill_vertex(v))
+            self.gate_types.pop(edit.name, None)
+            self.stats.operations += 1
+        elif isinstance(edit, Rewire):
+            v = graph.index_of(edit.name)
+            fanins = [graph.index_of(f) for f in edit.fanins]
+            touched.update(graph.set_fanins(v, fanins))
+            if edit.gate_type is not None:
+                self.gate_types[edit.name] = edit.gate_type
+            self.stats.operations += 1
+        elif isinstance(edit, ReplaceSubgraph):
+            # Sub-edits share this record's log entry and dirty set.
+            for name in edit.remove:
+                self._apply_one(RemoveGate(name), touched)
+            for gate in edit.add:
+                self._apply_one(gate, touched)
+            for rewire in edit.rewire:
+                self._apply_one(rewire, touched)
+        else:
+            raise CircuitError(f"not an edit: {edit!r}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Refresh dominator state now (queries do this automatically)."""
+        if self._computer is not None and not self._dirty:
+            return
+        tree: Optional[DominatorTree] = None
+        cone = downstream = None
+        if self._dirty:
+            cone = affected_cone(self.graph, self._dirty)
+            downstream = downstream_of(self.graph, self._dirty)
+            if self._tree is not None:
+                idoms = update_idoms(
+                    self.graph, self._tree.idom, self._dirty, cone=cone
+                )
+                if idoms is not None:
+                    tree = DominatorTree(idoms, self.graph.root)
+                    self.stats.tree_patches += 1
+        if tree is None:
+            tree = circuit_dominator_tree(self.graph, self.algorithm)
+            self.stats.tree_rebuilds += 1
+        if self._dirty:
+            self.stats.evictions += invalidate_dirty(
+                self.cache, self.graph, tree, self._dirty, cone, downstream
+            )
+            self._dirty.clear()
+        self._tree = tree
+        self._computer = ChainComputer(
+            self.graph,
+            self.algorithm,
+            tree=tree,
+            region_cache=self.cache,
+        )
+        self.stats.flushes += 1
+
+    @property
+    def tree(self) -> DominatorTree:
+        """The current single-vertex dominator tree (flushes if stale)."""
+        self.flush()
+        assert self._computer is not None
+        return self._computer.tree
+
+    def resolve(self, u: Union[int, str]) -> int:
+        """Vertex index of ``u`` (name or index)."""
+        return self.graph.index_of(u) if isinstance(u, str) else u
+
+    def chain(self, u: Union[int, str]) -> DominatorChain:
+        """The dominator chain ``D(u)`` on the current circuit state.
+
+        Served from the assembled-chain cache when every region cell of
+        the chain survived all edits since assembly; the returned object
+        is shared between such queries and must be treated as read-only.
+        """
+        self.flush()
+        assert self._computer is not None
+        u = self.resolve(u)
+        cells = self._computer.tree.chain(u)
+        cached = self._chains.get(u)
+        if cached is not None:
+            chain, deps = cached
+            if len(deps) == len(cells) - 1 and all(
+                start == cell
+                and entry is not None
+                and self.cache.entry_for(start) is entry
+                for (start, entry), cell in zip(deps, cells)
+            ):
+                self.stats.chain_hits += 1
+                return chain
+        chain = self._computer.chain(u)
+        deps = tuple((s, self.cache.entry_for(s)) for s in cells[:-1])
+        self._chains[u] = (chain, deps)
+        return chain
+
+    def chains_for_sources(self) -> Dict[int, DominatorChain]:
+        """Chains of every live, root-reaching primary input."""
+        self.flush()
+        assert self._computer is not None
+        tree = self._computer.tree
+        return {
+            u: self.chain(u)
+            for u in self.graph.sources()
+            if tree.is_reachable(u)
+        }
+
+    def dominates(
+        self, v1: Union[int, str], v2: Union[int, str], u: Union[int, str]
+    ) -> bool:
+        """O(1)-per-query check after the chain of ``u`` is (re)built."""
+        return self.chain(u).dominates(self.resolve(v1), self.resolve(v2))
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        alive = self.graph.n - len(self.graph.dead)
+        return (
+            f"IncrementalEngine(vertices={alive}, edits={self.stats.edits}, "
+            f"cache_entries={len(self.cache)}, {self.cache.stats})"
+        )

@@ -1,0 +1,149 @@
+"""In-place IndexedGraph edits (the incremental-engine substrate)."""
+
+import pytest
+
+from repro.circuits.figures import figure2_circuit
+from repro.errors import CircuitError, UnknownNodeError
+from repro.graph import IndexedGraph
+
+
+@pytest.fixture
+def graph():
+    return IndexedGraph.from_circuit(figure2_circuit())
+
+
+class TestAddVertex:
+    def test_fresh_index_and_name(self, graph):
+        n_before = graph.n
+        v = graph.add_vertex("fresh")
+        assert v == n_before
+        assert graph.n == n_before + 1
+        assert graph.index_of("fresh") == v
+        assert graph.succ[v] == [] and graph.pred[v] == []
+
+    def test_duplicate_name_rejected(self, graph):
+        with pytest.raises(CircuitError):
+            graph.add_vertex("u")
+
+    def test_unnamed_vertex(self, graph):
+        v = graph.add_vertex()
+        assert graph.name_of(v) == f"#{v}"
+
+
+class TestEdges:
+    def test_add_and_remove_edge(self, graph):
+        u, root = graph.index_of("u"), graph.root
+        a = graph.index_of("a")
+        v = graph.add_vertex("t2")
+        graph.add_edge(u, v)
+        graph.add_edge(v, a)
+        assert v in graph.succ[u] and u in graph.pred[v]
+        graph.remove_edge(u, v)
+        assert v not in graph.succ[u] and u not in graph.pred[v]
+
+    def test_cycle_rejected(self, graph):
+        u, a = graph.index_of("u"), graph.index_of("a")
+        # a is downstream of u: an a -> u edge would close a cycle.
+        with pytest.raises(CircuitError):
+            graph.add_edge(a, u)
+
+    def test_self_loop_rejected(self, graph):
+        u = graph.index_of("u")
+        with pytest.raises(CircuitError):
+            graph.add_edge(u, u)
+
+    def test_parallel_edges_allowed(self, graph):
+        u = graph.index_of("u")
+        v = graph.add_vertex("par")
+        graph.add_edge(u, v)
+        graph.add_edge(u, v)
+        assert graph.succ[u].count(v) == 2
+        graph.remove_edge(u, v)
+        assert graph.succ[u].count(v) == 1
+
+    def test_remove_missing_edge(self, graph):
+        with pytest.raises(CircuitError):
+            graph.remove_edge(graph.index_of("u"), graph.root)
+
+
+class TestSetFanins:
+    def test_rewire_replaces_preds(self, graph):
+        k = graph.index_of("k")
+        e, h = graph.index_of("e"), graph.index_of("h")
+        old = list(graph.pred[k])
+        touched = graph.set_fanins(k, [e, h])
+        assert graph.pred[k] == [e, h]
+        assert k in graph.succ[e] and k in graph.succ[h]
+        for p in old:
+            assert k not in graph.succ[p]
+        assert set(touched) == {k, e, h} | set(old)
+
+    def test_rewire_cycle_rejected(self, graph):
+        u = graph.index_of("u")
+        root = graph.root
+        with pytest.raises(CircuitError):
+            graph.set_fanins(u, [root])  # root is in u's fanout cone
+
+
+class TestKillVertex:
+    def test_tombstone_semantics(self, graph):
+        k = graph.index_of("k")
+        neighbours = set(graph.pred[k]) | set(graph.succ[k])
+        touched = graph.kill_vertex(k)
+        assert not graph.is_alive(k)
+        assert k in graph.dead
+        assert graph.succ[k] == [] and graph.pred[k] == []
+        for w in neighbours:
+            assert k not in graph.succ[w] and k not in graph.pred[w]
+        assert set(touched) == {k} | neighbours
+        with pytest.raises(UnknownNodeError):
+            graph.index_of("k")
+
+    def test_name_freed_for_reuse(self, graph):
+        graph.kill_vertex(graph.index_of("k"))
+        v = graph.add_vertex("k")
+        assert graph.index_of("k") == v
+
+    def test_root_protected(self, graph):
+        with pytest.raises(CircuitError):
+            graph.kill_vertex(graph.root)
+
+    def test_double_kill_rejected(self, graph):
+        k = graph.index_of("k")
+        graph.kill_vertex(k)
+        with pytest.raises(CircuitError):
+            graph.kill_vertex(k)
+
+    def test_dead_vertex_not_a_source(self, graph):
+        u = graph.index_of("u")
+        assert u in graph.sources()
+        graph.kill_vertex(u)
+        assert u not in graph.sources()
+
+    def test_dead_vertex_rejected_in_edges(self, graph):
+        k = graph.index_of("k")
+        graph.kill_vertex(k)
+        with pytest.raises(CircuitError):
+            graph.add_edge(graph.index_of("u"), k)
+
+
+class TestStability:
+    def test_untouched_indices_stable(self, graph):
+        before = {graph.name_of(v): v for v in range(graph.n)}
+        graph.add_vertex("x1")
+        graph.kill_vertex(graph.index_of("k"))
+        graph.set_fanins(
+            graph.index_of("m"), [graph.index_of("e")]
+        )
+        for name, idx in before.items():
+            if name == "k":
+                continue
+            assert graph.index_of(name) == idx
+
+    def test_traversals_ignore_tombstones(self, graph):
+        k = graph.index_of("k")
+        graph.kill_vertex(k)
+        assert not graph.reachable_from(graph.index_of("u"))[k]
+        assert not graph.coreachable_to(graph.root)[k]
+        order = graph.topological_order()  # still a DAG
+        assert len(order) == graph.n

@@ -1,0 +1,77 @@
+"""Edit records: construction, serialization, script round trips."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.incremental import (
+    AddGate,
+    RemoveGate,
+    ReplaceSubgraph,
+    Rewire,
+    dumps_script,
+    edit_from_dict,
+    edit_to_dict,
+    loads_script,
+    xor_to_nand_edit,
+)
+
+EDITS = [
+    AddGate("g1", ("a", "b"), "and"),
+    RemoveGate("g2"),
+    Rewire("g3", ("a",), "buf"),
+    Rewire("g4", ("a", "b")),
+    ReplaceSubgraph(
+        remove=("old",),
+        add=(AddGate("new", ("a",), "not"),),
+        rewire=(Rewire("sink", ("new",)),),
+    ),
+]
+
+
+@pytest.mark.parametrize("edit", EDITS, ids=lambda e: type(e).__name__)
+def test_dict_roundtrip(edit):
+    assert edit_from_dict(edit_to_dict(edit)) == edit
+
+
+def test_script_roundtrip():
+    assert loads_script(dumps_script(EDITS)) == EDITS
+
+
+def test_bare_list_script():
+    text = '[{"op": "remove-gate", "name": "g"}]'
+    assert loads_script(text) == [RemoveGate("g")]
+
+
+def test_fanins_normalized_to_tuples():
+    edit = AddGate("g", ["a", "b"])  # list input
+    assert edit.fanins == ("a", "b")
+    assert Rewire("g", ["a"]).fanins == ("a",)
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(CircuitError):
+        edit_from_dict({"op": "frobnicate"})
+    with pytest.raises(CircuitError):
+        edit_from_dict({"name": "no-op-key"})
+
+
+def test_replace_subgraph_phase_types_enforced():
+    with pytest.raises(CircuitError):
+        edit_from_dict(
+            {
+                "op": "replace-subgraph",
+                "add": [{"op": "rewire", "name": "x", "fanins": []}],
+            }
+        )
+
+
+def test_xor_to_nand_edit_shape():
+    edit = xor_to_nand_edit("x", "a", "b")
+    assert isinstance(edit, ReplaceSubgraph)
+    assert edit.remove == ()
+    assert [g.gate_type for g in edit.add] == ["nand", "nand", "nand"]
+    (rewire,) = edit.rewire
+    assert rewire.name == "x"
+    assert rewire.gate_type == "nand"
+    # the top NAND is driven by the two mid-level NANDs
+    assert set(rewire.fanins) == {g.name for g in edit.add[1:]}

@@ -1,0 +1,130 @@
+"""Dirty-cone idom update == full recomputation, on every edit shape."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.figures import figure2_circuit
+from repro.circuits.generators import cascade
+from repro.dominators.single import circuit_idoms
+from repro.graph import IndexedGraph
+from repro.incremental import affected_cone, downstream_of, update_idoms
+
+from ..property.strategies import small_circuits
+
+
+def fig2_graph():
+    return IndexedGraph.from_circuit(figure2_circuit())
+
+
+class TestCones:
+    def test_affected_cone_is_upstream(self):
+        g = fig2_graph()
+        cone = affected_cone(g, {g.index_of("t")})
+        names = {g.name_of(v) for v in cone}
+        assert "t" in names and "u" in names  # u feeds t transitively
+        assert "f" not in names  # the root is downstream of t
+
+    def test_downstream_is_fanout_side(self):
+        g = fig2_graph()
+        down = downstream_of(g, {g.index_of("t")})
+        names = {g.name_of(v) for v in down}
+        assert "f" in names and "u" not in names
+
+    def test_dead_vertices_are_inert(self):
+        g = fig2_graph()
+        v = g.index_of("m")
+        g.kill_vertex(v)
+        assert affected_cone(g, {v}) == {v}
+        assert downstream_of(g, {v}) == {v}
+
+
+class TestUpdateIdoms:
+    def test_matches_full_recompute_after_edge_insert(self):
+        g = fig2_graph()
+        old = circuit_idoms(g)
+        d, h = g.index_of("d"), g.index_of("h")
+        g.add_edge(d, h)
+        patched = update_idoms(g, old, {d, h})
+        assert patched == circuit_idoms(g)
+
+    def test_matches_after_vertex_addition(self):
+        g = fig2_graph()
+        old = circuit_idoms(g)
+        v = g.add_vertex("nb")
+        g.add_edge(g.index_of("d"), v)
+        g.add_edge(v, g.index_of("t"))
+        patched = update_idoms(
+            g, old, {v, g.index_of("d"), g.index_of("t")}, max_cone_fraction=1.1
+        )
+        assert patched == circuit_idoms(g)
+
+    def test_matches_after_kill(self):
+        g = fig2_graph()
+        old = circuit_idoms(g)
+        dirty = set(g.kill_vertex(g.index_of("m")))
+        patched = update_idoms(g, old, dirty, max_cone_fraction=1.1)
+        assert patched == circuit_idoms(g)
+
+    def test_bails_on_huge_cone(self):
+        g = fig2_graph()
+        old = circuit_idoms(g)
+        # dirtying the root makes every vertex affected
+        assert update_idoms(g, old, {g.root}, max_cone_fraction=0.5) is None
+
+    def test_bails_on_stale_boundary(self):
+        g = IndexedGraph.from_circuit(cascade(depth=6, num_inputs=6, num_outputs=1))
+        old = circuit_idoms(g)
+        u = g.sources()[-1]
+        for w in list(g.succ[u]):  # u can no longer reach the root
+            g.remove_edge(u, w)
+        # a dishonest dirty set that misses the change entirely
+        assert update_idoms(g, old, set()) is None
+
+    def test_disconnection_marks_unreachable(self):
+        g = IndexedGraph.from_circuit(cascade(depth=6, num_inputs=6, num_outputs=1))
+        old = circuit_idoms(g)
+        # orphan one primary input by removing all of its fanout edges
+        u = g.sources()[-1]
+        dirty = {u}
+        for w in list(g.succ[u]):
+            g.remove_edge(u, w)
+            dirty.add(w)
+        patched = update_idoms(g, old, dirty, max_cone_fraction=1.1)
+        assert patched == circuit_idoms(g)
+        assert patched[u] == -1
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_random_single_edit_matches_full(data):
+    circuit = data.draw(small_circuits(min_gates=2, max_gates=14))
+    g = IndexedGraph.from_circuit(circuit)
+    old = circuit_idoms(g)
+    alive = [v for v in range(g.n) if g.is_alive(v)]
+    kind = data.draw(st.sampled_from(["add_edge", "remove_edge", "kill"]))
+    dirty = None
+    if kind == "add_edge":
+        v = alive[data.draw(st.integers(0, len(alive) - 1))]
+        reach = g.reachable_from(v)
+        pool = [w for w in alive if w != v and not reach[w] and g.pred[w]]
+        if pool:
+            w = pool[data.draw(st.integers(0, len(pool) - 1))]
+            g.add_edge(w, v)
+            dirty = {v, w}
+    elif kind == "remove_edge":
+        edges = [(v, w) for v in alive for w in g.succ[v]]
+        if edges:
+            v, w = edges[data.draw(st.integers(0, len(edges) - 1))]
+            g.remove_edge(v, w)
+            dirty = {v, w}
+    else:
+        pool = [v for v in alive if v != g.root]
+        if pool:
+            v = pool[data.draw(st.integers(0, len(pool) - 1))]
+            dirty = set(g.kill_vertex(v))
+    if dirty is None:
+        return
+    patched = update_idoms(g, old, dirty, max_cone_fraction=1.1)
+    assert patched is not None
+    assert patched == circuit_idoms(g)

@@ -66,6 +66,53 @@ class TestCommands:
         assert main(["chains", str(path), "--output", circuit.outputs[0]]) == 0
 
 
+class TestEditSession:
+    @pytest.fixture
+    def script_file(self, tmp_path):
+        from repro.incremental import (
+            AddGate,
+            RemoveGate,
+            ReplaceSubgraph,
+            Rewire,
+            dump_script,
+        )
+
+        path = tmp_path / "edits.json"
+        dump_script(
+            [
+                AddGate("nb", ("d",), "buf"),
+                ReplaceSubgraph(
+                    add=(AddGate("nb2", ("g",), "buf"),),
+                    rewire=(Rewire("t", ("nb", "nb2")),),
+                ),
+                RemoveGate("m"),
+            ],
+            str(path),
+        )
+        return str(path)
+
+    def test_replay_reports_stats(self, bench_file, script_file, capsys):
+        assert main(["edit-session", bench_file, script_file]) == 0
+        out = capsys.readouterr().out
+        assert "initial:" in out
+        assert "edit   3 [RemoveGate]" in out
+        assert "hit_rate" in out
+        assert "evictions" in out
+
+    def test_compare_mode(self, bench_file, script_file, capsys):
+        assert main(["edit-session", bench_file, script_file, "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_multi_output_requires_flag(self, tmp_path, script_file, capsys):
+        from repro.circuits.generators import random_circuit
+
+        circuit = random_circuit(3, 10, num_outputs=2, seed=0)
+        path = tmp_path / "two.bench"
+        bench.dump(circuit, path)
+        assert main(["edit-session", str(path), script_file]) == 2
+
+
 def test_load_verilog(tmp_path):
     from repro.parsers import verilog
 
