@@ -5,10 +5,16 @@ double-vertex dominators of every primary input of every output cone.
 ``new`` is the paper's dominator-chain algorithm (column t2), ``baseline``
 the restriction algorithm [11] (column t1); comparing the two groups in
 the pytest-benchmark output reproduces the table's improvement column.
+``new via pool`` runs the same workload through the
+:mod:`repro.service` worker-pool executor (``REPRO_SWEEP_JOBS``
+processes, default 2) — its gap to ``new`` is the serving layer's
+dispatch overhead or, on multi-core runners, its speedup.
 
 Circuits are built at scale 0.5 to keep a full run in CI territory; run
 ``python -m repro.experiments.table1`` for the paper-matched sizes.
 """
+
+import os
 
 import pytest
 
@@ -16,8 +22,10 @@ from repro.circuits.suite import QUICK_SUBSET, table1_suite
 from repro.core.algorithm import ChainComputer
 from repro.core.baseline import baseline_double_dominators
 from repro.graph import IndexedGraph
+from repro.service import ExecutorConfig, ParallelExecutor
 
 SCALE = 0.5
+SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "2"))
 
 
 def _cones(name):
@@ -58,3 +66,16 @@ def test_baseline_algorithm(benchmark, name):
     benchmark.group = f"table1:{name}"
     benchmark.name = "baseline [11] (t1)"
     benchmark(_run_baseline, cones)
+
+
+def _run_parallel(circuit):
+    executor = ParallelExecutor(ExecutorConfig(jobs=SWEEP_JOBS))
+    return sum(r.num_pairs for r in executor.sweep_circuit(circuit))
+
+
+@pytest.mark.parametrize("name", QUICK_SUBSET)
+def test_parallel_sweep(benchmark, name):
+    circuit = table1_suite()[name].circuit(SCALE)
+    benchmark.group = f"table1:{name}"
+    benchmark.name = f"new via pool (jobs={SWEEP_JOBS})"
+    benchmark(_run_parallel, circuit)

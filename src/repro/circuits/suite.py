@@ -69,6 +69,28 @@ def _dim(value: int, scale: float, minimum: int = 2) -> int:
     return max(minimum, int(round(value * scale)))
 
 
+#: Global shift applied to every random-family generator seed.  The
+#: deterministic (structural) generators ignore it — an ALU is an ALU —
+#: but the calibrated random netlists resample under a different offset,
+#: which is what ``table1 --seed`` uses to probe run-to-run robustness.
+_SEED_OFFSET = 0
+
+
+def set_seed_offset(offset: int) -> None:
+    """Shift the seeds of the random-family suite circuits.
+
+    Builders read the offset at build time, so already-created
+    :class:`SuiteEntry` records pick it up without cache invalidation.
+    """
+    global _SEED_OFFSET
+    _SEED_OFFSET = int(offset)
+
+
+def seed_offset() -> int:
+    """The currently active random-family seed offset."""
+    return _SEED_OFFSET
+
+
 def _rand(
     inputs: int, gates: int, outputs: int, seed: int
 ) -> Callable[[float], Circuit]:
@@ -77,7 +99,7 @@ def _rand(
             num_inputs=_dim(inputs, scale),
             num_gates=_dim(gates, scale, minimum=4),
             num_outputs=_dim(outputs, scale, minimum=1),
-            seed=seed,
+            seed=seed + _SEED_OFFSET,
             locality=14,
         )
 

@@ -22,6 +22,17 @@ cache hit/miss/invalidation statistics (optionally comparing against
 full recomputation)::
 
     python -m repro edit-session design.bench edits.json --compare
+
+``sweep`` — parallel dominator-chain sweep over the built-in circuit
+suite through :mod:`repro.service` (worker pool, artifact store,
+metrics snapshot)::
+
+    python -m repro sweep --jobs 4 --quick --metrics metrics.json
+
+``serve-batch`` — answer a JSON file of chain requests (deduplicated,
+batched per cone, optionally parallel and artifact-backed)::
+
+    python -m repro serve-batch requests.json --out responses.json
 """
 
 from __future__ import annotations
@@ -99,6 +110,7 @@ def _cmd_counts(args: argparse.Namespace) -> int:
 
 
 def _cmd_edit_session(args: argparse.Namespace) -> int:
+    from .errors import CircuitError
     from .incremental import IncrementalEngine, load_script
 
     circuit = load_netlist(args.netlist)
@@ -111,7 +123,21 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    edits = load_script(args.script)
+    try:
+        edits = load_script(args.script)
+    except OSError as exc:
+        print(f"cannot read edit script {args.script}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, CircuitError) as exc:
+        # ValueError covers json.JSONDecodeError (malformed/empty file);
+        # CircuitError covers structurally invalid edit records.
+        print(f"invalid edit script {args.script}: {exc}", file=sys.stderr)
+        return 2
+    if not edits:
+        print(
+            f"edit script {args.script} contains no edits", file=sys.stderr
+        )
+        return 2
     engine = IncrementalEngine.from_circuit(circuit, output)
 
     def query():
@@ -169,7 +195,195 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         forwarded.append("--quick")
     if args.scale != 1.0:
         forwarded.extend(["--scale", str(args.scale)])
+    if args.jobs != 1:
+        forwarded.extend(["--jobs", str(args.jobs)])
+    if args.seed is not None:
+        forwarded.extend(["--seed", str(args.seed)])
     return table1.main(forwarded)
+
+
+def _make_executor(args: argparse.Namespace):
+    """Executor + metrics + optional artifact store from CLI flags."""
+    from .service import (
+        ArtifactStore,
+        ExecutorConfig,
+        MetricsRegistry,
+        ParallelExecutor,
+    )
+
+    metrics = MetricsRegistry()
+    store = (
+        ArtifactStore(args.artifacts, metrics=metrics)
+        if getattr(args, "artifacts", None)
+        else None
+    )
+    executor = ParallelExecutor(
+        ExecutorConfig(jobs=args.jobs, timeout=args.timeout),
+        metrics=metrics,
+        store=store,
+    )
+    return executor, metrics
+
+
+def _export_metrics(metrics, path: Optional[str]) -> None:
+    if path:
+        metrics.export_json(path)
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .circuits.suite import QUICK_SUBSET, table1_suite
+    from .service import sweep_suite
+
+    suite = table1_suite()
+    names = args.names or (QUICK_SUBSET if args.quick else None)
+    unknown = [n for n in (names or []) if n not in suite]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    executor, metrics = _make_executor(args)
+    report = sweep_suite(
+        executor, names=names, scale=args.scale, verbose=not args.no_progress
+    )
+    header = (
+        f"{'name':10s} {'cones':>6s} {'chains':>7s} {'pairs':>8s} "
+        f"{'wall [s]':>9s} {'art.hits':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report.circuits:
+        print(
+            f"{row.name:10s} {row.cones:6d} {row.chains:7d} {row.pairs:8d} "
+            f"{row.wall:9.3f} {row.artifact_hits:8d}"
+        )
+    print(
+        f"\ntotal: {report.total_pairs} pairs over "
+        f"{len(report.circuits)} circuits in {report.total_wall:.3f} s "
+        f"(jobs={report.jobs})"
+    )
+    _export_metrics(metrics, args.metrics)
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ChainRequest, JobQueue, circuit_fingerprint
+
+    try:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read {args.requests}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid request file {args.requests}: {exc}", file=sys.stderr)
+        return 2
+    raw_requests = (
+        data.get("requests") if isinstance(data, dict) else data
+    )
+    if not isinstance(raw_requests, list) or not raw_requests:
+        print(
+            f"request file {args.requests} holds no requests "
+            '(expected {"requests": [...]})',
+            file=sys.stderr,
+        )
+        return 2
+
+    executor, metrics = _make_executor(args)
+    queue = JobQueue()
+    circuits = {}  # fingerprint -> Circuit
+    keys_by_path = {}  # netlist path -> fingerprint
+    records = []  # (record, circuit_key, outputs, targets)
+    for idx, record in enumerate(raw_requests):
+        if not isinstance(record, dict) or "netlist" not in record:
+            print(
+                f"request #{idx} is malformed (needs a 'netlist' field)",
+                file=sys.stderr,
+            )
+            return 2
+        path = record["netlist"]
+        if path not in keys_by_path:
+            circuit = load_netlist(path)
+            key = circuit_fingerprint(circuit)
+            keys_by_path[path] = key
+            circuits[key] = circuit
+        key = keys_by_path[path]
+        circuit = circuits[key]
+        outputs = (
+            [record["output"]] if record.get("output") else circuit.outputs
+        )
+        bad = [o for o in outputs if o not in circuit]
+        if bad:
+            print(
+                f"request #{idx}: unknown output(s) {', '.join(bad)}",
+                file=sys.stderr,
+            )
+            return 2
+        targets = record.get("targets")
+        bad = [t for t in targets or () if t not in circuit]
+        if bad:
+            print(
+                f"request #{idx}: unknown target(s) {', '.join(bad)}",
+                file=sys.stderr,
+            )
+            return 2
+        request_id = str(record.get("id", idx))
+        for output in outputs:
+            if targets:
+                for target in targets:
+                    queue.submit(
+                        ChainRequest(key, output, target, request_id)
+                    )
+            else:
+                queue.submit(ChainRequest(key, output, None, request_id))
+        records.append((record, key, outputs, targets))
+
+    from .errors import CircuitError
+
+    batches = queue.drain()
+    try:
+        results = executor.run_batches(circuits, batches)
+    except CircuitError as exc:
+        # e.g. a target that exists in the netlist but not in the
+        # requested output cone.
+        print(f"cannot serve batch: {exc}", file=sys.stderr)
+        return 2
+
+    responses = []
+    for idx, (record, key, outputs, targets) in enumerate(records):
+        for output in outputs:
+            cone = results[(key, output)]
+            chains = cone.chains
+            if targets:
+                chains = {t: chains[t] for t in targets if t in chains}
+            responses.append(
+                {
+                    "id": str(record.get("id", idx)),
+                    "circuit": key,
+                    "output": output,
+                    "source": cone.source,
+                    "chains": chains,
+                }
+            )
+    payload = {
+        "responses": responses,
+        "queue": queue.stats.as_dict(),
+        "metrics": metrics.snapshot(),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"{len(responses)} response(s) written to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    _export_metrics(metrics, args.metrics)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,7 +423,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="run the Table-1 harness")
     p_t1.add_argument("--quick", action="store_true")
     p_t1.add_argument("--scale", type=float, default=1.0)
+    p_t1.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for t2"
+    )
+    p_t1.add_argument(
+        "--seed", type=int, default=None, help="suite seed offset"
+    )
     p_t1.set_defaults(func=_cmd_table1)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel dominator sweep over the built-in circuit suite",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_sweep.add_argument("--quick", action="store_true")
+    p_sweep.add_argument("--names", nargs="*", help="benchmark names")
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, help="per-cone seconds budget"
+    )
+    p_sweep.add_argument(
+        "--artifacts", metavar="DIR", help="artifact store directory"
+    )
+    p_sweep.add_argument(
+        "--metrics", metavar="FILE", help="write metrics snapshot JSON"
+    )
+    p_sweep.add_argument(
+        "--no-progress", action="store_true", help="suppress progress lines"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve-batch",
+        help="answer a JSON batch of dominator-chain requests",
+    )
+    p_serve.add_argument("requests", help="JSON request file")
+    p_serve.add_argument("--out", help="response file (default: stdout)")
+    p_serve.add_argument("--jobs", type=int, default=1)
+    p_serve.add_argument("--timeout", type=float, default=None)
+    p_serve.add_argument("--artifacts", metavar="DIR")
+    p_serve.add_argument(
+        "--metrics", metavar="FILE", help="write metrics snapshot JSON"
+    )
+    p_serve.set_defaults(func=_cmd_serve_batch)
     return parser
 
 

@@ -91,6 +91,13 @@ class ChainComputer:
         the cache can outlive this computer (and the dominator tree it
         was built against), so expansions survive circuit edits until
         explicitly invalidated.  Ignored when ``cache_regions`` is false.
+    metrics:
+        Optional :class:`repro.service.metrics.MetricsRegistry` (any
+        object with ``inc(name)``/``observe(name, value)``).  When set,
+        every :meth:`chain` call observes its wall time under
+        ``core.chain_seconds`` and counts ``core.chains_computed`` and
+        ``core.region_expansions`` — the serving layer's view into the
+        algorithmic hot path.
     """
 
     def __init__(
@@ -100,10 +107,12 @@ class ChainComputer:
         cache_regions: bool = True,
         tree: Optional[DominatorTree] = None,
         region_cache: Optional[RegionCache] = None,
+        metrics=None,
     ):
         self.graph = graph
         self.algorithm = algorithm
         self.cache_regions = cache_regions
+        self.metrics = metrics
         self.tree = tree if tree is not None else circuit_dominator_tree(
             graph, algorithm
         )
@@ -132,6 +141,17 @@ class ChainComputer:
 
     def chain(self, u: int) -> DominatorChain:
         """The dominator chain ``D(u)`` (empty for the root)."""
+        if self.metrics is None:
+            return self._chain(u)
+        import time
+
+        start = time.perf_counter()
+        result = self._chain(u)
+        self.metrics.observe("core.chain_seconds", time.perf_counter() - start)
+        self.metrics.inc("core.chains_computed")
+        return result
+
+    def _chain(self, u: int) -> DominatorChain:
         chain_vertices = self.tree.chain(u)
         region_lists: List[List[RegionPair]] = []
         for start, sink in zip(chain_vertices, chain_vertices[1:]):
@@ -150,6 +170,8 @@ class ChainComputer:
                 local_start=local_of[start],
             )
             expanded = _expand_region(region, self.algorithm)
+            if self.metrics is not None:
+                self.metrics.inc("core.region_expansions")
             if self.region_cache is not None:
                 self.region_cache.store(start, sink, orig_of, expanded)
             region_lists.append(expanded)

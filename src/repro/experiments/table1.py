@@ -9,7 +9,9 @@ over cones exactly as the paper specifies:
   primary input (identical for both algorithms — cross-checked),
 * t1 — wall time of the baseline algorithm [11],
 * t2 — wall time of the paper's dominator-chain algorithm,
-* improvement t1/t2.
+* improvement t1/t2,
+* wall — total wall-clock spent on the circuit (build + both
+  algorithms + cross-checks), the serving-capacity view.
 
 Absolute times are Python-on-today's-hardware, not 2005-C-on-a-650 MHz
 Pentium 3; the claims under reproduction are the *ratios* and the counts'
@@ -17,6 +19,12 @@ structure.  Run as a module::
 
     python -m repro.experiments.table1 --scale 0.5
     python -m repro.experiments.table1 --quick --markdown out.md
+    python -m repro.experiments.table1 --jobs 4 --seed 1
+
+``--jobs N`` routes t2 through the :mod:`repro.service` worker pool
+(cones fan out across N processes); ``--seed K`` offsets the
+random-family suite generators to probe robustness across netlist
+samples.
 """
 
 from __future__ import annotations
@@ -53,19 +61,29 @@ class Table1Row:
     paper_single: int
     paper_double: int
     paper_improvement: float
+    wall: float = 0.0
 
     @property
     def improvement(self) -> float:
         return self.t1 / self.t2 if self.t2 > 0 else float("inf")
 
 
-def measure_circuit(circuit: Circuit, check: bool = False) -> Table1Row:
+def measure_circuit(
+    circuit: Circuit, check: bool = False, jobs: int = 1
+) -> Table1Row:
     """Run both algorithms over every output cone of one circuit.
 
     With ``check=True`` the per-target pair sets of the two algorithms are
     compared (slow paths already measured; comparison itself is free) and
     a mismatch raises — the harness doubles as an end-to-end test.
+
+    With ``jobs > 1`` the t2 measurement fans cones across a
+    :class:`repro.service.ParallelExecutor` worker pool; the reported t2
+    is the parallel wall time and the pair sets are reconstructed from
+    the workers' serialized chains (bit-identical to the in-process
+    path).
     """
+    wall_start = time.perf_counter()
     cones = [IndexedGraph.from_circuit(circuit, out) for out in circuit.outputs]
 
     # Column 4: single-vertex dominators of >= 1 PI (LT), and cone prep.
@@ -87,21 +105,39 @@ def measure_circuit(circuit: Circuit, check: bool = False) -> Table1Row:
         baseline_pairs.append(per_target)
     t1 = time.perf_counter() - t_start
 
-    # t2: the paper's algorithm.
-    t_start = time.perf_counter()
+    # t2: the paper's algorithm — in-process, or fanned across a pool.
     chain_pair_sets: List[Dict[int, Set[FrozenSet[int]]]] = []
     doubles_new = 0
-    for graph in cones:
-        computer = ChainComputer(graph)
-        union = set()
-        per_target = {}
-        for u in graph.sources():
-            pairs = computer.chain(u).pair_set()
-            per_target[u] = pairs
-            union |= pairs
-        doubles_new += len(union)
-        chain_pair_sets.append(per_target)
-    t2 = time.perf_counter() - t_start
+    if jobs > 1:
+        from ..core.chain import DominatorChain
+        from ..service import ExecutorConfig, ParallelExecutor
+
+        executor = ParallelExecutor(ExecutorConfig(jobs=jobs))
+        t_start = time.perf_counter()
+        cone_results = executor.sweep_circuit(circuit)
+        t2 = time.perf_counter() - t_start
+        for graph, result in zip(cones, cone_results):
+            union = set()
+            per_target = {}
+            for name, chain_dict in result.chains.items():
+                pairs = DominatorChain.from_dict(chain_dict).pair_set()
+                per_target[graph.index_of(name)] = pairs
+                union |= pairs
+            doubles_new += len(union)
+            chain_pair_sets.append(per_target)
+    else:
+        t_start = time.perf_counter()
+        for graph in cones:
+            computer = ChainComputer(graph)
+            union = set()
+            per_target = {}
+            for u in graph.sources():
+                pairs = computer.chain(u).pair_set()
+                per_target[u] = pairs
+                union |= pairs
+            doubles_new += len(union)
+            chain_pair_sets.append(per_target)
+        t2 = time.perf_counter() - t_start
 
     if doubles_new != doubles_baseline:
         raise AssertionError(
@@ -127,14 +163,15 @@ def measure_circuit(circuit: Circuit, check: bool = False) -> Table1Row:
         paper_single=0,
         paper_double=0,
         paper_improvement=0.0,
+        wall=time.perf_counter() - wall_start,
     )
 
 
 def run_entry(
-    entry: SuiteEntry, scale: float = 1.0, check: bool = False
+    entry: SuiteEntry, scale: float = 1.0, check: bool = False, jobs: int = 1
 ) -> Table1Row:
     """Measure one suite benchmark and attach the paper's numbers."""
-    row = measure_circuit(entry.circuit(scale), check=check)
+    row = measure_circuit(entry.circuit(scale), check=check, jobs=jobs)
     row.paper_single = entry.paper.single_doms
     row.paper_double = entry.paper.double_doms
     row.paper_improvement = entry.paper.improvement
@@ -146,15 +183,32 @@ def run_table1(
     scale: float = 1.0,
     check: bool = False,
     verbose: bool = True,
+    jobs: int = 1,
+    seed: Optional[int] = None,
 ) -> List[Table1Row]:
-    """Measure a set of suite benchmarks (all 30 by default)."""
+    """Measure a set of suite benchmarks (all 30 by default).
+
+    ``seed`` offsets the random-family suite generators (see
+    :func:`repro.circuits.suite.set_seed_offset`); it is restored
+    afterwards so the harness has no lasting global effect.
+    """
+    from ..circuits.suite import seed_offset, set_seed_offset
+
     suite = table1_suite()
     selected = list(names) if names else list(suite)
     rows: List[Table1Row] = []
-    for name in selected:
-        if verbose:
-            print(f"  running {name} ...", file=sys.stderr, flush=True)
-        rows.append(run_entry(suite[name], scale=scale, check=check))
+    previous_offset = seed_offset()
+    if seed is not None:
+        set_seed_offset(seed)
+    try:
+        for name in selected:
+            if verbose:
+                print(f"  running {name} ...", file=sys.stderr, flush=True)
+            rows.append(
+                run_entry(suite[name], scale=scale, check=check, jobs=jobs)
+            )
+    finally:
+        set_seed_offset(previous_offset)
     return rows
 
 
@@ -168,6 +222,7 @@ _HEADERS = [
     "t2 [s]",
     "impr t1/t2",
     "paper impr",
+    "wall [s]",
 ]
 
 
@@ -183,6 +238,7 @@ def _table_rows(rows: Sequence[Table1Row]) -> List[List[object]]:
             r.t2,
             r.improvement,
             r.paper_improvement,
+            r.wall,
         ]
         for r in rows
     ]
@@ -199,6 +255,7 @@ def _table_rows(rows: Sequence[Table1Row]) -> List[List[object]]:
                 sum(r.t2 for r in rows) / n,
                 sum(r.improvement for r in rows) / n,
                 sum(r.paper_improvement for r in rows) / n,
+                sum(r.wall for r in rows) / n,
             ]
         )
     return body
@@ -238,10 +295,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--markdown", metavar="FILE", help="also write a markdown table"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the t2 measurement (1 = in-process)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed offset for the random-family suite circuits",
+    )
     args = parser.parse_args(argv)
 
     names = args.names or (QUICK_SUBSET if args.quick else None)
-    rows = run_table1(names=names, scale=args.scale, check=args.check)
+    rows = run_table1(
+        names=names,
+        scale=args.scale,
+        check=args.check,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
     print(format_results(rows))
     if args.markdown:
         with open(args.markdown, "w") as handle:

@@ -106,6 +106,12 @@ class IncrementalEngine:
         self.cache = RegionCache()
         self.gate_types: Dict[str, str] = {}
         self.log: List[Edit] = []
+        #: Callbacks fired once per successful :meth:`apply` call that
+        #: touched the graph — the hook external caches key on.  The
+        #: service layer registers
+        #: ``ArtifactStore.listener_for(circuit_key)`` here so on-disk
+        #: artifacts version-invalidate in step with edits.
+        self._edit_listeners: List = []
         self.stats = EngineStats(cache=self.cache.stats)
         self._dirty: Set[int] = set()
         self._computer: Optional[ChainComputer] = None
@@ -149,7 +155,19 @@ class IncrementalEngine:
         self._dirty |= touched
         if touched:
             self._computer = None
+            for listener in self._edit_listeners:
+                listener()
         return sorted(touched)
+
+    def add_edit_listener(self, callback) -> None:
+        """Register a zero-argument callback fired after mutating edits.
+
+        Listeners run after the graph changed but before any dominator
+        state is refreshed; exceptions propagate to the ``apply``
+        caller.  Used by :class:`repro.service.ArtifactStore` to bump
+        its version counter for this circuit.
+        """
+        self._edit_listeners.append(callback)
 
     def _apply_one(self, edit: Edit, touched: Set[int]) -> None:
         graph = self.graph

@@ -1,0 +1,91 @@
+"""Canonical circuit hashing — the key space of the serving layer.
+
+Two circuits that describe the same netlist must map to the same key no
+matter how their nodes were inserted, so the fingerprint is computed
+over a *canonical form*: nodes sorted by name, fanins in declared order
+(fanin order is semantic — MUX — so it is part of the identity), plus
+the input and output lists.  The hash deliberately ignores the
+circuit's display ``name``: renaming a benchmark does not invalidate
+its artifacts.
+
+``cone_fingerprint`` narrows the identity to one output cone, so edits
+confined to another cone of the same netlist do not invalidate this
+cone's artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+from ..graph.circuit import Circuit
+
+
+def _feed(hasher: "hashlib._Hash", parts: Iterable[str]) -> None:
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Hex digest identifying the full netlist (structure, not name)."""
+    hasher = hashlib.sha256()
+    _feed(hasher, ("inputs", *circuit.inputs))
+    _feed(hasher, ("outputs", *circuit.outputs))
+    for name in sorted(iter(circuit)):
+        node = circuit.node(name)
+        _feed(hasher, ("node", name, node.type.value, *node.fanins))
+    return hasher.hexdigest()
+
+
+def cone_fingerprint(circuit: Circuit, output: str) -> str:
+    """Hex digest of one output cone: the transitive fanin of ``output``.
+
+    Only the nodes that can reach ``output`` contribute, so the digest
+    is stable under edits elsewhere in the netlist.
+    """
+    members = set()
+    stack = [output]
+    while stack:
+        name = stack.pop()
+        if name in members:
+            continue
+        members.add(name)
+        stack.extend(circuit.node(name).fanins)
+    hasher = hashlib.sha256()
+    _feed(hasher, ("cone", output))
+    for name in sorted(members):
+        node = circuit.node(name)
+        _feed(hasher, ("node", name, node.type.value, *node.fanins))
+    return hasher.hexdigest()
+
+
+def safe_key(text: str, keep: int = 24) -> str:
+    """Filesystem-safe token for an arbitrary signal/output name.
+
+    A readable sanitized prefix plus a short digest suffix: collisions
+    between distinct names are practically impossible while the file
+    name stays greppable.
+    """
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "._-" else "_" for ch in text
+    )[:keep]
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+    return f"{cleaned}-{digest}" if cleaned else digest
+
+
+def fingerprint_version(fingerprint: str, version: int) -> str:
+    """Composite cache tag ``<fingerprint>@v<version>`` used in metadata."""
+    return f"{fingerprint}@v{version}"
+
+
+def short(fingerprint: str, length: int = 12) -> str:
+    """Abbreviated fingerprint for logs and reports."""
+    return fingerprint[:length]
+
+
+def stable_request_key(
+    circuit_key: str, output: str, target: Optional[str]
+) -> str:
+    """Deduplication key of one chain request (None target = all PIs)."""
+    return f"{circuit_key}/{output}/{target if target is not None else '*'}"

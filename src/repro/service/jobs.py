@@ -1,0 +1,156 @@
+"""Request deduplication and batching for the query service.
+
+A :class:`ChainRequest` names one dominator-chain subproblem: a circuit
+(by canonical fingerprint), one output cone, and optionally one target
+vertex (``None`` = every primary input of the cone — the Table-1
+workload).  Requests arrive from many callers and frequently repeat:
+``serve-batch`` inputs routinely ask for overlapping targets, and a
+sweep re-run after an unrelated edit re-asks for every cone.
+
+:class:`JobQueue` collapses that stream in two steps:
+
+* **dedup** — identical ``(circuit, output, target)`` requests beyond
+  the first are recorded but not re-enqueued; every duplicate's
+  ``request_id`` still receives the shared answer,
+* **batching** — surviving requests for the same ``(circuit, output)``
+  merge into one :class:`Batch`, because the region cache inside
+  :class:`~repro.core.algorithm.ChainComputer` makes computing a cone's
+  targets together nearly as cheap as computing one.  A pending
+  all-targets request absorbs every single-target request for its cone.
+
+The queue is synchronous and in-memory by design: the executor drains
+it batch-by-batch, and the artifact store provides cross-process reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .hashing import stable_request_key
+
+
+@dataclass(frozen=True)
+class ChainRequest:
+    """One dominator-chain query.
+
+    ``target=None`` asks for the chains of every primary input of the
+    cone.  ``request_id`` is an opaque caller token echoed back in
+    responses; it does not participate in deduplication.
+    """
+
+    circuit_key: str
+    output: str
+    target: Optional[str] = None
+    request_id: Optional[str] = None
+
+    @property
+    def dedup_key(self) -> str:
+        return stable_request_key(self.circuit_key, self.output, self.target)
+
+
+@dataclass
+class Batch:
+    """Merged work unit: one output cone, the union of requested targets.
+
+    ``targets is None`` means "all primary inputs" — chosen whenever any
+    member request asked for everything.  ``request_ids`` preserves the
+    arrival order of every caller (duplicates included) so responses can
+    be fanned back out.
+    """
+
+    circuit_key: str
+    output: str
+    targets: Optional[Tuple[str, ...]]
+    request_ids: List[str] = field(default_factory=list)
+
+    @property
+    def all_targets(self) -> bool:
+        return self.targets is None
+
+
+@dataclass
+class QueueStats:
+    """Lifetime counters of one queue."""
+
+    submitted: int = 0
+    deduplicated: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "deduplicated": self.deduplicated,
+            "batches": self.batches,
+        }
+
+
+class JobQueue:
+    """Collects :class:`ChainRequest` records and drains merged batches."""
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, ChainRequest] = {}
+        self._order: List[ChainRequest] = []
+        self.stats = QueueStats()
+
+    def submit(self, request: ChainRequest) -> bool:
+        """Add one request; returns ``False`` when it was a duplicate."""
+        self.stats.submitted += 1
+        key = request.dedup_key
+        fresh = key not in self._seen
+        if fresh:
+            self._seen[key] = request
+        self._order.append(request)
+        if not fresh:
+            self.stats.deduplicated += 1
+        return fresh
+
+    def submit_all(self, requests) -> int:
+        """Submit many requests; returns how many were new."""
+        return sum(1 for r in requests if self.submit(r))
+
+    def __len__(self) -> int:
+        """Number of distinct pending subproblems."""
+        return len(self._seen)
+
+    def drain(self) -> List[Batch]:
+        """Merge pending requests into per-cone batches and reset.
+
+        Batches come out in first-arrival order of their cone, targets
+        sorted for determinism.  A cone with any all-targets request
+        yields a single all-targets batch.
+        """
+        batches: Dict[Tuple[str, str], Batch] = {}
+        order: List[Tuple[str, str]] = []
+        for request in self._order:
+            cone = (request.circuit_key, request.output)
+            batch = batches.get(cone)
+            if batch is None:
+                batch = Batch(
+                    circuit_key=request.circuit_key,
+                    output=request.output,
+                    targets=(),
+                )
+                batches[cone] = batch
+                order.append(cone)
+            if request.request_id is not None:
+                batch.request_ids.append(request.request_id)
+            if request.target is None:
+                batch.targets = None
+            elif batch.targets is not None:
+                if request.target not in batch.targets:
+                    batch.targets = tuple(
+                        sorted({*batch.targets, request.target})
+                    )
+        self._seen.clear()
+        self._order.clear()
+        drained = [batches[cone] for cone in order]
+        self.stats.batches += len(drained)
+        return drained
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobQueue(pending={len(self._seen)}, "
+            f"submitted={self.stats.submitted}, "
+            f"deduplicated={self.stats.deduplicated})"
+        )

@@ -1,9 +1,26 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.circuits.figures import figure1_circuit, figure2_circuit
 from repro.graph import IndexedGraph
+
+# Deterministic profile for CI: derandomized (same examples every run,
+# so failures reproduce across reruns and machines), no wall-clock
+# deadline (shared runners stall unpredictably), modest example count.
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+# Local deep-soak profile: more examples, still no deadline.
+settings.register_profile("dev", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

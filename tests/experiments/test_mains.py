@@ -22,6 +22,47 @@ class TestTable1Main:
         assert table1.main(["--names", "cmb", "--scale", "0.5"]) == 0
         assert "cmb" in capsys.readouterr().out
 
+    def test_main_jobs_parallel_t2(self, capsys):
+        assert (
+            table1.main(
+                ["--names", "alu2", "--scale", "0.5", "--jobs", "2", "--check"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "alu2" in out
+        assert "wall [s]" in out
+
+    def test_main_seed_offset_restored(self, capsys):
+        from repro.circuits.suite import seed_offset
+
+        assert (
+            table1.main(["--names", "cmb", "--scale", "0.5", "--seed", "3"])
+            == 0
+        )
+        assert seed_offset() == 0  # harness restores the offset
+
+    def test_seed_changes_random_family_counts(self):
+        base = table1.run_table1(
+            names=["cmb"], scale=0.5, verbose=False
+        )[0]
+        shifted = table1.run_table1(
+            names=["cmb"], scale=0.5, verbose=False, seed=7
+        )[0]
+        # same I/O shape, resampled structure
+        assert (base.inputs, base.outputs) == (
+            shifted.inputs,
+            shifted.outputs,
+        )
+        assert (
+            base.double_doms != shifted.double_doms
+            or base.single_doms != shifted.single_doms
+        )
+
+    def test_rows_record_wall_clock(self):
+        (row,) = table1.run_table1(names=["alu2"], scale=0.5, verbose=False)
+        assert row.wall >= row.t1 + row.t2
+
 
 class TestAblationMain:
     @pytest.mark.parametrize("study", ["engine"])

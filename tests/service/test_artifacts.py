@@ -1,0 +1,146 @@
+"""Tests for the on-disk artifact store and its invalidation wiring."""
+
+import json
+
+from repro.circuits.figures import figure2_circuit
+from repro.incremental import AddGate, IncrementalEngine
+from repro.service import (
+    ArtifactStore,
+    MetricsRegistry,
+    circuit_fingerprint,
+    cone_fingerprint,
+    sequential_cone_chains,
+)
+
+
+def _chains():
+    circuit = figure2_circuit()
+    return circuit, sequential_cone_chains(circuit, "f")
+
+
+class TestRoundTrip:
+    def test_put_then_get_is_identical(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        store.put(key, "f", chains)
+        assert store.get(key, "f") == chains
+
+    def test_get_missing_is_none(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.get("deadbeef", "f") is None
+
+    def test_versions_survive_reopen(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        store.put(key, "f", chains)
+        store.invalidate(key)
+        reopened = ArtifactStore(str(tmp_path))
+        assert reopened.version(key) == 1
+        assert reopened.get(key, "f") is None
+
+    def test_artifacts_survive_reopen(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        ArtifactStore(str(tmp_path)).put(key, "f", chains)
+        assert ArtifactStore(str(tmp_path)).get(key, "f") == chains
+
+    def test_torn_artifact_is_a_miss(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        path = store.put(key, "f", chains)
+        path.write_text("{not json")
+        assert store.get(key, "f") is None
+
+
+class TestInvalidation:
+    def test_invalidate_bumps_version_and_hides_artifacts(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        store.put(key, "f", chains)
+        assert store.invalidate(key) == 1
+        assert store.get(key, "f") is None
+        # a fresh put under the new version serves again
+        store.put(key, "f", chains)
+        assert store.get(key, "f") == chains
+
+    def test_invalidate_removes_old_version_dirs(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        old = store.put(key, "f", chains)
+        store.invalidate(key)
+        assert not old.exists()
+
+    def test_other_circuits_unaffected(self, tmp_path):
+        circuit, chains = _chains()
+        store = ArtifactStore(str(tmp_path))
+        store.put("aaaa", "f", chains)
+        store.put("bbbb", "f", chains)
+        store.invalidate("aaaa")
+        assert store.get("aaaa", "f") is None
+        assert store.get("bbbb", "f") == chains
+
+    def test_engine_edit_listener_invalidates(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        store.put(key, "f", chains)
+        engine = IncrementalEngine.from_circuit(circuit.copy(), "f")
+        engine.add_edit_listener(store.listener_for(key))
+        engine.apply(AddGate("extra", ("d",), "buf"))
+        assert store.version(key) == 1
+        assert store.get(key, "f") is None
+
+
+class TestMetrics:
+    def test_hit_miss_write_counters(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        metrics = MetricsRegistry()
+        store = ArtifactStore(str(tmp_path), metrics=metrics)
+        store.get(key, "f")
+        store.put(key, "f", chains)
+        store.get(key, "f")
+        snap = metrics.snapshot()["counters"]
+        assert snap["artifacts.misses"] == 1
+        assert snap["artifacts.hits"] == 1
+        assert snap["artifacts.writes"] == 1
+        assert store.hit_ratio() == 0.5
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_name_and_insertion_order(self):
+        a = figure2_circuit()
+        b = figure2_circuit()
+        b.name = "renamed"
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+    def test_fingerprint_changes_on_structure(self):
+        from repro.graph.node import NodeType
+
+        a = figure2_circuit()
+        b = figure2_circuit()
+        b.add_gate("extra", NodeType.BUF, ["d"])
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_cone_fingerprint_ignores_other_cones(self):
+        from repro.graph.node import NodeType
+
+        a = figure2_circuit()
+        b = figure2_circuit()
+        # a second, disjoint output cone added to b only
+        b.add_input("z")
+        b.add_gate("zz", NodeType.BUF, ["z"])
+        b.add_output("zz")
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+        assert cone_fingerprint(a, "f") == cone_fingerprint(b, "f")
+
+    def test_index_file_is_json(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.invalidate("abcd")
+        data = json.loads((tmp_path / "index.json").read_text())
+        assert data["versions"] == {"abcd": 1}

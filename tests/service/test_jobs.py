@@ -1,0 +1,78 @@
+"""Tests for request deduplication and batching."""
+
+from repro.service import ChainRequest, JobQueue
+
+
+def req(key="c1", output="o1", target=None, rid=None):
+    return ChainRequest(key, output, target, rid)
+
+
+class TestDedup:
+    def test_identical_requests_collapse(self):
+        q = JobQueue()
+        assert q.submit(req(target="a")) is True
+        assert q.submit(req(target="a")) is False
+        assert len(q) == 1
+        assert q.stats.submitted == 2
+        assert q.stats.deduplicated == 1
+
+    def test_distinct_targets_do_not_collapse(self):
+        q = JobQueue()
+        q.submit(req(target="a"))
+        q.submit(req(target="b"))
+        q.submit(req(target=None))
+        assert len(q) == 3
+
+    def test_request_id_does_not_affect_dedup(self):
+        q = JobQueue()
+        q.submit(req(target="a", rid="r1"))
+        assert q.submit(req(target="a", rid="r2")) is False
+
+
+class TestBatching:
+    def test_same_cone_merges_with_sorted_targets(self):
+        q = JobQueue()
+        q.submit(req(target="b"))
+        q.submit(req(target="a"))
+        batches = q.drain()
+        assert len(batches) == 1
+        assert batches[0].targets == ("a", "b")
+
+    def test_all_targets_request_absorbs_singles(self):
+        q = JobQueue()
+        q.submit(req(target="a"))
+        q.submit(req(target=None))
+        q.submit(req(target="b"))
+        (batch,) = q.drain()
+        assert batch.all_targets
+        assert batch.targets is None
+
+    def test_different_cones_stay_separate(self):
+        q = JobQueue()
+        q.submit(req(output="o1", target="a"))
+        q.submit(req(output="o2", target="a"))
+        q.submit(req(key="c2", output="o1", target="a"))
+        batches = q.drain()
+        assert len(batches) == 3
+        assert [(b.circuit_key, b.output) for b in batches] == [
+            ("c1", "o1"),
+            ("c1", "o2"),
+            ("c2", "o1"),
+        ]
+
+    def test_request_ids_fan_back_including_duplicates(self):
+        q = JobQueue()
+        q.submit(req(target="a", rid="r1"))
+        q.submit(req(target="a", rid="r2"))  # duplicate subproblem
+        (batch,) = q.drain()
+        assert batch.request_ids == ["r1", "r2"]
+
+    def test_drain_resets_queue(self):
+        q = JobQueue()
+        q.submit(req(target="a"))
+        q.drain()
+        assert len(q) == 0
+        assert q.drain() == []
+        assert q.stats.batches == 1
+        # resubmitting after a drain is fresh, not a duplicate
+        assert q.submit(req(target="a")) is True

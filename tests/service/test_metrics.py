@@ -1,0 +1,125 @@
+"""Tests for the service metrics registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            h.observe(value)
+        data = h.as_dict()
+        assert data["count"] == 4
+        assert data["buckets"] == {
+            "le_0.001": 1,
+            "le_0.01": 1,
+            "le_0.1": 1,
+            "le_inf": 1,
+        }
+        assert data["sum"] == pytest.approx(5.0555)
+        assert data["max"] == pytest.approx(5.0)
+
+    def test_boundary_value_goes_to_its_bucket(self):
+        h = Histogram("lat", buckets=(0.01, 0.1))
+        h.observe(0.01)  # inclusive upper bound
+        assert h.as_dict()["buckets"]["le_0.01"] == 1
+
+    def test_quantiles(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            h.observe(value)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        h.observe(100.0)
+        assert h.quantile(1.0) == math.inf
+
+    def test_empty_quantile_and_mean(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_created_on_first_use_and_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a")
+        reg.histogram("h")
+        with pytest.raises(ValueError):
+            reg.counter("h")
+
+    def test_shorthands_and_timer(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs", 3)
+        reg.observe("lat", 0.02)
+        with reg.timer("lat"):
+            pass
+        assert reg.counter("jobs").value == 3
+        assert reg.histogram("lat").count == 2
+
+    def test_snapshot_roundtrips_through_json(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs")
+        reg.observe("lat", 0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"] == {"jobs": 1}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_export_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("jobs", 2)
+        path = tmp_path / "metrics.json"
+        reg.export_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["counters"]["jobs"] == 2
+
+    def test_merge_snapshot_adds(self):
+        worker = MetricsRegistry()
+        worker.inc("jobs", 2)
+        worker.observe("lat", 0.0002)
+        worker.observe("lat", 7.0)
+        parent = MetricsRegistry()
+        parent.inc("jobs", 1)
+        parent.observe("lat", 0.0002)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("jobs").value == 3
+        hist = parent.histogram("lat")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(7.0004)
+        assert hist.as_dict()["max"] == pytest.approx(7.0)
+        # bucket counts merged bucket-by-bucket
+        buckets = hist.as_dict()["buckets"]
+        assert buckets[f"le_{DEFAULT_BUCKETS[1]:g}"] == 2

@@ -113,6 +113,177 @@ class TestEditSession:
         assert main(["edit-session", str(path), script_file]) == 2
 
 
+class TestEditSessionBadScripts:
+    """Malformed/empty scripts exit cleanly instead of raising."""
+
+    def test_malformed_json_exits_2(self, bench_file, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["edit-session", bench_file, str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid edit script" in err
+
+    def test_empty_file_exits_2(self, bench_file, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert main(["edit-session", bench_file, str(path)]) == 2
+        assert "invalid edit script" in capsys.readouterr().err
+
+    def test_no_edits_exits_2(self, bench_file, tmp_path, capsys):
+        path = tmp_path / "noedits.json"
+        path.write_text('{"edits": []}')
+        assert main(["edit-session", bench_file, str(path)]) == 2
+        assert "contains no edits" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, bench_file, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["edit-session", bench_file, missing]) == 2
+        assert "cannot read edit script" in capsys.readouterr().err
+
+    def test_bad_edit_record_exits_2(self, bench_file, tmp_path, capsys):
+        path = tmp_path / "badop.json"
+        path.write_text('{"edits": [{"op": "frobnicate"}]}')
+        assert main(["edit-session", bench_file, str(path)]) == 2
+        assert "invalid edit script" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_prints_report_and_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--jobs",
+                    "2",
+                    "--names",
+                    "alu2",
+                    "--scale",
+                    "0.5",
+                    "--metrics",
+                    str(metrics_path),
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "alu2" in out
+        assert "total:" in out
+        import json
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["executor.jobs_completed"] > 0
+        assert "executor.job_seconds" in snapshot["histograms"]
+
+    def test_sweep_artifact_store_warm_path(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--names",
+            "alu2",
+            "--scale",
+            "0.5",
+            "--artifacts",
+            str(tmp_path / "arts"),
+            "--no-progress",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # warm run: every cone served from the store
+        row = next(l for l in out.splitlines() if l.startswith("alu2"))
+        assert row.split()[1] == row.split()[-1]  # cones == art.hits
+
+    def test_sweep_unknown_name_exits_2(self, capsys):
+        assert main(["sweep", "--names", "nonesuch"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestServeBatch:
+    @pytest.fixture
+    def requests_file(self, bench_file, tmp_path):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "requests": [
+                        {"id": "r1", "netlist": bench_file, "output": "f"},
+                        {
+                            "id": "r2",
+                            "netlist": bench_file,
+                            "targets": ["u"],
+                        },
+                        {"id": "r3", "netlist": bench_file},  # duplicate
+                    ]
+                }
+            )
+        )
+        return str(path)
+
+    def test_serve_batch_responses(self, requests_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "responses.json"
+        assert (
+            main(["serve-batch", requests_file, "--out", str(out_path)]) == 0
+        )
+        payload = json.loads(out_path.read_text())
+        responses = {r["id"]: r for r in payload["responses"]}
+        assert set(responses) == {"r1", "r2", "r3"}
+        assert sorted(responses["r1"]["chains"]) == ["u"]
+        assert sorted(responses["r2"]["chains"]) == ["u"]
+        # the whole batch collapsed to one cone computation
+        assert payload["queue"]["submitted"] == 3
+        assert payload["queue"]["deduplicated"] >= 1
+        assert payload["metrics"]["counters"]["core.chains_computed"] == 1
+
+    def test_serve_batch_stdout(self, requests_file, capsys):
+        assert main(["serve-batch", requests_file]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        assert "responses" in json.loads(out)
+
+    def test_malformed_request_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("[not json")
+        assert main(["serve-batch", str(path)]) == 2
+        assert "invalid request file" in capsys.readouterr().err
+
+    def test_empty_request_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"requests": []}')
+        assert main(["serve-batch", str(path)]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_unknown_output_exits_2(self, bench_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "reqs.json"
+        path.write_text(
+            json.dumps(
+                {"requests": [{"netlist": bench_file, "output": "zz"}]}
+            )
+        )
+        assert main(["serve-batch", str(path)]) == 2
+        assert "unknown output" in capsys.readouterr().err
+
+    def test_unknown_target_exits_2(self, bench_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "reqs.json"
+        path.write_text(
+            json.dumps(
+                {"requests": [{"netlist": bench_file, "targets": ["zz"]}]}
+            )
+        )
+        assert main(["serve-batch", str(path)]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+
 def test_load_verilog(tmp_path):
     from repro.parsers import verilog
 
