@@ -41,6 +41,7 @@ from .core import (
     double_idom,
     multi_vertex_dominators,
 )
+from .check import check_circuit, run_fuzz, shrink_circuit
 from .core.region_cache import CacheStats, RegionCache
 from .dominators import DominatorTree, circuit_dominator_tree, idom_chain
 from .graph import Circuit, CircuitBuilder, IndexedGraph, NodeType
@@ -62,6 +63,7 @@ __all__ = [
     "NodeType",
     "all_pi_chains",
     "chain_of",
+    "check_circuit",
     "circuit_dominator_tree",
     "common_chain",
     "common_pairs",
@@ -73,5 +75,7 @@ __all__ = [
     "double_idom",
     "idom_chain",
     "multi_vertex_dominators",
+    "run_fuzz",
+    "shrink_circuit",
     "__version__",
 ]

@@ -1,0 +1,415 @@
+"""The differential oracle: chain vs. baseline [11] vs. brute force.
+
+Every check compares complete *sets of dominator pairs* (pair-for-pair)
+and, for the chain, the per-vertex look-up structure (vector-for-vector):
+each stored matching vector must reproduce the reference partner set, and
+the O(1) ``(flag, index, min, max)`` membership test must flip exactly at
+the interval boundaries — the first and last matching vector positions —
+in both query directions.
+
+A disagreement is reported as a :class:`Mismatch` record instead of an
+exception so a fuzzing run can keep going, collect everything, and hand
+the failing circuit to the shrinker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..core.algorithm import ChainComputer
+from ..core.baseline import baseline_double_dominators
+from ..core.bruteforce import all_double_dominators
+from ..core.chain import DominatorChain
+from ..errors import ReproError
+from ..graph.circuit import Circuit
+from ..graph.indexed import IndexedGraph
+
+#: Largest cone (vertex count) the O(n³)-ish brute-force enumeration is
+#: asked to confirm; beyond it the oracle still cross-checks the chain
+#: against the independent baseline algorithm [11].
+DEFAULT_BRUTE_LIMIT = 48
+
+PairSet = Set[FrozenSet[int]]
+ChainFn = Callable[[IndexedGraph, int], DominatorChain]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One observed disagreement between implementations.
+
+    Attributes
+    ----------
+    kind:
+        Discriminator: ``chain-vs-brute``, ``baseline-vs-brute``,
+        ``chain-vs-baseline``, ``lookup`` (the O(1) membership structure
+        disagrees with the chain's own pair set), ``incremental`` or
+        ``crash`` (an implementation raised instead of answering).
+    circuit / output / target:
+        Where it happened, by name where names exist.
+    detail:
+        Human-readable one-liner pinpointing the first divergence.
+    """
+
+    kind: str
+    circuit: str
+    output: str
+    target: str
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"{self.circuit}/{self.output}"
+        if self.target:
+            where += f" target {self.target}"
+        return f"[{self.kind}] {where}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential run over a whole circuit."""
+
+    circuit: str
+    cones: int = 0
+    targets: int = 0
+    comparisons: int = 0
+    brute_confirmed: int = 0  # targets additionally checked by brute force
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"
+        return (
+            f"{self.circuit}: {self.cones} cone(s), {self.targets} "
+            f"target(s), {self.comparisons} comparison(s), "
+            f"{self.brute_confirmed} brute-confirmed — {status}"
+        )
+
+
+def _name(graph: IndexedGraph, v: int) -> str:
+    name = graph.names[v] if 0 <= v < len(graph.names) else None
+    return name if name is not None else f"#{v}"
+
+
+def _format_pairs(graph: IndexedGraph, pairs: PairSet, limit: int = 4) -> str:
+    rendered = sorted(
+        "{%s}" % ",".join(sorted(_name(graph, v) for v in pair))
+        for pair in pairs
+    )
+    shown = ", ".join(rendered[:limit])
+    if len(rendered) > limit:
+        shown += f", ... (+{len(rendered) - limit})"
+    return shown or "(none)"
+
+
+def _diff_pairs(
+    graph: IndexedGraph,
+    kind: str,
+    circuit: str,
+    output: str,
+    target: int,
+    got: PairSet,
+    want: PairSet,
+    got_label: str,
+    want_label: str,
+) -> List[Mismatch]:
+    if got == want:
+        return []
+    extra = got - want
+    missing = want - got
+    parts = []
+    if extra:
+        parts.append(
+            f"{got_label} reports {_format_pairs(graph, extra)} "
+            f"not found by {want_label}"
+        )
+    if missing:
+        parts.append(
+            f"{got_label} misses {_format_pairs(graph, missing)} "
+            f"found by {want_label}"
+        )
+    return [
+        Mismatch(kind, circuit, output, _name(graph, target), "; ".join(parts))
+    ]
+
+
+def check_chain_lookup(
+    graph: IndexedGraph,
+    chain: DominatorChain,
+    circuit: str = "",
+    output: str = "",
+) -> List[Mismatch]:
+    """Vector-for-vector audit of one chain's O(1) look-up structure.
+
+    Validates, for every stored vertex *v* with interval ``(min, max)``:
+
+    * ``matching_vector(v)`` equals the partner set implied by the
+      chain's own enumerated pair set (order included: partners appear
+      in opposite-side index order);
+    * ``dominates`` answers True at both interval boundaries (the first
+      and the last matching vector element) and False one position
+      outside on either end — the off-by-one sentinels;
+    * the membership test is symmetric (``dominates(v, w)`` iff
+      ``dominates(w, v)``) and rejects same-side queries.
+    """
+    mismatches: List[Mismatch] = []
+    target_name = _name(graph, chain.target)
+
+    def report(detail: str) -> None:
+        mismatches.append(
+            Mismatch("lookup", circuit, output, target_name, detail)
+        )
+
+    partners: Dict[int, List[int]] = {v: [] for v in chain.vertices()}
+    for v, w in chain.iter_dominator_pairs():
+        partners[v].append(w)
+        partners[w].append(v)
+
+    enumerated = chain.pair_set()
+    if len(enumerated) != chain.num_dominators():
+        report(
+            f"num_dominators()={chain.num_dominators()} but "
+            f"{len(enumerated)} distinct pairs were enumerated"
+        )
+
+    for v in chain.vertices():
+        vec = chain.matching_vector(v)
+        if vec != partners[v]:
+            report(
+                f"matching_vector({_name(graph, v)}) = "
+                f"{[_name(graph, w) for w in vec]} but enumeration gives "
+                f"{[_name(graph, w) for w in partners[v]]}"
+            )
+            continue
+        if not vec:
+            report(f"vertex {_name(graph, v)} stored with empty interval")
+            continue
+        lo, hi = chain.interval(v)
+        opposite = chain.side(2 if chain.flag(v) == 1 else 1)
+        first, last = vec[0], vec[-1]
+        if opposite[lo - 1] != first or opposite[hi - 1] != last:
+            report(
+                f"interval ({lo}, {hi}) of {_name(graph, v)} does not "
+                f"select its first/last partners"
+            )
+        for w, label in ((first, "first"), (last, "last")):
+            if not chain.dominates(v, w) or not chain.dominates(w, v):
+                report(
+                    f"{{{_name(graph, v)}, {_name(graph, w)}}} is the "
+                    f"{label} matching pair but dominates() rejects it"
+                )
+        # Off-by-one sentinels just outside the interval.
+        if lo >= 2 and chain.dominates(v, opposite[lo - 2]):
+            report(
+                f"dominates({_name(graph, v)}, "
+                f"{_name(graph, opposite[lo - 2])}) accepted one position "
+                f"before min={lo}"
+            )
+        if hi < len(opposite) and chain.dominates(v, opposite[hi]):
+            report(
+                f"dominates({_name(graph, v)}, {_name(graph, opposite[hi])})"
+                f" accepted one position after max={hi}"
+            )
+        same_side = chain.side(chain.flag(v))
+        if any(chain.dominates(v, w) for w in same_side):
+            report(f"same-side pair accepted for {_name(graph, v)}")
+    return mismatches
+
+
+def check_cone(
+    graph: IndexedGraph,
+    targets: Optional[Sequence[int]] = None,
+    algorithm: str = "lt",
+    brute_limit: int = DEFAULT_BRUTE_LIMIT,
+    circuit: str = "",
+    output: str = "",
+    chain_fn: Optional[ChainFn] = None,
+    report: Optional[OracleReport] = None,
+    metrics=None,
+) -> List[Mismatch]:
+    """Differential check of one single-output cone.
+
+    Parameters
+    ----------
+    graph:
+        The cone, in signal orientation.
+    targets:
+        Vertices to check (default: every primary input — the paper's
+        Table 1 workload).
+    brute_limit:
+        Cones with more vertices skip the brute-force confirmation and
+        rely on chain-vs-baseline cross-checking only.
+    chain_fn:
+        Override for the chain producer — the fault-injection hook the
+        harness's own tests use.  Defaults to a shared
+        :class:`ChainComputer`.
+    """
+    if report is None:
+        report = OracleReport(circuit or "cone")
+    mismatches: List[Mismatch] = []
+    if targets is None:
+        targets = graph.sources()
+    target_list = list(targets)
+    started = time.perf_counter()
+
+    if chain_fn is None:
+        computer = ChainComputer(graph, algorithm)
+        chain_fn = lambda g, u: computer.chain(u)  # noqa: E731
+
+    try:
+        per_target = baseline_double_dominators(
+            graph, target_list, algorithm=algorithm
+        )
+    except ReproError as exc:
+        mismatches.append(
+            Mismatch(
+                "crash", circuit, output, "", f"baseline raised: {exc!r}"
+            )
+        )
+        per_target = {u: None for u in target_list}
+
+    use_brute = graph.n <= brute_limit
+    for u in target_list:
+        report.targets += 1
+        try:
+            chain = chain_fn(graph, u)
+            chain_pairs: Optional[PairSet] = chain.pair_set()
+        except ReproError as exc:
+            mismatches.append(
+                Mismatch(
+                    "crash",
+                    circuit,
+                    output,
+                    _name(graph, u),
+                    f"dominator chain raised: {exc!r}",
+                )
+            )
+            chain = None
+            chain_pairs = None
+        baseline_pairs = per_target.get(u)
+        brute_pairs: Optional[PairSet] = None
+        if use_brute:
+            brute_pairs = all_double_dominators(graph, u)
+            report.brute_confirmed += 1
+
+        if chain_pairs is not None and brute_pairs is not None:
+            report.comparisons += 1
+            mismatches += _diff_pairs(
+                graph, "chain-vs-brute", circuit, output, u,
+                chain_pairs, brute_pairs, "chain", "brute force",
+            )
+        if baseline_pairs is not None and brute_pairs is not None:
+            report.comparisons += 1
+            mismatches += _diff_pairs(
+                graph, "baseline-vs-brute", circuit, output, u,
+                baseline_pairs, brute_pairs, "baseline", "brute force",
+            )
+        if chain_pairs is not None and baseline_pairs is not None:
+            report.comparisons += 1
+            mismatches += _diff_pairs(
+                graph, "chain-vs-baseline", circuit, output, u,
+                chain_pairs, baseline_pairs, "chain", "baseline",
+            )
+        if chain is not None:
+            report.comparisons += 1
+            mismatches += check_chain_lookup(graph, chain, circuit, output)
+
+    if metrics is not None:
+        metrics.inc("check.cones")
+        metrics.inc("check.targets", len(target_list))
+        if mismatches:
+            metrics.inc("check.mismatches", len(mismatches))
+        metrics.observe("check.cone_seconds", time.perf_counter() - started)
+    report.cones += 1
+    report.mismatches.extend(mismatches)
+    return mismatches
+
+
+def check_circuit(
+    circuit: Circuit,
+    outputs: Optional[Sequence[str]] = None,
+    algorithm: str = "lt",
+    brute_limit: int = DEFAULT_BRUTE_LIMIT,
+    metrics=None,
+) -> OracleReport:
+    """Differential check of every requested output cone of a netlist."""
+    report = OracleReport(circuit.name)
+    for out in outputs if outputs is not None else circuit.outputs:
+        graph = IndexedGraph.from_circuit(circuit, out)
+        check_cone(
+            graph,
+            algorithm=algorithm,
+            brute_limit=brute_limit,
+            circuit=circuit.name,
+            output=out,
+            report=report,
+            metrics=metrics,
+        )
+    return report
+
+
+def check_incremental(
+    circuit: Circuit,
+    edits: Sequence,
+    output: Optional[str] = None,
+    algorithm: str = "lt",
+    metrics=None,
+) -> List[Mismatch]:
+    """Cross-check the incremental engine against from-scratch results.
+
+    Applies ``edits`` one record at a time to an
+    :class:`~repro.incremental.IncrementalEngine` session and, after
+    every edit, compares the engine's chains for all live primary inputs
+    against a fresh :class:`ChainComputer` on the same (edited) graph —
+    pair sets, pair vectors and intervals must be identical.
+    """
+    from ..incremental import IncrementalEngine
+
+    engine = IncrementalEngine.from_circuit(circuit, output, algorithm)
+    out_name = output or (circuit.outputs[0] if circuit.outputs else "")
+    mismatches: List[Mismatch] = []
+    engine.chains_for_sources()  # warm the cache pre-edit
+    for step, edit in enumerate(edits, 1):
+        engine.apply(edit)
+        fresh = ChainComputer(engine.graph, algorithm)
+        tree = engine.tree
+        for u in engine.graph.sources():
+            if not tree.is_reachable(u):
+                continue
+            incremental = engine.chain(u)
+            scratch = fresh.chain(u)
+            if incremental.pair_set() != scratch.pair_set():
+                mismatches += _diff_pairs(
+                    engine.graph,
+                    "incremental",
+                    circuit.name,
+                    out_name,
+                    u,
+                    incremental.pair_set(),
+                    scratch.pair_set(),
+                    f"incremental (after edit {step})",
+                    "from-scratch",
+                )
+                continue
+            if incremental.pairs != scratch.pairs or any(
+                incremental.interval(v) != scratch.interval(v)
+                for v in incremental.vertices()
+            ):
+                mismatches.append(
+                    Mismatch(
+                        "incremental",
+                        circuit.name,
+                        out_name,
+                        _name(engine.graph, u),
+                        f"after edit {step}: same pair set but different "
+                        "chain layout (pair vectors or intervals differ)",
+                    )
+                )
+    if metrics is not None:
+        metrics.inc("check.incremental_sessions")
+        if mismatches:
+            metrics.inc("check.mismatches", len(mismatches))
+    return mismatches

@@ -1,0 +1,225 @@
+"""Greedy netlist minimization of failing fuzz cases (delta debugging).
+
+Given a circuit and a failure predicate, :func:`shrink_circuit` applies
+structure-preserving reduction moves — drop an output, bypass a gate with
+one of its fanins, narrow a gate's fanin list, prune logic outside the
+output cones — keeping a move whenever the reduced circuit still fails.
+Moves are tried in deterministic (insertion) order, so a given failing
+input always shrinks to the same repro.
+
+The result is written as a ``.bench`` fixture (:func:`dump_repro`) that
+is verified to round-trip through ``parsers.bench.dumps``/``loads``
+before it is reported, so a shrunk repro can always be replayed with
+``python -m repro check repro.bench``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Union
+
+from ..errors import ReproError
+from ..graph.circuit import Circuit
+from ..graph.node import MIN_FANIN, NodeType
+from ..parsers import bench
+
+Predicate = Callable[[Circuit], bool]
+
+#: Upper bound on full passes over the move list; each accepted move
+#: strictly shrinks the node count, so this is a safety net, not a tuning
+#: knob.
+MAX_ROUNDS = 10_000
+
+
+def _cone_prune(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Restrict to the fanin cones of the outputs (drops dead logic)."""
+    keep = set()
+    stack = list(circuit.outputs)
+    while stack:
+        node = stack.pop()
+        if node in keep:
+            continue
+        keep.add(node)
+        stack.extend(circuit.node(node).fanins)
+    pruned = Circuit(name or circuit.name)
+    for pi in circuit.inputs:
+        if pi in keep:
+            pruned.add_input(pi)
+    for node in circuit.nodes():
+        if node.name in keep and node.type is not NodeType.INPUT:
+            if node.type.is_constant:
+                pruned.add_constant(
+                    node.name, 1 if node.type is NodeType.CONST1 else 0
+                )
+            else:
+                pruned.add_gate(node.name, node.type, node.fanins)
+    pruned.set_outputs(circuit.outputs)
+    pruned.validate()
+    return pruned
+
+
+def _substitute(circuit: Circuit, victim: str, replacement: str) -> Circuit:
+    """Rebuild with every use of ``victim`` rewired to ``replacement``."""
+    result = Circuit(circuit.name)
+    for pi in circuit.inputs:
+        if pi != victim:
+            result.add_input(pi)
+    for node in circuit.nodes():
+        if node.name == victim or node.type is NodeType.INPUT:
+            continue
+        fanins = tuple(
+            replacement if f == victim else f for f in node.fanins
+        )
+        if node.type.is_constant:
+            result.add_constant(
+                node.name, 1 if node.type is NodeType.CONST1 else 0
+            )
+        else:
+            result.add_gate(node.name, node.type, fanins)
+    result.set_outputs(
+        replacement if out == victim else out for out in circuit.outputs
+    )
+    result.validate()
+    return _cone_prune(result)
+
+
+def _narrow(circuit: Circuit, gate: str, drop_index: int) -> Circuit:
+    """Rebuild with one fanin removed from ``gate``.
+
+    When the narrowed arity falls below the gate type's minimum the gate
+    degrades to a BUF of its remaining fanin — function changes are fine,
+    the predicate decides what to keep.
+    """
+    result = Circuit(circuit.name)
+    for pi in circuit.inputs:
+        result.add_input(pi)
+    for node in circuit.nodes():
+        if node.type is NodeType.INPUT:
+            continue
+        if node.type.is_constant:
+            result.add_constant(
+                node.name, 1 if node.type is NodeType.CONST1 else 0
+            )
+            continue
+        fanins = list(node.fanins)
+        node_type = node.type
+        if node.name == gate:
+            del fanins[drop_index]
+            if len(fanins) < MIN_FANIN[node_type]:
+                node_type = NodeType.BUF
+                fanins = fanins[:1]
+        result.add_gate(node.name, node_type, fanins)
+    result.set_outputs(circuit.outputs)
+    result.validate()
+    return _cone_prune(result)
+
+
+def _drop_output(circuit: Circuit, out: str) -> Circuit:
+    result = circuit.copy()
+    result.set_outputs(o for o in circuit.outputs if o != out)
+    return _cone_prune(result)
+
+
+def _candidates(circuit: Circuit) -> Iterator[Circuit]:
+    """Reduction moves in deterministic order, aggressive first."""
+    if len(circuit.outputs) > 1:
+        for out in circuit.outputs:
+            yield _drop_output(circuit, out)
+    # Bypass gates with each of their (distinct) fanins.
+    for node in circuit.nodes():
+        if not node.type.is_gate:
+            continue
+        seen = set()
+        for fanin in node.fanins:
+            if fanin not in seen:
+                seen.add(fanin)
+                yield _substitute(circuit, node.name, fanin)
+    # Merge primary inputs pairwise (victim -> first other input).
+    inputs = circuit.inputs
+    for pi in inputs[1:]:
+        yield _substitute(circuit, pi, inputs[0])
+    # Narrow wide gates one fanin at a time.
+    for node in circuit.nodes():
+        if node.type.is_gate and len(node.fanins) > 1:
+            for i in range(len(node.fanins)):
+                yield _narrow(circuit, node.name, i)
+
+
+def _size(circuit: Circuit) -> int:
+    return len(circuit)
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    is_failing: Predicate,
+    max_rounds: int = MAX_ROUNDS,
+) -> Circuit:
+    """Minimize ``circuit`` while ``is_failing`` stays true.
+
+    ``is_failing`` is evaluated on structurally valid candidate circuits
+    only; a predicate that raises is treated as "does not fail" so a
+    reduction that makes the failure unreproducible is simply not taken.
+    The input circuit itself must satisfy the predicate.
+    """
+    current = _cone_prune(circuit)
+    if not is_failing(current):
+        # Pruning dead logic must never lose the failure; fall back to
+        # the exact input if it somehow does.
+        current = circuit
+
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in _candidates(current):
+            if _size(candidate) >= _size(current):
+                continue
+            try:
+                failing = is_failing(candidate)
+            except ReproError:
+                failing = False
+            if failing:
+                current = candidate
+                improved = True
+                break
+        if not improved:
+            return current
+    return current
+
+
+def dump_repro(
+    circuit: Circuit,
+    directory: Union[str, Path],
+    tag: str,
+    comment: str = "",
+) -> Path:
+    """Write a shrunk repro as a ``.bench`` fixture; returns its path.
+
+    The written text is re-parsed before returning — a repro that cannot
+    round-trip through the parser would be useless, so that is treated
+    as an internal error.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    text = bench.dumps(circuit)
+    if comment:
+        lines = [f"# {line}" for line in comment.splitlines()]
+        text = "\n".join(lines) + "\n" + text
+    path = directory / f"{tag}.bench"
+    path.write_text(text)
+    reparsed = bench.loads(text, name=circuit.name)
+    if sorted(reparsed) != sorted(circuit):
+        raise ReproError(
+            f"repro {path} does not round-trip through the bench parser"
+        )
+    return path
+
+
+def gate_count(circuit: Circuit) -> int:
+    """Gate count of a repro (the shrinker's quality metric)."""
+    return circuit.gate_count()
+
+
+__all__: List[str] = [
+    "dump_repro",
+    "gate_count",
+    "shrink_circuit",
+]

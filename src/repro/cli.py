@@ -33,6 +33,22 @@ metrics snapshot)::
 batched per cone, optionally parallel and artifact-backed)::
 
     python -m repro serve-batch requests.json --out responses.json
+
+``check`` — differential correctness oracle over a netlist: the paper's
+algorithm, the baseline [11] and brute-force enumeration must agree
+pair-for-pair, and the chain's O(1) look-up structure must be
+self-consistent at its interval boundaries.  Exit 1 on mismatch::
+
+    python -m repro check design.bench --metrics check-metrics.json
+
+``fuzz`` — seeded randomized differential fuzzing; mismatching circuits
+are shrunk to minimal ``.bench`` repros.  Exit 1 on any failure::
+
+    python -m repro fuzz --seed 0 --cases 500 --out repros/
+
+Error contract: every command exits 2 with a one-line message on stderr
+for malformed netlists, unknown outputs/targets and unreadable files —
+a traceback out of the CLI is always a bug.
 """
 
 from __future__ import annotations
@@ -45,6 +61,7 @@ from typing import Optional, Sequence
 
 from .core.algorithm import ChainComputer
 from .core.api import count_double_dominators, count_single_dominators
+from .errors import ReproError
 from .graph.circuit import Circuit
 from .graph.indexed import IndexedGraph
 from .graph.stats import circuit_stats
@@ -185,6 +202,80 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
             f"speedup {speedup:.1f}x"
         )
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import check_circuit
+    from .service import MetricsRegistry
+
+    circuit = load_netlist(args.netlist)
+    outputs = None
+    if args.output:
+        if args.output not in circuit:
+            print(
+                f"unknown output {args.output!r} in {args.netlist}",
+                file=sys.stderr,
+            )
+            return 2
+        outputs = [args.output]
+    metrics = MetricsRegistry()
+    report = check_circuit(
+        circuit,
+        outputs=outputs,
+        algorithm=args.algorithm,
+        brute_limit=args.brute_limit,
+        metrics=metrics,
+    )
+    print(report.summary())
+    for mismatch in report.mismatches:
+        print(f"MISMATCH {mismatch}")
+    _export_metrics(metrics, args.metrics)
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .check import run_fuzz
+    from .service import MetricsRegistry
+
+    inject = None
+    if args.inject_fault == "xor":
+        from .graph.node import NodeType
+
+        def inject(circuit):  # noqa: F811 - selected fault predicate
+            return any(
+                node.type in (NodeType.XOR, NodeType.XNOR)
+                for node in circuit.nodes()
+            )
+
+    metrics = MetricsRegistry()
+    progress = None
+    if args.progress:
+        progress = lambda i, case: print(  # noqa: E731
+            f"case {i:5d}: {case.kind} ({case.circuit.name})",
+            file=sys.stderr,
+        )
+    result = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        max_gates=args.max_gates,
+        out_dir=args.out,
+        inject_fault=inject,
+        metrics=metrics,
+        progress=progress,
+    )
+    print(result.summary())
+    for failure in result.failures:
+        where = (
+            f" -> {failure.repro_path}" if failure.repro_path else ""
+        )
+        print(
+            f"FAILURE case {failure.case.index} [{failure.case.kind}] "
+            f"shrunk to {failure.shrunk_gates} gate(s){where}"
+        )
+        for mismatch in failure.mismatches[:4]:
+            print(f"  {mismatch}")
+    _export_metrics(metrics, args.metrics)
+    return 0 if result.ok else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -420,6 +511,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_edit.set_defaults(func=_cmd_edit_session)
 
+    p_check = sub.add_parser(
+        "check",
+        help="differential correctness oracle (chain vs baseline vs brute)",
+    )
+    p_check.add_argument("netlist")
+    p_check.add_argument("--output", help="check a single output cone")
+    p_check.add_argument(
+        "--algorithm",
+        default="lt",
+        choices=("lt", "iterative", "naive"),
+        help="single-dominator algorithm used internally",
+    )
+    p_check.add_argument(
+        "--brute-limit",
+        type=int,
+        default=48,
+        metavar="N",
+        help="skip brute-force confirmation above N cone vertices",
+    )
+    p_check.add_argument(
+        "--metrics", metavar="FILE", help="write metrics snapshot JSON"
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded randomized differential fuzzing with auto-shrink",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--cases", type=int, default=100)
+    p_fuzz.add_argument(
+        "--max-gates",
+        type=int,
+        default=24,
+        help="upper bound on drawn circuit size",
+    )
+    p_fuzz.add_argument(
+        "--out", metavar="DIR", help="directory for shrunk .bench repros"
+    )
+    p_fuzz.add_argument(
+        "--inject-fault",
+        choices=("xor",),
+        help="self-test: treat circuits with XOR/XNOR gates as failing "
+        "to exercise the shrink pipeline",
+    )
+    p_fuzz.add_argument(
+        "--metrics", metavar="FILE", help="write metrics snapshot JSON"
+    )
+    p_fuzz.add_argument(
+        "--progress", action="store_true", help="log each case to stderr"
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
     p_t1 = sub.add_parser("table1", help="run the Table-1 harness")
     p_t1.add_argument("--quick", action="store_true")
     p_t1.add_argument("--scale", type=float, default=1.0)
@@ -473,7 +617,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # One-line diagnostics for user errors — malformed netlist files,
+        # unknown node/output names, unreadable paths.  A traceback
+        # escaping the CLI is reserved for genuine bugs.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

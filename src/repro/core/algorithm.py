@@ -30,6 +30,11 @@ from .regions import SearchRegion
 
 def _expand_region(region: SearchRegion, algorithm: str) -> List[RegionPair]:
     """All chain pairs inside one search region, in chain order."""
+    if region.is_trivial:
+        # Fewer than two interior vertices: no size-two cut can exist, so
+        # the region contributes no pairs (common for consecutive chain
+        # vertices joined by a direct edge).
+        return []
     results: List[RegionPair] = []
     sources = [region.local_start]
     while True:

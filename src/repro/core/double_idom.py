@@ -45,6 +45,15 @@ def double_idom(
         The unique immediate pair (Theorem 1), or ``None`` when the
         minimum interior vertex cut is not exactly two (no double-vertex
         dominator exists between *S* and the sink).
+
+    Notes
+    -----
+    Degenerate regions resolve deterministically: when several size-two
+    cuts exist, :func:`~repro.flow.vertex_cut.min_vertex_cut` returns the
+    unique cut *nearest the sources* (exactly Definition 2's immediate
+    dominator), read off residual reachability rather than any iteration
+    order — repeated runs on the same region always yield the same pair,
+    in ascending vertex order.
     """
     target = graph.root if sink is None else sink
     result = min_vertex_cut(graph, sources, target, limit=3)

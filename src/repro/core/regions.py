@@ -58,6 +58,25 @@ class SearchRegion:
     def local_sink(self) -> int:
         return self.graph.root
 
+    @property
+    def interior_size(self) -> int:
+        """Number of region vertices other than ``start`` and ``sink``."""
+        return self.graph.n - 2
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the region cannot possibly contain a dominator pair.
+
+        A pair is a size-two cut of *interior* vertices (neither the
+        region's entry nor its sink may be part of it), so regions with
+        fewer than two interior vertices — in particular the degenerate
+        ``start → sink`` edge region, where ``start``'s immediate
+        dominator is its direct successor — are decided without running
+        the flow machinery at all.  This also keeps degenerate regions
+        trivially deterministic.
+        """
+        return self.interior_size < 2
+
 
 def search_regions(
     graph: IndexedGraph, u: int, tree: DominatorTree

@@ -65,7 +65,13 @@ def build_split_network(
     for v in range(graph.n):
         for w in graph.succ[v]:
             net.add_arc(out_node(v), in_node(w), limit)
-    for s in source_set:
+    # Arcs are added in the caller's source order (first occurrence wins)
+    # so the network layout never depends on set iteration order.
+    seen = set()
+    for s in sources:
+        if s in seen:
+            continue
+        seen.add(s)
         # Paths *start at* the sources, so feed their out-copies directly.
         net.add_arc(super_source, out_node(s), limit)
     return net
@@ -84,6 +90,15 @@ def min_vertex_cut(
     ``limit`` interior vertices, the returned cut has exactly ``flow``
     vertices; otherwise (including the case of a direct source→sink edge,
     which no interior vertex can cut) the result is bounded.
+
+    **Determinism.**  A graph may have several minimum vertex cuts; the
+    tie is broken *nearest the sources*, and that choice is unique: the
+    residually-reachable node set after any max flow is the smallest
+    closed set containing the sources, which depends only on the final
+    flow values on saturated arcs — not on the order augmenting paths
+    were discovered, the order arcs were inserted, or any dict/set
+    iteration order.  Equal inputs therefore always produce the identical
+    cut, returned in ascending vertex order.
     """
     if not sources:
         raise FlowError("min_vertex_cut requires at least one source")

@@ -20,7 +20,7 @@ import re
 from pathlib import Path
 from typing import List, Tuple, Union
 
-from ..errors import ParseError
+from ..errors import CircuitError, ParseError
 from ..graph.circuit import Circuit
 from ..graph.node import NodeType, parse_node_type
 
@@ -79,7 +79,19 @@ def _parse(text: str, name: str, allow_dff: bool):
     outputs: List[str] = []
     primary_inputs: List[str] = []
     flops = {}
-    pending: List[Tuple[int, str, NodeType, List[str]]] = []
+    defined_at: dict = {}  # signal -> line of its definition
+    output_at: dict = {}  # declared output -> line of its OUTPUT(...)
+    reference_lines: List[Tuple[int, str, str]] = []  # (line, gate, fanin)
+
+    def define(signal: str, lineno: int) -> None:
+        if signal in defined_at:
+            raise ParseError(
+                f"duplicate definition of {signal!r} "
+                f"(first defined at line {defined_at[signal]})",
+                lineno,
+            )
+        defined_at[signal] = lineno
+
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -88,10 +100,12 @@ def _parse(text: str, name: str, allow_dff: bool):
         if decl:
             kind, signal = decl.group(1).upper(), decl.group(2)
             if kind == "INPUT":
+                define(signal, lineno)
                 circuit.add_input(signal)
                 primary_inputs.append(signal)
             else:
                 outputs.append(signal)
+                output_at.setdefault(signal, lineno)
             continue
         gate = _GATE_RE.match(line)
         if gate:
@@ -107,23 +121,48 @@ def _parse(text: str, name: str, allow_dff: bool):
                 if len(fanins) != 1:
                     raise ParseError("DFF takes exactly one input", lineno)
                 # The flop output becomes a pseudo PI; record state map.
+                define(target, lineno)
                 circuit.add_input(target)
                 flops[target] = fanins[0]
+                reference_lines.append((lineno, target, fanins[0]))
                 continue
             try:
                 node_type = parse_node_type(type_token)
             except ValueError as exc:
                 raise ParseError(str(exc), lineno) from exc
+            define(target, lineno)
             if node_type.is_constant:
                 circuit.add_constant(
                     target, 1 if node_type is NodeType.CONST1 else 0
                 )
             else:
                 circuit.add_gate(target, node_type, fanins)
+                for fanin in fanins:
+                    reference_lines.append((lineno, target, fanin))
             continue
         raise ParseError(f"unrecognized statement: {line!r}", lineno)
+
+    # Forward references are legal in .bench, so dangling fanins are only
+    # detectable once the whole file has been read.  Reporting them here
+    # (with the referencing line) beats the bare KeyError a later
+    # fanout/topology pass would produce from a silently corrupt circuit.
+    for lineno, target, fanin in reference_lines:
+        if fanin not in defined_at:
+            raise ParseError(
+                f"gate {target!r} references undefined signal {fanin!r}",
+                lineno,
+            )
+    for signal in outputs:
+        if signal not in defined_at:
+            raise ParseError(
+                f"declared output {signal!r} is never defined",
+                output_at[signal],
+            )
     circuit.set_outputs(outputs)
-    circuit.validate()
+    try:
+        circuit.validate()
+    except CircuitError as exc:  # structural problems, e.g. a cycle
+        raise ParseError(str(exc)) from exc
     return circuit, flops, primary_inputs
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ParseError
+from ..errors import CircuitError, ParseError
 from ..graph.circuit import Circuit
 from ..graph.node import NodeType
 
@@ -151,6 +151,33 @@ def loads(text: str, name: str = "blif") -> Circuit:
         else:
             raise ParseError(f"unknown directive {directive}", lineno)
 
+    # Duplicate and dangling references are diagnosed before any gate is
+    # built: .names blocks may forward-reference later blocks, so the
+    # check needs the full set of defined signals first.
+    defined_at: Dict[str, int] = {}
+    for pi in inputs:
+        if pi in defined_at:
+            raise ParseError(f"duplicate input {pi!r}")
+        defined_at[pi] = 0
+    for lineno, signals, rows in blocks:
+        target = signals[-1]
+        if target in defined_at:
+            raise ParseError(
+                f"duplicate definition of {target!r}", lineno
+            )
+        defined_at[target] = lineno
+    for lineno, signals, rows in blocks:
+        for fanin in signals[:-1]:
+            if fanin not in defined_at:
+                raise ParseError(
+                    f"cover for {signals[-1]!r} references undefined "
+                    f"signal {fanin!r}",
+                    lineno,
+                )
+    for out in outputs:
+        if out not in defined_at:
+            raise ParseError(f"declared output {out!r} is never defined")
+
     for pi in inputs:
         circuit.add_input(pi)
 
@@ -196,7 +223,10 @@ def loads(text: str, name: str = "blif") -> Circuit:
             circuit.add_gate(target, final_type, products)
 
     circuit.set_outputs(outputs)
-    circuit.validate()
+    try:
+        circuit.validate()
+    except CircuitError as exc:  # structural problems, e.g. a cycle
+        raise ParseError(str(exc)) from exc
     return circuit
 
 

@@ -23,7 +23,7 @@ import re
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
-from ..errors import ParseError
+from ..errors import CircuitError, ParseError
 from ..graph.circuit import Circuit
 from ..graph.node import NodeType
 
@@ -80,7 +80,10 @@ def loads(text: str, name: str = "") -> Circuit:
     offset = body_start
     for raw in body.split(";"):
         stmt = " ".join(raw.split())
-        lineno = _line_of(clean, offset)
+        # Report the line the statement's first token is on, not the line
+        # the previous ';' ended on (they differ across line breaks).
+        leading = len(raw) - len(raw.lstrip())
+        lineno = _line_of(clean, offset + leading)
         offset += len(raw) + 1
         if not stmt:
             continue
@@ -125,6 +128,43 @@ def loads(text: str, name: str = "") -> Circuit:
             raise ParseError("nested modules are not supported", lineno)
         raise ParseError(f"unsupported statement: {stmt!r}", lineno)
 
+    # Duplicate and dangling connections are diagnosed with the offending
+    # instance's line before any gate is built (instances may reference
+    # signals produced further down the module).
+    defined_at: Dict[str, int] = {}
+    for pi in inputs:
+        if pi in defined_at:
+            raise ParseError(f"duplicate input {pi!r}")
+        defined_at[pi] = 0
+    for lineno, node_type, target, fanins in gates:
+        if target in defined_at:
+            raise ParseError(
+                f"duplicate driver for {target!r} "
+                f"(first driven at line {defined_at[target]})",
+                lineno,
+            )
+        defined_at[target] = lineno
+    for alias in aliases:
+        if alias in defined_at:
+            raise ParseError(f"duplicate driver for alias {alias!r}")
+        defined_at[alias] = 0
+    for lineno, node_type, target, fanins in gates:
+        for fanin in fanins:
+            if aliases.get(fanin, fanin) not in defined_at:
+                raise ParseError(
+                    f"gate {target!r} references undriven signal "
+                    f"{fanin!r}",
+                    lineno,
+                )
+    for alias, source in aliases.items():
+        if aliases.get(source, source) not in defined_at:
+            raise ParseError(
+                f"assign {alias} = {source}: {source!r} is never driven"
+            )
+    for out in outputs:
+        if out not in defined_at:
+            raise ParseError(f"declared output {out!r} is never driven")
+
     for pi in inputs:
         circuit.add_input(pi)
     for lineno, node_type, target, fanins in gates:
@@ -138,7 +178,10 @@ def loads(text: str, name: str = "") -> Circuit:
         if alias not in circuit:
             circuit.add_gate(alias, NodeType.BUF, [aliases.get(source, source)])
     circuit.set_outputs(outputs)
-    circuit.validate()
+    try:
+        circuit.validate()
+    except CircuitError as exc:  # structural problems, e.g. a cycle
+        raise ParseError(str(exc)) from exc
     return circuit
 
 

@@ -1,0 +1,159 @@
+"""Tests for the differential oracle (repro.check.oracle)."""
+
+import pytest
+
+from repro.check import check_circuit, check_cone, check_incremental
+from repro.check.oracle import Mismatch, check_chain_lookup
+from repro.circuits.figures import FIGURE2_PAIRS, figure1_circuit, figure2_circuit
+from repro.core.algorithm import ChainComputer, dominator_chain
+from repro.core.chain import ChainPair, DominatorChain
+from repro.errors import ChainConstructionError
+from repro.graph import IndexedGraph
+from repro.incremental.edits import AddGate, Rewire
+from repro.service.metrics import MetricsRegistry
+
+
+class TestCheckCircuit:
+    def test_figure2_agrees(self):
+        report = check_circuit(figure2_circuit())
+        assert report.ok
+        assert report.cones == 1
+        assert report.targets >= 1
+        assert report.comparisons > 0
+        assert report.brute_confirmed >= 1
+        assert "OK" in report.summary()
+
+    def test_figure1_agrees(self):
+        assert check_circuit(figure1_circuit()).ok
+
+    def test_brute_limit_skips_confirmation(self):
+        report = check_circuit(figure2_circuit(), brute_limit=1)
+        assert report.ok  # chain-vs-baseline still cross-checks
+        assert report.brute_confirmed == 0
+
+    def test_metrics_threaded(self):
+        metrics = MetricsRegistry()
+        check_circuit(figure2_circuit(), metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap["counters"]["check.cones"] == 1
+        assert snap["counters"]["check.targets"] >= 1
+        assert "check.cone_seconds" in snap["histograms"]
+
+
+class TestFaultDetection:
+    """An intentionally wrong chain producer must be caught."""
+
+    def test_empty_chain_fault(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+
+        def empty_chain(g, u):
+            return DominatorChain(u, [], {})
+
+        mismatches = check_cone(graph, chain_fn=empty_chain)
+        assert mismatches
+        assert any(m.kind == "chain-vs-brute" for m in mismatches)
+
+    def test_wrong_target_chain_fault(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+        computer = ChainComputer(graph)
+        u = graph.index_of("u")
+
+        def shifted(g, target):
+            # Return u's chain truncated to its first pair only.
+            real = computer.chain(target)
+            if target != u or not real.pairs:
+                return real
+            pair = real.pairs[0]
+            intervals = {v: real.interval(v) for v in pair.vertices()}
+            return DominatorChain(target, [pair], intervals)
+
+        mismatches = check_cone(graph, targets=[u], chain_fn=shifted)
+        assert any(m.kind == "chain-vs-brute" for m in mismatches)
+        assert any("misses" in m.detail for m in mismatches)
+
+    def test_crash_reported_not_raised(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+
+        def boom(g, u):
+            raise ChainConstructionError("synthetic crash")
+
+        mismatches = check_cone(graph, chain_fn=boom)
+        assert mismatches
+        assert all(m.kind == "crash" for m in mismatches)
+        assert "synthetic crash" in mismatches[0].detail
+
+    def test_mismatch_str_mentions_location(self):
+        m = Mismatch("lookup", "c17", "out", "n3", "boom")
+        assert "c17/out" in str(m)
+        assert "n3" in str(m)
+
+
+class TestChainLookup:
+    def test_figure2_lookup_clean(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+        chain = dominator_chain(graph, graph.index_of("u"))
+        assert check_chain_lookup(graph, chain) == []
+        # And the chain's pair set is exactly the paper's list.
+        want = {
+            frozenset((graph.index_of(a), graph.index_of(b)))
+            for a, b in FIGURE2_PAIRS
+        }
+        assert chain.pair_set() == want
+
+    def test_lookup_catches_count_inconsistency(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+        chain = dominator_chain(graph, graph.index_of("u"))
+
+        class Broken:
+            """Proxy reporting one dominator too many."""
+
+            def __getattr__(self, name):
+                return getattr(chain, name)
+
+            def num_dominators(self):
+                return chain.num_dominators() + 1
+
+        mismatches = check_chain_lookup(graph, Broken())
+        assert any("num_dominators" in m.detail for m in mismatches)
+
+    def test_lookup_catches_interval_off_by_one(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+        chain = dominator_chain(graph, graph.index_of("u"))
+
+        class Widened:
+            """Proxy stretching every max(v) one position too far."""
+
+            def __getattr__(self, name):
+                return getattr(chain, name)
+
+            def dominates(self, v1, v2):
+                if chain.dominates(v1, v2):
+                    return True
+                # Accept one extra position past max(v1).
+                lo, hi = chain.interval(v1)
+                return (
+                    v2 in chain
+                    and chain.flag(v1) != chain.flag(v2)
+                    and chain.index(v2) == hi + 1
+                )
+
+        mismatches = check_chain_lookup(graph, Widened())
+        assert any("accepted one position after" in m.detail for m in mismatches)
+
+
+class TestCheckIncremental:
+    def test_valid_edits_agree(self):
+        circuit = figure2_circuit()
+        edits = [
+            AddGate("x1", ("m", "n"), "and"),
+            Rewire("f", ("m", "n", "x1")),
+        ]
+        assert check_incremental(circuit, edits) == []
+
+    def test_metrics_counted(self):
+        metrics = MetricsRegistry()
+        check_incremental(
+            figure2_circuit(), [AddGate("x1", ("m",), "buf")], metrics=metrics
+        )
+        snap = metrics.snapshot()
+        assert snap["counters"]["check.incremental_sessions"] == 1

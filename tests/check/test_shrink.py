@@ -1,0 +1,92 @@
+"""Tests for the failing-case minimizer (repro.check.shrink)."""
+
+import pytest
+
+from repro.check.shrink import dump_repro, shrink_circuit
+from repro.circuits.generators import random_circuit
+from repro.errors import ReproError
+from repro.graph import NodeType
+from repro.graph.circuit import Circuit
+from repro.parsers import bench
+
+
+def _has_xor(circuit: Circuit) -> bool:
+    return any(
+        node.type in (NodeType.XOR, NodeType.XNOR) for node in circuit.nodes()
+    )
+
+
+def _seeded(seed: int) -> Circuit:
+    return random_circuit(
+        num_inputs=4, num_gates=18, num_outputs=2, seed=seed, name="shrinkme"
+    )
+
+
+class TestShrink:
+    def test_shrinks_to_single_xor(self):
+        circuit = _seeded(11)
+        assert _has_xor(circuit)  # seed chosen to contain one
+        shrunk = shrink_circuit(circuit, _has_xor)
+        assert _has_xor(shrunk)
+        assert shrunk.gate_count() <= 2
+        assert len(shrunk.outputs) == 1
+
+    def test_deterministic(self):
+        a = shrink_circuit(_seeded(11), _has_xor)
+        b = shrink_circuit(_seeded(11), _has_xor)
+        assert bench.dumps(a) == bench.dumps(b)
+
+    def test_result_still_fails_and_is_valid(self):
+        shrunk = shrink_circuit(_seeded(11), _has_xor)
+        shrunk.validate()
+        assert _has_xor(shrunk)
+
+    def test_trivially_true_predicate_reaches_minimum(self):
+        shrunk = shrink_circuit(_seeded(3), lambda c: True)
+        # Nothing blocks reduction: a cone of at most one gate remains.
+        assert shrunk.gate_count() <= 1
+
+    def test_raising_predicate_treated_as_passing(self):
+        original = _seeded(11)
+        baseline_size = len(shrink_circuit(original, _has_xor))
+
+        def fragile(candidate: Circuit) -> bool:
+            if len(candidate) < len(original):
+                raise ReproError("cannot evaluate reduced circuit")
+            return _has_xor(candidate)
+
+        shrunk = shrink_circuit(original, fragile)
+        # No reduction could be confirmed, so nothing was taken.
+        assert len(shrunk) >= baseline_size
+
+    def test_gate_count_never_grows(self):
+        original = _seeded(7)
+        shrunk = shrink_circuit(original, _has_xor)
+        assert shrunk.gate_count() <= original.gate_count()
+
+
+class TestDumpRepro:
+    def test_round_trips(self, tmp_path):
+        shrunk = shrink_circuit(_seeded(11), _has_xor)
+        path = dump_repro(shrunk, tmp_path, "case0", "seed=11 kind=xor")
+        assert path.exists()
+        text = path.read_text()
+        assert text.startswith("# seed=11 kind=xor")
+        reparsed = bench.load(path)
+        assert sorted(reparsed) == sorted(shrunk)
+        assert _has_xor(reparsed)
+
+    def test_multiline_comment_all_escaped(self, tmp_path):
+        shrunk = shrink_circuit(_seeded(11), _has_xor)
+        path = dump_repro(shrunk, tmp_path, "case1", "line one\nline two")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# line one"
+        assert lines[1] == "# line two"
+        bench.load(path)  # still parseable
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "er"
+        shrunk = shrink_circuit(_seeded(11), _has_xor)
+        path = dump_repro(shrunk, target, "case2")
+        assert path.parent == target
+        assert path.exists()

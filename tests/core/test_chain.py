@@ -139,3 +139,94 @@ class TestMultiPair:
         assert not chain.dominates(1, 4)
         assert not chain.dominates(3, 2)
         assert chain.num_dominators() == 2
+
+
+class TestBoundaryAudit:
+    """Off-by-one audit of side()/first/last/(min,max) against Figure 2.
+
+    The paper states D(u) = <{<a,e,h>, <b,c,d,g>}, {<k,m>, <l,n>}> with
+    intervals b=(1,1), c=(1,3), d=(1,3), g=(3,3); the membership test
+    must flip exactly at those interval boundaries.
+    """
+
+    @staticmethod
+    def _fig2_chain():
+        from repro.circuits.figures import figure2_circuit
+        from repro.core.algorithm import dominator_chain
+        from repro.graph import IndexedGraph
+
+        g = IndexedGraph.from_circuit(figure2_circuit())
+        return g, dominator_chain(g, g.index_of("u"))
+
+    def test_side_vectors_match_paper(self):
+        # Which side is numbered 1 is arbitrary; compare as a set.
+        g, chain = self._fig2_chain()
+        sides = {
+            tuple(g.name_of(v) for v in chain.side(flag)) for flag in (1, 2)
+        }
+        assert sides == {
+            ("a", "e", "h", "k", "m"),
+            ("b", "c", "d", "g", "l", "n"),
+        }
+
+    def test_pair_first_and_last(self):
+        g, chain = self._fig2_chain()
+        assert len(chain) == 2
+        first_pair, second_pair = chain.pairs
+        assert {g.name_of(v) for v in first_pair.first} == {"a", "b"}
+        assert {g.name_of(v) for v in first_pair.last} == {"h", "g"}
+        assert {g.name_of(v) for v in second_pair.first} == {"k", "l"}
+        assert {g.name_of(v) for v in second_pair.last} == {"m", "n"}
+
+    def test_paper_intervals(self):
+        g, chain = self._fig2_chain()
+        for name, want in (("b", (1, 1)), ("c", (1, 3)), ("d", (1, 3)),
+                           ("g", (3, 3))):
+            assert chain.interval(g.index_of(name)) == want, name
+
+    def test_membership_flips_exactly_at_boundaries(self):
+        g, chain = self._fig2_chain()
+        c = g.index_of("c")  # interval (1, 3) over the side <a,e,h,k,m>
+        aeh = chain.side(2 if chain.flag(c) == 1 else 1)
+        assert [g.name_of(v) for v in aeh] == ["a", "e", "h", "k", "m"]
+        assert chain.dominates(c, aeh[0])      # a: index 1 == min
+        assert chain.dominates(c, aeh[2])      # h: index 3 == max
+        assert not chain.dominates(c, aeh[3])  # k: index 4 == max + 1
+        b = g.index_of("b")  # interval (1, 1)
+        assert chain.dominates(b, aeh[0])      # a only
+        assert not chain.dominates(b, aeh[1])  # e: one past max
+        gg = g.index_of("g")  # interval (3, 3)
+        assert chain.dominates(gg, aeh[2])     # h only
+        assert not chain.dominates(gg, aeh[1])  # e: one before min
+        assert not chain.dominates(gg, aeh[3])  # k: one after max
+
+    def test_membership_symmetry_and_same_side_rejection(self):
+        g, chain = self._fig2_chain()
+        for v in chain.side(1):
+            for w in chain.side(2):
+                assert chain.dominates(v, w) == chain.dominates(w, v)
+            for w in chain.side(1):
+                assert not chain.dominates(v, w)
+
+    def test_matching_vector_boundaries(self):
+        g, chain = self._fig2_chain()
+        h = g.index_of("h")
+        partners = [g.name_of(w) for w in chain.matching_vector(h)]
+        assert partners == ["c", "d", "g"]
+        lo, hi = chain.interval(h)
+        opposite = chain.side(2 if chain.flag(h) == 1 else 1)
+        assert g.name_of(opposite[lo - 1]) == "c"
+        assert g.name_of(opposite[hi - 1]) == "g"
+
+    def test_figure1_three_vertex_sets_not_pairs(self):
+        """Figure 1: PI b is dominated by {e, h} only as a *pair*."""
+        from repro.circuits.figures import figure1_circuit
+        from repro.core.algorithm import dominator_chain
+        from repro.graph import IndexedGraph
+
+        g = IndexedGraph.from_circuit(figure1_circuit())
+        chain = dominator_chain(g, g.index_of("b"))
+        assert chain.dominates(g.index_of("e"), g.index_of("h"))
+        # The 3-vertex dominators {e,l,m} / {h,j,k} are not pairs.
+        assert not chain.dominates(g.index_of("e"), g.index_of("l"))
+        assert g.index_of("j") not in chain

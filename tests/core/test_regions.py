@@ -66,3 +66,91 @@ def test_regions_cover_chain(seed):
         # Consecutive regions share exactly the boundary vertex.
         for a, b in zip(regions, regions[1:]):
             assert a.sink == b.start
+
+
+class TestTrivialRegions:
+    def test_figure2_regions_are_not_trivial(self, fig2_graph):
+        g = fig2_graph
+        tree = circuit_dominator_tree(g)
+        for region in search_regions(g, g.index_of("u"), tree):
+            assert not region.is_trivial
+            assert region.interior_size == region.graph.n - 2
+
+    def test_buffer_chain_regions_all_trivial(self):
+        from repro.graph import NodeType
+        from repro.graph.circuit import Circuit
+
+        c = Circuit("chain")
+        sig = c.add_input("i0")
+        for k in range(4):
+            sig = c.add_gate(f"b{k}", NodeType.BUF, [sig])
+        c.set_outputs([sig])
+        g = IndexedGraph.from_circuit(c)
+        tree = circuit_dominator_tree(g)
+        regions = list(search_regions(g, g.index_of("i0"), tree))
+        assert regions
+        assert all(r.is_trivial for r in regions)
+        assert all(r.interior_size == 0 for r in regions)
+
+    def test_trivial_region_expands_to_no_pairs(self):
+        from repro.core.algorithm import _expand_region
+        from repro.graph import NodeType
+        from repro.graph.circuit import Circuit
+
+        c = Circuit("chain")
+        sig = c.add_input("i0")
+        sig = c.add_gate("b0", NodeType.BUF, [sig])
+        c.set_outputs([sig])
+        g = IndexedGraph.from_circuit(c)
+        tree = circuit_dominator_tree(g)
+        (region,) = search_regions(g, g.index_of("i0"), tree)
+        assert region.is_trivial
+        assert _expand_region(region, "lt") == []
+
+
+class TestDeterministicCut:
+    """Degenerate regions with several min cuts resolve the same way."""
+
+    def test_source_nearest_cut_is_stable(self):
+        from repro.flow.vertex_cut import min_vertex_cut
+        from repro.graph import NodeType
+        from repro.graph.circuit import Circuit
+
+        # Two-rail ladder: {l1,r1}, {l1,r2}, {l2,r1} and {l2,r2} are all
+        # size-two cuts between the PI and the root; the immediate
+        # (source-nearest) dominator is {l1, r1}.
+        c = Circuit("ladder")
+        s = c.add_input("s")
+        c.add_gate("l1", NodeType.BUF, [s])
+        c.add_gate("r1", NodeType.NOT, [s])
+        c.add_gate("l2", NodeType.BUF, ["l1"])
+        c.add_gate("r2", NodeType.NOT, ["r1"])
+        c.add_gate("root", NodeType.OR, ["l2", "r2"])
+        c.set_outputs(["root"])
+        g = IndexedGraph.from_circuit(c)
+        want = sorted((g.index_of("l1"), g.index_of("r1")))
+        for _ in range(5):
+            result = min_vertex_cut(
+                g, [g.index_of("s")], g.index_of("root")
+            )
+            assert result.flow == 2
+            assert result.cut == want
+
+    def test_cut_independent_of_source_order(self):
+        from repro.flow.vertex_cut import min_vertex_cut
+        from repro.graph import NodeType
+        from repro.graph.circuit import Circuit
+
+        c = Circuit("two_src")
+        a, b = c.add_input("a"), c.add_input("b")
+        c.add_gate("x", NodeType.AND, [a, b])
+        c.add_gate("y", NodeType.OR, [a, b])
+        c.add_gate("root", NodeType.XOR, ["x", "y"])
+        c.set_outputs(["root"])
+        g = IndexedGraph.from_circuit(c)
+        srcs = [g.index_of("a"), g.index_of("b")]
+        forward = min_vertex_cut(g, srcs, g.index_of("root"))
+        backward = min_vertex_cut(g, srcs[::-1], g.index_of("root"))
+        assert forward.flow == backward.flow == 2
+        assert forward.cut == backward.cut
+        assert forward.cut == sorted((g.index_of("x"), g.index_of("y")))

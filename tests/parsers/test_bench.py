@@ -90,3 +90,45 @@ class TestRoundTrip:
     def test_figure1_roundtrip(self, fig1):
         restored = bench.loads(bench.dumps(fig1))
         assert sorted(restored) == sorted(fig1)
+
+
+class TestCorruptNetlists:
+    """Duplicate and dangling definitions must fail loudly, with lines."""
+
+    def test_duplicate_gate_definition(self):
+        with pytest.raises(ParseError) as err:
+            bench.loads(
+                "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\nb = BUF(a)\n"
+            )
+        assert "duplicate definition of 'b'" in str(err.value)
+        assert err.value.line == 4
+        assert "line 3" in str(err.value)  # points at the first definition
+
+    def test_gate_shadowing_input(self):
+        with pytest.raises(ParseError) as err:
+            bench.loads("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n")
+        assert "duplicate definition of 'a'" in str(err.value)
+
+    def test_dangling_fanin(self):
+        with pytest.raises(ParseError) as err:
+            bench.loads("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n")
+        assert "references undefined signal 'ghost'" in str(err.value)
+        assert err.value.line == 3
+
+    def test_forward_reference_is_legal(self):
+        c = bench.loads(
+            "INPUT(a)\nOUTPUT(c)\nc = NOT(b)\nb = BUF(a)\n"
+        )
+        assert c.node("c").fanins == ("b",)
+
+    def test_undefined_output(self):
+        with pytest.raises(ParseError) as err:
+            bench.loads("INPUT(a)\nOUTPUT(zz)\n")
+        assert "'zz' is never defined" in str(err.value)
+        assert err.value.line == 2
+
+    def test_cycle_reported_as_parse_error(self):
+        with pytest.raises(ParseError):
+            bench.loads(
+                "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n"
+            )

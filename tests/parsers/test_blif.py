@@ -127,3 +127,40 @@ class TestParityCovers:
         original = b.finish(["x"])
         restored = blif.loads(blif.dumps(original))
         assert restored.node("x").type is NodeType.XNOR
+
+
+class TestCorruptNetlists:
+    def test_duplicate_names_target(self):
+        with pytest.raises(ParseError) as err:
+            blif.loads(
+                ".model m\n.inputs a\n.outputs b\n"
+                ".names a b\n1 1\n.names a b\n0 1\n.end\n"
+            )
+        assert "duplicate definition of 'b'" in str(err.value)
+        assert err.value.line == 6
+
+    def test_duplicate_input(self):
+        with pytest.raises(ParseError) as err:
+            blif.loads(".model m\n.inputs a a\n.outputs a\n.end\n")
+        assert "duplicate input 'a'" in str(err.value)
+
+    def test_dangling_fanin(self):
+        with pytest.raises(ParseError) as err:
+            blif.loads(
+                ".model m\n.inputs a\n.outputs b\n"
+                ".names a ghost b\n11 1\n.end\n"
+            )
+        assert "undefined signal 'ghost'" in str(err.value)
+        assert err.value.line == 4
+
+    def test_forward_reference_is_legal(self):
+        c = blif.loads(
+            ".model m\n.inputs a\n.outputs c\n"
+            ".names b c\n1 1\n.names a b\n1 1\n.end\n"
+        )
+        assert c.node("c").fanins == ("b",)
+
+    def test_undefined_output(self):
+        with pytest.raises(ParseError) as err:
+            blif.loads(".model m\n.inputs a\n.outputs zz\n.end\n")
+        assert "'zz' is never defined" in str(err.value)

@@ -110,3 +110,58 @@ class TestRoundTrip:
         circuit = b.finish(["m"])
         with pytest.raises(ParseError):
             verilog.dumps(circuit)
+
+
+class TestCorruptNetlists:
+    def test_duplicate_gate_target(self):
+        src = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  not g1 (y, a);\n  buf g2 (y, a);\nendmodule\n"
+        )
+        with pytest.raises(ParseError) as err:
+            verilog.loads(src)
+        assert "duplicate driver for 'y'" in str(err.value)
+        assert err.value.line == 5
+        assert "line 4" in str(err.value)
+
+    def test_gate_driving_an_input(self):
+        src = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  not g1 (a, a);\n  buf g2 (y, a);\nendmodule\n"
+        )
+        with pytest.raises(ParseError) as err:
+            verilog.loads(src)
+        assert "duplicate driver for 'a'" in str(err.value)
+
+    def test_dangling_fanin(self):
+        src = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  and g1 (y, a, ghost);\nendmodule\n"
+        )
+        with pytest.raises(ParseError) as err:
+            verilog.loads(src)
+        assert "undriven signal 'ghost'" in str(err.value)
+        assert err.value.line == 4
+
+    def test_forward_reference_is_legal(self):
+        src = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  not g1 (y, w);\n  buf g2 (w, a);\nendmodule\n"
+        )
+        c = verilog.loads(src)
+        assert c.node("y").fanins == ("w",)
+
+    def test_undriven_output(self):
+        src = "module m (a, y);\n  input a;\n  output y;\nendmodule\n"
+        with pytest.raises(ParseError) as err:
+            verilog.loads(src)
+        assert "'y' is never driven" in str(err.value)
+
+    def test_undriven_assign_source(self):
+        src = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  buf g1 (y, a);\n  assign z = ghost;\nendmodule\n"
+        )
+        with pytest.raises(ParseError) as err:
+            verilog.loads(src)
+        assert "'ghost' is never driven" in str(err.value)

@@ -1,0 +1,100 @@
+"""Property tests: brute force == baseline [11] == dominator chain.
+
+The edge cases the worked examples never hit are pinned explicitly —
+single-gate cones, PI-only cones, multi-fanout roots, fanout-free chains
+— then hypothesis sweeps random netlists through the full differential
+oracle, and random edit scripts through incremental-vs-scratch.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import check_circuit, check_cone, check_incremental
+from repro.check.fuzzer import _draw_edits
+from repro.circuits.generators import random_circuit
+from repro.graph import IndexedGraph, NodeType
+from repro.graph.circuit import Circuit
+
+from .strategies import small_circuits
+
+_MULTI_INPUT_GATES = [
+    NodeType.AND,
+    NodeType.OR,
+    NodeType.NAND,
+    NodeType.NOR,
+    NodeType.XOR,
+    NodeType.XNOR,
+]
+
+
+class TestDegenerateCones:
+    @given(
+        st.integers(2, 5),
+        st.sampled_from(_MULTI_INPUT_GATES),
+    )
+    def test_single_gate_cone(self, arity, gate):
+        c = Circuit("one_gate")
+        fanins = [c.add_input(f"i{k}") for k in range(arity)]
+        c.add_gate("g", gate, fanins)
+        c.set_outputs(["g"])
+        report = check_circuit(c)
+        assert report.ok, report.mismatches
+
+    def test_pi_only_cone(self):
+        c = Circuit("pi_only")
+        c.add_input("a")
+        c.add_input("b")
+        c.set_outputs(["a"])
+        report = check_circuit(c)
+        assert report.ok, report.mismatches
+
+    def test_fanout_free_chain(self):
+        c = Circuit("chain")
+        sig = c.add_input("i0")
+        for k in range(5):
+            sig = c.add_gate(f"b{k}", NodeType.BUF, [sig])
+        c.set_outputs([sig])
+        report = check_circuit(c)
+        assert report.ok, report.mismatches
+
+    def test_multi_fanout_root(self):
+        c = Circuit("mf_root")
+        a, b = c.add_input("a"), c.add_input("b")
+        c.add_gate("l", NodeType.AND, [a, b])
+        c.add_gate("r", NodeType.OR, [a, b])
+        c.add_gate("root", NodeType.XOR, ["l", "r"])
+        c.set_outputs(["root"])
+        report = check_circuit(c)
+        assert report.ok, report.mismatches
+        # Every PI must be checkable as a target, not just the first.
+        graph = IndexedGraph.from_circuit(c)
+        assert check_cone(graph, targets=list(graph.sources())) == []
+
+
+class TestRandomCones:
+    @given(small_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_three_way_agreement(self, circuit):
+        report = check_circuit(circuit, brute_limit=64)
+        assert report.ok, [str(m) for m in report.mismatches]
+        assert report.brute_confirmed == report.targets
+
+
+class TestIncrementalAgreement:
+    @given(st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_random_edit_sequences(self, seed):
+        rng = random.Random(f"diff-inc:{seed}")
+        circuit = random_circuit(
+            num_inputs=rng.randint(2, 4),
+            num_gates=rng.randint(3, 12),
+            num_outputs=1,
+            seed=rng.randrange(1 << 30),
+            name=f"inc_{seed}",
+        )
+        edits = _draw_edits(rng, circuit, rng.randint(1, 4))
+        mismatches = check_incremental(circuit, edits)
+        assert mismatches == [], [str(m) for m in mismatches]

@@ -300,3 +300,88 @@ def test_cli_chains_on_verilog(tmp_path, capsys):
     verilog.dump(figure2_circuit(), path)
     assert main(["chains", str(path), "--target", "u"]) == 0
     assert "12 pairs" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_check_ok(self, bench_file, capsys):
+        assert main(["check", bench_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "brute-confirmed" in out
+
+    def test_check_single_output(self, bench_file, capsys):
+        assert main(["check", bench_file, "--output", "f"]) == 0
+        assert "1 cone(s)" in capsys.readouterr().out
+
+    def test_check_unknown_output_exits_2(self, bench_file, capsys):
+        assert main(["check", bench_file, "--output", "zz"]) == 2
+        assert "unknown output" in capsys.readouterr().err
+
+    def test_check_missing_file_exits_2(self, capsys):
+        assert main(["check", "/no/such/file.bench"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+    def test_check_malformed_netlist_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.bench"
+        path.write_text("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n")
+        assert main(["check", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "ghost" in err
+        assert err.startswith("error:")
+
+    def test_check_writes_metrics(self, bench_file, tmp_path, capsys):
+        import json
+
+        metrics_file = tmp_path / "m.json"
+        assert main(["check", bench_file, "--metrics", str(metrics_file)]) == 0
+        snap = json.loads(metrics_file.read_text())
+        assert snap["counters"]["check.cones"] == 1
+
+
+class TestFuzzCommand:
+    def test_fuzz_ok(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--cases", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=0" in out
+        assert "OK" in out
+
+    def test_fuzz_injected_fault_exits_1(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz", "--seed", "7", "--cases", "20",
+                "--inject-fault", "xor", "--out", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILURE" in out
+        repros = list(tmp_path.glob("*.bench"))
+        assert repros
+        for repro in repros:
+            assert bench.load(repro).gate_count() <= 15
+
+
+class TestBatchErrorContract:
+    def test_sweep_unknown_benchmark_exits_2(self, capsys):
+        assert main(["sweep", "--names", "nonesuch"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_serve_batch_malformed_netlist_exits_2(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.bench"
+        bad.write_text("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n")
+        requests = tmp_path / "req.json"
+        requests.write_text(json.dumps([{"netlist": str(bad)}]))
+        assert main(["serve-batch", str(requests)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ghost" in err
+
+    def test_serve_batch_missing_requests_exits_2(self, capsys):
+        assert main(["serve-batch", "/no/such/req.json"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
