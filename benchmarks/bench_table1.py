@@ -12,9 +12,22 @@ dispatch overhead or, on multi-core runners, its speedup.
 
 Circuits are built at scale 0.5 to keep a full run in CI territory; run
 ``python -m repro.experiments.table1`` for the paper-matched sizes.
+
+Run directly as a script to compare the two chain-construction backends
+and emit a machine-readable report::
+
+    python benchmarks/bench_table1.py --out BENCH_shared_backend.json
+
+The report holds best-of-N wall times of ``backend="legacy"`` and
+``backend="shared"`` over the Table-1 quick subset plus the aggregate
+speedup; ``--min-speedup X`` turns it into a CI gate (exit 1 below X).
 """
 
+import argparse
+import json
 import os
+import sys
+import time
 
 import pytest
 
@@ -79,3 +92,131 @@ def test_parallel_sweep(benchmark, name):
     benchmark.group = f"table1:{name}"
     benchmark.name = f"new via pool (jobs={SWEEP_JOBS})"
     benchmark(_run_parallel, circuit)
+
+
+# ----------------------------------------------------------------------
+# script mode: shared-vs-legacy backend comparison
+# ----------------------------------------------------------------------
+def _measure_backend(cones, backend, repeats):
+    """Best-of-``repeats`` wall time of the full workload on ``backend``.
+
+    The cached shared index is dropped before every timed run, so the
+    shared time *includes* building its per-circuit index — the cost a
+    cold caller actually pays.
+    """
+    best = None
+    pairs = 0
+    for _ in range(repeats):
+        for graph in cones:
+            graph._shared_index = None
+        start = time.perf_counter()
+        pairs = 0
+        for graph in cones:
+            computer = ChainComputer(graph, backend=backend)
+            for u in graph.sources():
+                pairs += computer.chain(u).num_dominators()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, pairs
+
+
+def run_backend_comparison(names, scale=SCALE, repeats=3):
+    """Legacy-vs-shared wall times per circuit plus the aggregate."""
+    circuits = []
+    total = {"legacy_seconds": 0.0, "shared_seconds": 0.0}
+    for name in names:
+        cones = _cones_at(name, scale)
+        legacy_s, legacy_pairs = _measure_backend(cones, "legacy", repeats)
+        shared_s, shared_pairs = _measure_backend(cones, "shared", repeats)
+        if legacy_pairs != shared_pairs:
+            raise AssertionError(
+                f"{name}: backends disagree on the pair count "
+                f"({shared_pairs} vs {legacy_pairs})"
+            )
+        circuits.append(
+            {
+                "name": name,
+                "pairs": shared_pairs,
+                "legacy_seconds": round(legacy_s, 6),
+                "shared_seconds": round(shared_s, 6),
+                "speedup": round(legacy_s / shared_s, 3),
+            }
+        )
+        total["legacy_seconds"] += legacy_s
+        total["shared_seconds"] += shared_s
+        print(
+            f"  {name:12s} legacy {legacy_s * 1e3:9.1f} ms   "
+            f"shared {shared_s * 1e3:9.1f} ms   "
+            f"{legacy_s / shared_s:5.2f}x",
+            file=sys.stderr,
+        )
+    total["speedup"] = round(
+        total["legacy_seconds"] / total["shared_seconds"], 3
+    )
+    total["legacy_seconds"] = round(total["legacy_seconds"], 6)
+    total["shared_seconds"] = round(total["shared_seconds"], 6)
+    return {
+        "workload": "all-PI dominator chains per output cone (Table 1)",
+        "scale": scale,
+        "repeats": repeats,
+        "timing": "best-of-repeats; shared times include index build",
+        "circuits": circuits,
+        "total": total,
+    }
+
+
+def _cones_at(name, scale):
+    circuit = table1_suite()[name].circuit(scale)
+    return [
+        IndexedGraph.from_circuit(circuit, out) for out in circuit.outputs
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="shared-vs-legacy chain backend comparison (Table 1)"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_shared_backend.json",
+        help="report file (JSON)",
+    )
+    parser.add_argument(
+        "--names",
+        nargs="*",
+        help="benchmark names (default: the quick subset)",
+    )
+    parser.add_argument("--scale", type=float, default=SCALE)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit 1 when the aggregate speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+    names = args.names or QUICK_SUBSET
+    unknown = [n for n in names if n not in table1_suite()]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    report = run_backend_comparison(
+        names, scale=args.scale, repeats=args.repeats
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    speedup = report["total"]["speedup"]
+    print(f"aggregate speedup {speedup}x -> {args.out}", file=sys.stderr)
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: aggregate speedup {speedup}x is below the "
+            f"--min-speedup gate {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

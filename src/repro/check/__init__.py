@@ -29,6 +29,8 @@ from .oracle import (
     check_circuit,
     check_cone,
     check_incremental,
+    diff_chains,
+    other_backend,
 )
 from .fuzzer import FuzzFailure, FuzzResult, generate_case, run_fuzz
 from .shrink import dump_repro, shrink_circuit
@@ -41,8 +43,10 @@ __all__ = [
     "check_circuit",
     "check_cone",
     "check_incremental",
+    "diff_chains",
     "dump_repro",
     "generate_case",
+    "other_backend",
     "run_fuzz",
     "shrink_circuit",
 ]

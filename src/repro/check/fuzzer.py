@@ -260,6 +260,7 @@ def run_fuzz(
     inject_fault: Optional[Fault] = None,
     metrics=None,
     progress: Optional[Callable[[int, FuzzCase], None]] = None,
+    backend: str = "shared",
 ) -> FuzzResult:
     """Run ``cases`` differential checks; shrink and dump any failure.
 
@@ -272,6 +273,10 @@ def run_fuzz(
     out_dir:
         Where shrunk ``.bench`` repros are written (omit to skip
         dumping; the shrunk circuits are still returned).
+    backend:
+        Primary chain backend under test; the oracle additionally runs
+        the counterpart backend on every target, so one fuzzing pass
+        exercises both regardless of this choice.
     """
     result = FuzzResult(seed=seed)
     for index in range(cases):
@@ -282,7 +287,9 @@ def run_fuzz(
         if metrics is not None:
             metrics.inc("fuzz.cases")
 
-        mismatches = _case_mismatches(case, brute_limit, metrics, result)
+        mismatches = _case_mismatches(
+            case, brute_limit, metrics, result, backend
+        )
         if inject_fault is not None and inject_fault(case.circuit):
             mismatches = mismatches + [
                 Mismatch(
@@ -298,7 +305,9 @@ def run_fuzz(
 
         if metrics is not None:
             metrics.inc("fuzz.failures")
-        predicate = _shrink_predicate(case, brute_limit, inject_fault)
+        predicate = _shrink_predicate(
+            case, brute_limit, inject_fault, backend
+        )
         shrunk = shrink_circuit(case.circuit, predicate)
         failure = FuzzFailure(case=case, mismatches=mismatches, shrunk=shrunk)
         if out_dir is not None:
@@ -318,15 +327,20 @@ def run_fuzz(
 
 
 def _case_mismatches(
-    case: FuzzCase, brute_limit: int, metrics, result: FuzzResult
+    case: FuzzCase,
+    brute_limit: int,
+    metrics,
+    result: FuzzResult,
+    backend: str = "shared",
 ) -> List[Mismatch]:
     if case.edits:
         result.incremental_sessions += 1
         return check_incremental(
-            case.circuit, case.edits, metrics=metrics
+            case.circuit, case.edits, metrics=metrics, backend=backend
         )
     report: OracleReport = check_circuit(
-        case.circuit, brute_limit=brute_limit, metrics=metrics
+        case.circuit, brute_limit=brute_limit, metrics=metrics,
+        backend=backend,
     )
     result.targets += report.targets
     result.comparisons += report.comparisons
@@ -334,7 +348,10 @@ def _case_mismatches(
 
 
 def _shrink_predicate(
-    case: FuzzCase, brute_limit: int, inject_fault: Optional[Fault]
+    case: FuzzCase,
+    brute_limit: int,
+    inject_fault: Optional[Fault],
+    backend: str = "shared",
 ) -> Callable[[Circuit], bool]:
     """Failure predicate the shrinker minimizes against.
 
@@ -351,12 +368,16 @@ def _shrink_predicate(
             applicable = _applicable_edits(candidate, case.edits)
             if not applicable:
                 return False
-            return bool(check_incremental(candidate, applicable))
+            return bool(
+                check_incremental(candidate, applicable, backend=backend)
+            )
 
         return failing_incremental
 
     def failing(candidate: Circuit) -> bool:
-        return not check_circuit(candidate, brute_limit=brute_limit).ok
+        return not check_circuit(
+            candidate, brute_limit=brute_limit, backend=backend
+        ).ok
 
     return failing
 

@@ -7,6 +7,12 @@ the O(1) ``(flag, index, min, max)`` membership test must flip exactly at
 the interval boundaries — the first and last matching vector positions —
 in both query directions.
 
+The chain itself is computed by **both construction backends** (the
+shared array-index backend and the legacy per-call subgraph backend, see
+:mod:`repro.dominators.shared`): every target's chain must be identical
+between them — not just the same pair set but the same pair vectors and
+intervals — so every fuzz case doubles as a backend-equivalence proof.
+
 A disagreement is reported as a :class:`Mismatch` record instead of an
 exception so a fuzzing run can keep going, collect everything, and hand
 the failing circuit to the shrinker.
@@ -22,6 +28,7 @@ from ..core.algorithm import ChainComputer
 from ..core.baseline import baseline_double_dominators
 from ..core.bruteforce import all_double_dominators
 from ..core.chain import DominatorChain
+from ..dominators.shared import validate_backend
 from ..errors import ReproError
 from ..graph.circuit import Circuit
 from ..graph.indexed import IndexedGraph
@@ -35,6 +42,31 @@ PairSet = Set[FrozenSet[int]]
 ChainFn = Callable[[IndexedGraph, int], DominatorChain]
 
 
+def other_backend(backend: str) -> str:
+    """The counterpart construction backend (shared <-> legacy)."""
+    return "legacy" if validate_backend(backend) == "shared" else "shared"
+
+
+def diff_chains(
+    a: DominatorChain, b: DominatorChain
+) -> Optional[str]:
+    """First structural divergence between two chains, or ``None``.
+
+    "Structural" means the full serving contract: the ordered pair
+    vectors *and* every vertex's matching interval, not just the
+    unordered pair set.
+    """
+    if a.pairs != b.pairs:
+        return f"pair vectors differ: {a.pairs} vs {b.pairs}"
+    for v in a.vertices():
+        if a.interval(v) != b.interval(v):
+            return (
+                f"interval of vertex {v} differs: "
+                f"{a.interval(v)} vs {b.interval(v)}"
+            )
+    return None
+
+
 @dataclass(frozen=True)
 class Mismatch:
     """One observed disagreement between implementations.
@@ -44,8 +76,9 @@ class Mismatch:
     kind:
         Discriminator: ``chain-vs-brute``, ``baseline-vs-brute``,
         ``chain-vs-baseline``, ``lookup`` (the O(1) membership structure
-        disagrees with the chain's own pair set), ``incremental`` or
-        ``crash`` (an implementation raised instead of answering).
+        disagrees with the chain's own pair set), ``backend`` (the shared
+        and legacy chain backends disagree), ``incremental`` or ``crash``
+        (an implementation raised instead of answering).
     circuit / output / target:
         Where it happened, by name where names exist.
     detail:
@@ -229,6 +262,7 @@ def check_cone(
     chain_fn: Optional[ChainFn] = None,
     report: Optional[OracleReport] = None,
     metrics=None,
+    backend: str = "shared",
 ) -> List[Mismatch]:
     """Differential check of one single-output cone.
 
@@ -245,7 +279,13 @@ def check_cone(
     chain_fn:
         Override for the chain producer — the fault-injection hook the
         harness's own tests use.  Defaults to a shared
-        :class:`ChainComputer`.
+        :class:`ChainComputer`.  Providing it disables the
+        backend-equivalence comparison (the oracle cannot know which
+        backend the override represents).
+    backend:
+        Primary chain backend under test.  Every target is *also*
+        computed with the counterpart backend and the two chains must be
+        structurally identical (kind ``backend`` on divergence).
     """
     if report is None:
         report = OracleReport(circuit or "cone")
@@ -255,9 +295,13 @@ def check_cone(
     target_list = list(targets)
     started = time.perf_counter()
 
+    cross_computer: Optional[ChainComputer] = None
     if chain_fn is None:
-        computer = ChainComputer(graph, algorithm)
+        computer = ChainComputer(graph, algorithm, backend=backend)
         chain_fn = lambda g, u: computer.chain(u)  # noqa: E731
+        cross_computer = ChainComputer(
+            graph, algorithm, backend=other_backend(backend)
+        )
 
     try:
         per_target = baseline_double_dominators(
@@ -316,6 +360,33 @@ def check_cone(
         if chain is not None:
             report.comparisons += 1
             mismatches += check_chain_lookup(graph, chain, circuit, output)
+        if chain is not None and cross_computer is not None:
+            report.comparisons += 1
+            try:
+                cross = cross_computer.chain(u)
+            except ReproError as exc:
+                mismatches.append(
+                    Mismatch(
+                        "crash",
+                        circuit,
+                        output,
+                        _name(graph, u),
+                        f"{cross_computer.backend} backend raised: {exc!r}",
+                    )
+                )
+            else:
+                divergence = diff_chains(chain, cross)
+                if divergence is not None:
+                    mismatches.append(
+                        Mismatch(
+                            "backend",
+                            circuit,
+                            output,
+                            _name(graph, u),
+                            f"{backend} vs {cross_computer.backend}: "
+                            + divergence,
+                        )
+                    )
 
     if metrics is not None:
         metrics.inc("check.cones")
@@ -334,6 +405,7 @@ def check_circuit(
     algorithm: str = "lt",
     brute_limit: int = DEFAULT_BRUTE_LIMIT,
     metrics=None,
+    backend: str = "shared",
 ) -> OracleReport:
     """Differential check of every requested output cone of a netlist."""
     report = OracleReport(circuit.name)
@@ -347,6 +419,7 @@ def check_circuit(
             output=out,
             report=report,
             metrics=metrics,
+            backend=backend,
         )
     return report
 
@@ -357,6 +430,7 @@ def check_incremental(
     output: Optional[str] = None,
     algorithm: str = "lt",
     metrics=None,
+    backend: str = "shared",
 ) -> List[Mismatch]:
     """Cross-check the incremental engine against from-scratch results.
 
@@ -365,16 +439,25 @@ def check_incremental(
     every edit, compares the engine's chains for all live primary inputs
     against a fresh :class:`ChainComputer` on the same (edited) graph —
     pair sets, pair vectors and intervals must be identical.
+
+    The engine runs on ``backend``; the from-scratch reference runs on
+    the *counterpart* backend, so each step also cross-checks the two
+    construction backends on the edited (not freshly extracted) graph —
+    the one shape the pure-fuzz oracle path never sees.
     """
     from ..incremental import IncrementalEngine
 
-    engine = IncrementalEngine.from_circuit(circuit, output, algorithm)
+    engine = IncrementalEngine.from_circuit(
+        circuit, output, algorithm, backend=backend
+    )
     out_name = output or (circuit.outputs[0] if circuit.outputs else "")
     mismatches: List[Mismatch] = []
     engine.chains_for_sources()  # warm the cache pre-edit
     for step, edit in enumerate(edits, 1):
         engine.apply(edit)
-        fresh = ChainComputer(engine.graph, algorithm)
+        fresh = ChainComputer(
+            engine.graph, algorithm, backend=other_backend(backend)
+        )
         tree = engine.tree
         for u in engine.graph.sources():
             if not tree.is_reachable(u):

@@ -18,7 +18,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional, Union
 
-from ..errors import ReproError
+from ..errors import CircuitError, ReproError
 from ..graph.circuit import Circuit
 from ..graph.node import MIN_FANIN, NodeType
 from ..parsers import bench
@@ -159,10 +159,15 @@ def shrink_circuit(
     ``is_failing`` is evaluated on structurally valid candidate circuits
     only; a predicate that raises is treated as "does not fail" so a
     reduction that makes the failure unreproducible is simply not taken.
-    The input circuit itself must satisfy the predicate.
+    The predicate always receives a private copy of the candidate, and an
+    accepted candidate is re-validated before it replaces the current
+    circuit — a predicate that mutates its argument (the oracle replays
+    edit scripts in place) can therefore never corrupt the shrink state
+    or the final repro.  The input circuit itself must satisfy the
+    predicate.
     """
     current = _cone_prune(circuit)
-    if not is_failing(current):
+    if not is_failing(current.copy()):
         # Pruning dead logic must never lose the failure; fall back to
         # the exact input if it somehow does.
         current = circuit
@@ -173,15 +178,24 @@ def shrink_circuit(
             if _size(candidate) >= _size(current):
                 continue
             try:
-                failing = is_failing(candidate)
+                failing = is_failing(candidate.copy())
             except ReproError:
                 failing = False
-            if failing:
-                current = candidate
-                improved = True
-                break
+            if not failing:
+                continue
+            try:
+                candidate.validate()
+            except CircuitError:
+                # The move itself produced a valid circuit; reaching here
+                # means the predicate mutated shared state.  Skip the move
+                # rather than adopt a corrupt candidate.
+                continue
+            current = candidate
+            improved = True
+            break
         if not improved:
-            return current
+            break
+    current.validate()
     return current
 
 
@@ -193,23 +207,27 @@ def dump_repro(
 ) -> Path:
     """Write a shrunk repro as a ``.bench`` fixture; returns its path.
 
-    The written text is re-parsed before returning — a repro that cannot
-    round-trip through the parser would be useless, so that is treated
-    as an internal error.
+    The circuit is validated and the rendered text re-parsed **before**
+    anything is written — a repro that cannot round-trip through the
+    parser (same nodes *and* same output list) would be useless, so that
+    is treated as an internal error and no file is left on disk.
     """
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+    circuit.validate()
     text = bench.dumps(circuit)
     if comment:
         lines = [f"# {line}" for line in comment.splitlines()]
         text = "\n".join(lines) + "\n" + text
     path = directory / f"{tag}.bench"
-    path.write_text(text)
     reparsed = bench.loads(text, name=circuit.name)
-    if sorted(reparsed) != sorted(circuit):
+    if sorted(reparsed) != sorted(circuit) or sorted(
+        reparsed.outputs
+    ) != sorted(circuit.outputs):
         raise ReproError(
             f"repro {path} does not round-trip through the bench parser"
         )
+    directory.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
     return path
 
 

@@ -95,7 +95,7 @@ def _cmd_chains(args: argparse.Namespace) -> int:
         )
         return 2
     graph = IndexedGraph.from_circuit(circuit, output)
-    computer = ChainComputer(graph)
+    computer = ChainComputer(graph, backend=args.backend)
     targets = (
         [graph.index_of(args.target)]
         if args.target
@@ -120,7 +120,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_counts(args: argparse.Namespace) -> int:
     circuit = load_netlist(args.netlist)
     singles = count_single_dominators(circuit)
-    doubles = count_double_dominators(circuit)
+    doubles = count_double_dominators(circuit, backend=args.backend)
     print(f"single-vertex dominators of >=1 PI (per cone, summed): {singles}")
     print(f"double-vertex dominators of >=1 PI (per cone, summed): {doubles}")
     return 0
@@ -155,7 +155,9 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
             f"edit script {args.script} contains no edits", file=sys.stderr
         )
         return 2
-    engine = IncrementalEngine.from_circuit(circuit, output)
+    engine = IncrementalEngine.from_circuit(
+        circuit, output, backend=args.backend
+    )
 
     def query():
         chains = engine.chains_for_sources()
@@ -184,12 +186,16 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
     if args.compare:
         # replay as a cold engine per step: the from-scratch strawman
         start = time.perf_counter()
-        cold = IncrementalEngine.from_circuit(circuit, output)
-        ChainComputer(cold.graph, tree=None).chains_for_sources()
+        cold = IncrementalEngine.from_circuit(
+            circuit, output, backend=args.backend
+        )
+        ChainComputer(
+            cold.graph, tree=None, backend=args.backend
+        ).chains_for_sources()
         for edit in edits:
             cold.apply(edit)
             cold.flush()
-            fresh = ChainComputer(cold.graph)
+            fresh = ChainComputer(cold.graph, backend=args.backend)
             tree = fresh.tree
             for u in cold.graph.sources():
                 if tree.is_reachable(u):
@@ -225,6 +231,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         brute_limit=args.brute_limit,
         metrics=metrics,
+        backend=args.backend,
     )
     print(report.summary())
     for mismatch in report.mismatches:
@@ -262,6 +269,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         inject_fault=inject,
         metrics=metrics,
         progress=progress,
+        backend=args.backend,
     )
     print(result.summary())
     for failure in result.failures:
@@ -290,6 +298,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         forwarded.extend(["--jobs", str(args.jobs)])
     if args.seed is not None:
         forwarded.extend(["--seed", str(args.seed)])
+    if args.backend != "shared":
+        forwarded.extend(["--backend", args.backend])
     return table1.main(forwarded)
 
 
@@ -309,7 +319,11 @@ def _make_executor(args: argparse.Namespace):
         else None
     )
     executor = ParallelExecutor(
-        ExecutorConfig(jobs=args.jobs, timeout=args.timeout),
+        ExecutorConfig(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            backend=getattr(args, "backend", "shared"),
+        ),
         metrics=metrics,
         store=store,
     )
@@ -477,6 +491,16 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="shared",
+        choices=("shared", "legacy"),
+        help="chain-construction backend: one shared array index per "
+        "circuit version (default) or the legacy per-call subgraphs",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="double-vertex dominator toolkit"
@@ -487,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chains.add_argument("netlist")
     p_chains.add_argument("--output", help="output cone to analyze")
     p_chains.add_argument("--target", help="single target vertex (default: all PIs)")
+    _add_backend_flag(p_chains)
     p_chains.set_defaults(func=_cmd_chains)
 
     p_stats = sub.add_parser("stats", help="circuit statistics")
@@ -495,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_counts = sub.add_parser("counts", help="Table-1 dominator counts")
     p_counts.add_argument("netlist")
+    _add_backend_flag(p_counts)
     p_counts.set_defaults(func=_cmd_counts)
 
     p_edit = sub.add_parser(
@@ -509,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also time from-scratch recomputation per edit",
     )
+    _add_backend_flag(p_edit)
     p_edit.set_defaults(func=_cmd_edit_session)
 
     p_check = sub.add_parser(
@@ -533,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--metrics", metavar="FILE", help="write metrics snapshot JSON"
     )
+    _add_backend_flag(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_fuzz = sub.add_parser(
@@ -562,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--progress", action="store_true", help="log each case to stderr"
     )
+    _add_backend_flag(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_t1 = sub.add_parser("table1", help="run the Table-1 harness")
@@ -573,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument(
         "--seed", type=int, default=None, help="suite seed offset"
     )
+    _add_backend_flag(p_t1)
     p_t1.set_defaults(func=_cmd_table1)
 
     p_sweep = sub.add_parser(
@@ -597,6 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--no-progress", action="store_true", help="suppress progress lines"
     )
+    _add_backend_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_serve = sub.add_parser(
@@ -611,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--metrics", metavar="FILE", help="write metrics snapshot JSON"
     )
+    _add_backend_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve_batch)
     return parser
 

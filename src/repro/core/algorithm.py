@@ -17,8 +17,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..dominators.shared import (
+    RegionMatcher,
+    SharedConeIndex,
+    validate_backend,
+)
 from ..dominators.single import circuit_dominator_tree
 from ..dominators.tree import DominatorTree
+from ..flow.vertex_cut import RegionCutSolver
 from ..graph.indexed import IndexedGraph
 from .chain import ChainPair, DominatorChain
 from .double_idom import double_idom
@@ -28,7 +34,9 @@ from .region_cache import CacheStats, RegionCache, RegionPair
 from .regions import SearchRegion
 
 
-def _expand_region(region: SearchRegion, algorithm: str) -> List[RegionPair]:
+def _expand_region(
+    region: SearchRegion, algorithm: str, backend: str = "legacy"
+) -> List[RegionPair]:
     """All chain pairs inside one search region, in chain order."""
     if region.is_trivial:
         # Fewer than two interior vertices: no size-two cut can exist, so
@@ -37,12 +45,33 @@ def _expand_region(region: SearchRegion, algorithm: str) -> List[RegionPair]:
         return []
     results: List[RegionPair] = []
     sources = [region.local_start]
+    if backend == "shared":
+        solver = RegionCutSolver(region.graph, limit=3)
+        matcher = RegionMatcher(region.graph)
+    else:
+        solver = None
+        matcher = None
     while True:
-        immediate = double_idom(region.graph, sources)
+        if solver is not None:
+            # One split network per region, reused across DOUBLEIDOM
+            # calls; same deterministic source-nearest cut as double_idom.
+            result = solver.min_cut(sources)
+            immediate = (
+                tuple(result.cut)
+                if result.flow == 2 and result.cut is not None
+                else None
+            )
+        else:
+            immediate = double_idom(region.graph, sources)
         if immediate is None:
             break
         expanded = expand_pair(
-            region.graph, immediate[0], immediate[1], algorithm
+            region.graph,
+            immediate[0],
+            immediate[1],
+            algorithm,
+            backend,
+            matcher=matcher,
         )
         side1 = [region.orig_of[x] for x in expanded.side1]
         side2 = [region.orig_of[x] for x in expanded.side2]
@@ -103,6 +132,13 @@ class ChainComputer:
         ``core.chain_seconds`` and counts ``core.chains_computed`` and
         ``core.region_expansions`` — the serving layer's view into the
         algorithmic hot path.
+    backend:
+        ``"shared"`` (default) runs region extraction, restricted-graph
+        ``C − v`` chains and the split flow network as views over one
+        per-version array index (:mod:`repro.dominators.shared`);
+        ``"legacy"`` keeps the original per-call subgraph copies.  Both
+        produce identical chains (the differential oracle cross-checks
+        them) — legacy exists as the reference implementation.
     """
 
     def __init__(
@@ -113,14 +149,24 @@ class ChainComputer:
         tree: Optional[DominatorTree] = None,
         region_cache: Optional[RegionCache] = None,
         metrics=None,
+        backend: str = "shared",
     ):
         self.graph = graph
         self.algorithm = algorithm
         self.cache_regions = cache_regions
         self.metrics = metrics
-        self.tree = tree if tree is not None else circuit_dominator_tree(
-            graph, algorithm
+        self.backend = validate_backend(backend)
+        self._index = (
+            SharedConeIndex.for_graph(graph, algorithm)
+            if backend == "shared"
+            else None
         )
+        if tree is not None:
+            self.tree = tree
+        elif self._index is not None:
+            self.tree = self._index.tree
+        else:
+            self.tree = circuit_dominator_tree(graph, algorithm)
         self.region_cache: Optional[RegionCache] = (
             (region_cache if region_cache is not None else RegionCache())
             if cache_regions
@@ -165,16 +211,28 @@ class ChainComputer:
                 if cached is not None:
                     region_lists.append(cached)
                     continue
-            sub, orig_of = region_between(self.graph, start, sink)
-            local_of = {orig: i for i, orig in enumerate(orig_of)}
-            region = SearchRegion(
-                start=start,
-                sink=sink,
-                graph=sub,
-                orig_of=orig_of,
-                local_start=local_of[start],
-            )
-            expanded = _expand_region(region, self.algorithm)
+            if self._index is not None:
+                view, orig_of, local_start = self._index.extract_region(
+                    start, sink
+                )
+                region = SearchRegion(
+                    start=start,
+                    sink=sink,
+                    graph=view,
+                    orig_of=orig_of,
+                    local_start=local_start,
+                )
+            else:
+                sub, orig_of = region_between(self.graph, start, sink)
+                local_of = {orig: i for i, orig in enumerate(orig_of)}
+                region = SearchRegion(
+                    start=start,
+                    sink=sink,
+                    graph=sub,
+                    orig_of=orig_of,
+                    local_start=local_of[start],
+                )
+            expanded = _expand_region(region, self.algorithm, self.backend)
             if self.metrics is not None:
                 self.metrics.inc("core.region_expansions")
             if self.region_cache is not None:
@@ -213,6 +271,7 @@ def dominator_chain(
     u: int,
     algorithm: str = "lt",
     tree: Optional[DominatorTree] = None,
+    backend: str = "shared",
 ) -> DominatorChain:
     """Compute ``D(u)`` for a single target — the paper's entry point.
 
@@ -225,4 +284,4 @@ def dominator_chain(
     >>> chain.dominates(g.index_of("d"), g.index_of("h"))
     True
     """
-    return ChainComputer(graph, algorithm, tree=tree).chain(u)
+    return ChainComputer(graph, algorithm, tree=tree, backend=backend).chain(u)

@@ -72,6 +72,7 @@ def chain_of(
     node: str,
     output: Optional[str] = None,
     algorithm: str = "lt",
+    backend: str = "shared",
 ) -> NamedDominatorChain:
     """Dominator chain of one node within one output cone.
 
@@ -82,7 +83,9 @@ def chain_of(
     True
     """
     graph = IndexedGraph.from_circuit(circuit, output)
-    chain = dominator_chain(graph, graph.index_of(node), algorithm)
+    chain = dominator_chain(
+        graph, graph.index_of(node), algorithm, backend=backend
+    )
     return NamedDominatorChain(chain, graph)
 
 
@@ -110,7 +113,10 @@ def count_single_dominators(circuit: Circuit, algorithm: str = "lt") -> int:
 
 
 def count_double_dominators(
-    circuit: Circuit, algorithm: str = "lt", cache_regions: bool = True
+    circuit: Circuit,
+    algorithm: str = "lt",
+    cache_regions: bool = True,
+    backend: str = "shared",
 ) -> int:
     """Table 1, Column 5 with the paper's algorithm.
 
@@ -121,7 +127,7 @@ def count_double_dominators(
     for out in circuit.outputs:
         graph = IndexedGraph.from_circuit(circuit, out)
         computer = ChainComputer(
-            graph, algorithm, cache_regions=cache_regions
+            graph, algorithm, cache_regions=cache_regions, backend=backend
         )
         pairs: Set[FrozenSet[int]] = set()
         for u in graph.sources():
@@ -145,20 +151,25 @@ def count_double_dominators_baseline(
     return total
 
 
-def dominator_counts(circuit: Circuit, algorithm: str = "lt") -> DominatorCounts:
+def dominator_counts(
+    circuit: Circuit, algorithm: str = "lt", backend: str = "shared"
+) -> DominatorCounts:
     """Columns 4 and 5 of Table 1 for one circuit (new algorithm)."""
     return DominatorCounts(
         single=count_single_dominators(circuit, algorithm),
-        double=count_double_dominators(circuit, algorithm),
+        double=count_double_dominators(circuit, algorithm, backend=backend),
     )
 
 
 def all_pi_chains(
-    circuit: Circuit, output: Optional[str] = None, algorithm: str = "lt"
+    circuit: Circuit,
+    output: Optional[str] = None,
+    algorithm: str = "lt",
+    backend: str = "shared",
 ) -> Dict[str, NamedDominatorChain]:
     """Chains of every primary input of one cone, keyed by input name."""
     graph = IndexedGraph.from_circuit(circuit, output)
-    computer = ChainComputer(graph, algorithm)
+    computer = ChainComputer(graph, algorithm, backend=backend)
     return {
         graph.name_of(u): NamedDominatorChain(computer.chain(u), graph)
         for u in graph.sources()

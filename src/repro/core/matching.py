@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..dominators.lengauer_tarjan import UNREACHABLE
+from ..dominators.shared import matching_compute
 from ..dominators.single import circuit_idoms
 from ..errors import ChainConstructionError
 from ..graph.indexed import IndexedGraph
@@ -40,7 +42,11 @@ class ExpandedPair:
 
 
 def find_matching_vector(
-    region: IndexedGraph, v: int, w_start: int, algorithm: str = "lt"
+    region: IndexedGraph,
+    v: int,
+    w_start: int,
+    algorithm: str = "lt",
+    backend: str = "legacy",
 ) -> List[int]:
     """FINDMATCHINGVECTOR(v, ...) — partners of *v* from ``w_start`` upward.
 
@@ -49,7 +55,37 @@ def find_matching_vector(
     but excluding the region's local root.  The paper's while-loop of
     repeated SINGLEIDOM calls collapses into one dominator-tree
     computation on the restricted region.
+
+    With ``backend="shared"`` the restricted graph is never materialized:
+    an exclude-capable dominator algorithm simply skips *v* during its
+    DFS over the region's own arrays, which is equivalent to deleting it
+    (idoms are unique, so which capable algorithm runs does not matter).
     """
+    if backend == "shared":
+        idoms = matching_compute(algorithm)(
+            region.n,
+            region.pred,
+            region.root,
+            pred=region.succ,
+            exclude=v,
+        )
+        if idoms[w_start] == UNREACHABLE:
+            raise ChainConstructionError(
+                f"partner {w_start} vanished from the region after "
+                f"removing {v}"
+            )
+        out: List[int] = []
+        x = w_start
+        while x != region.root:
+            out.append(x)
+            x = idoms[x]
+            if x < 0:  # pragma: no cover - defensive (reachable w_start
+                # implies its whole idom chain is reachable)
+                raise ChainConstructionError(
+                    f"vertex {w_start} cannot reach the region root "
+                    f"without {v}"
+                )
+        return out
     sub, orig_of = remove_vertex(region, v)
     local_of = {orig: i for i, orig in enumerate(orig_of)}
     if w_start not in local_of:
@@ -57,7 +93,7 @@ def find_matching_vector(
             f"partner {w_start} vanished from the region after removing {v}"
         )
     idoms = circuit_idoms(sub, algorithm)
-    out: List[int] = []
+    out = []
     x = local_of[w_start]
     while x != sub.root:
         out.append(orig_of[x])
@@ -74,6 +110,8 @@ def expand_pair(
     w1: int,
     w2: int,
     algorithm: str = "lt",
+    backend: str = "legacy",
+    matcher=None,
 ) -> ExpandedPair:
     """Grow the immediate pair ``{w1, w2}`` into the full chain pair.
 
@@ -81,6 +119,12 @@ def expand_pair(
     main algorithm: alternately process not-yet-processed elements of both
     sides, each processing step merging the element's matching vector into
     the opposite side (ADDVECTOR semantics, append-only).
+
+    ``matcher`` is an optional
+    :class:`~repro.dominators.shared.RegionMatcher` bound to ``region``;
+    when given, matching vectors come from its scratch-reusing SNCA
+    instead of a fresh per-call computation (identical results — idoms
+    are unique).
     """
     sides: Tuple[List[int], List[int]] = ([w1], [w2])
     intervals: Dict[int, Tuple[int, int]] = {w1: (1, 1), w2: (1, 1)}
@@ -96,7 +140,12 @@ def expand_pair(
 
         lo = intervals[v][0]
         w_start = side_b[lo - 1]
-        matching = find_matching_vector(region, v, w_start, algorithm)
+        if matcher is not None:
+            matching = matcher.matching_vector(v, w_start)
+        else:
+            matching = find_matching_vector(
+                region, v, w_start, algorithm, backend
+            )
         if matching[0] != w_start:
             raise ChainConstructionError(
                 "matching vector does not start at the minimum partner"

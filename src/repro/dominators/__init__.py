@@ -1,7 +1,8 @@
 """Single-vertex dominator algorithms and the dominator tree."""
 
-from . import iterative, lengauer_tarjan, naive
+from . import dsu, iterative, lengauer_tarjan, naive, shared
 from .lengauer_tarjan import UNREACHABLE
+from .shared import BACKENDS, SharedConeIndex, validate_backend
 from .single import (
     circuit_dominator_tree,
     circuit_idoms,
@@ -13,15 +14,20 @@ from .single import (
 from .tree import DominatorTree
 
 __all__ = [
+    "BACKENDS",
     "DominatorTree",
+    "SharedConeIndex",
     "UNREACHABLE",
     "circuit_dominator_tree",
     "circuit_idoms",
     "count_single_pi_dominators",
+    "dsu",
     "idom_chain",
     "iterative",
     "lengauer_tarjan",
     "naive",
     "pi_dominator_vertices",
+    "shared",
     "single_dominators_of",
+    "validate_backend",
 ]

@@ -1,0 +1,125 @@
+"""SNCA immediate dominators — semi-NCA with DSU path compression.
+
+The "Finding Dominators via Disjoint Set Union" line of work (Fraczak,
+Georgiadis, Miller, Tarjan) observes that Lengauer–Tarjan's bucket
+machinery is unnecessary in practice: computing true semidominators with
+a plain path-compressing disjoint-set forest and then deriving each idom
+as ``NCA(parent(w), sdom(w))`` — the semi-NCA recurrence of
+Georgiadis–Tarjan — is simpler and usually faster on circuit-sized
+graphs, because every array is indexed by DFS number and scanned in
+tight monotone loops with no buckets and no final adjustment pass.
+
+Two passes over the DFS preorder:
+
+1. **Semidominators**, in reverse preorder, entirely in DFS-number
+   space, using the same one-array path compression as the simple
+   Lengauer–Tarjan variant: an unprocessed predecessor (smaller DFS
+   number) is a forest root whose semi is still its own number, so the
+   uniform update ``semi[i] = min(semi[i], semi[eval(p)])`` covers both
+   predecessor cases.
+2. **Idoms**, in forward preorder: walk ``idom`` pointers up from
+   ``parent(w)`` until the DFS number drops to ``sdom(w)`` or below.
+   Earlier vertices' idoms are already final, so the walk is amortized
+   near-linear.
+
+Like :func:`repro.dominators.lengauer_tarjan.compute_idoms` the function
+is orientation-agnostic and supports the ``exclude`` parameter realizing
+the restricted graph ``C − v`` without building a subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .lengauer_tarjan import UNREACHABLE
+
+
+def compute_idoms(
+    n: int,
+    succ: Sequence[Sequence[int]],
+    entry: int,
+    pred: Optional[Sequence[Sequence[int]]] = None,
+    exclude: int = UNREACHABLE,
+) -> List[int]:
+    """Immediate dominators via semi-NCA with path compression.
+
+    Same contract as the Lengauer–Tarjan sibling: ``idom[entry] ==
+    entry``, vertices unreachable from ``entry`` (or equal to
+    ``exclude``) get :data:`UNREACHABLE`.
+    """
+    if pred is None:
+        pred_local: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            for w in succ[v]:
+                pred_local[w].append(v)
+        pred = pred_local
+
+    # --- iterative DFS numbering -------------------------------------
+    dfn = [UNREACHABLE] * n  # vertex -> dfs number
+    vertex: List[int] = [entry]  # dfs number -> vertex
+    parent_num: List[int] = [0]  # dfs number -> parent's dfs number
+    dfn[entry] = 0
+    iter_stack: List[tuple] = [(entry, iter(succ[entry]))]
+    while iter_stack:
+        v, it = iter_stack[-1]
+        advanced = False
+        for w in it:
+            if dfn[w] == UNREACHABLE and w != exclude:
+                dfn[w] = len(vertex)
+                parent_num.append(dfn[v])
+                vertex.append(w)
+                iter_stack.append((w, iter(succ[w])))
+                advanced = True
+                break
+        if not advanced:
+            iter_stack.pop()
+
+    reached = len(vertex)
+    # Everything below runs in DFS-number space.
+    semi = list(range(reached))
+    label = list(range(reached))  # min-semi labels for eval
+    ancestor = [UNREACHABLE] * reached  # DSU forest parents
+
+    def eval_(i: int) -> int:
+        if ancestor[i] == UNREACHABLE:
+            return i
+        # Path compression: collect the chain up to (but excluding) the
+        # forest root, then fold labels top-down.
+        chain: List[int] = []
+        u = i
+        while ancestor[ancestor[u]] != UNREACHABLE:
+            chain.append(u)
+            u = ancestor[u]
+        for w in reversed(chain):
+            a = ancestor[w]
+            if semi[label[a]] < semi[label[w]]:
+                label[w] = label[a]
+            ancestor[w] = ancestor[a]
+        return label[i]
+
+    for i in range(reached - 1, 0, -1):
+        w = vertex[i]
+        best = semi[i]
+        for v in pred[w]:
+            pv = dfn[v]
+            if pv == UNREACHABLE:
+                continue
+            s = semi[eval_(pv)]
+            if s < best:
+                best = s
+        semi[i] = best
+        ancestor[i] = parent_num[i]  # LINK(parent, i)
+
+    idom_num = list(parent_num)
+    for i in range(1, reached):
+        j = idom_num[i]
+        s = semi[i]
+        while j > s:
+            j = idom_num[j]
+        idom_num[i] = j
+
+    idom = [UNREACHABLE] * n
+    for i in range(1, reached):
+        idom[vertex[i]] = vertex[idom_num[i]]
+    idom[entry] = entry
+    return idom

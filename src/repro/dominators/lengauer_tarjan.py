@@ -25,6 +25,7 @@ def compute_idoms(
     succ: Sequence[Sequence[int]],
     entry: int,
     pred: Optional[Sequence[Sequence[int]]] = None,
+    exclude: int = UNREACHABLE,
 ) -> List[int]:
     """Immediate dominators of every vertex of a flow graph.
 
@@ -40,6 +41,11 @@ def compute_idoms(
     pred:
         Optional precomputed predecessor lists (``pred[w]`` = vertices with
         an edge to *w*); recomputed from ``succ`` when omitted.
+    exclude:
+        Optional vertex to treat as deleted — the result is the dominator
+        tree of the restricted graph ``C − exclude``, without building a
+        subgraph: the DFS never visits ``exclude``, so it stays
+        :data:`UNREACHABLE` and every predecessor loop already skips it.
 
     Returns
     -------
@@ -66,7 +72,7 @@ def compute_idoms(
         v, it = iter_stack[-1]
         advanced = False
         for w in it:
-            if dfn[w] == UNREACHABLE:
+            if dfn[w] == UNREACHABLE and w != exclude:
                 dfn[w] = len(vertex)
                 vertex.append(w)
                 parent[w] = v

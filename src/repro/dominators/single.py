@@ -13,16 +13,22 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence, Set
 
 from ..graph.indexed import IndexedGraph
-from . import iterative, lengauer_tarjan, naive
+from . import dsu, iterative, lengauer_tarjan, naive
 from .tree import DominatorTree
 
 _ALGORITHMS: Dict[str, Callable] = {
     "lengauer-tarjan": lengauer_tarjan.compute_idoms,
     "lt": lengauer_tarjan.compute_idoms,
+    "dsu": dsu.compute_idoms,
+    "snca": dsu.compute_idoms,
     "iterative": iterative.compute_idoms,
     "chk": iterative.compute_idoms,
     "naive": naive.compute_idoms,
 }
+
+#: Algorithms whose ``compute_idoms`` accepts the ``exclude`` keyword —
+#: the shared backend uses these for restricted-graph ``C − v`` chains.
+EXCLUDE_CAPABLE = frozenset({"lengauer-tarjan", "lt", "dsu", "snca"})
 
 
 def circuit_idoms(graph: IndexedGraph, algorithm: str = "lt") -> List[int]:

@@ -69,7 +69,10 @@ class Table1Row:
 
 
 def measure_circuit(
-    circuit: Circuit, check: bool = False, jobs: int = 1
+    circuit: Circuit,
+    check: bool = False,
+    jobs: int = 1,
+    backend: str = "shared",
 ) -> Table1Row:
     """Run both algorithms over every output cone of one circuit.
 
@@ -112,7 +115,9 @@ def measure_circuit(
         from ..core.chain import DominatorChain
         from ..service import ExecutorConfig, ParallelExecutor
 
-        executor = ParallelExecutor(ExecutorConfig(jobs=jobs))
+        executor = ParallelExecutor(
+            ExecutorConfig(jobs=jobs, backend=backend)
+        )
         t_start = time.perf_counter()
         cone_results = executor.sweep_circuit(circuit)
         t2 = time.perf_counter() - t_start
@@ -128,7 +133,7 @@ def measure_circuit(
     else:
         t_start = time.perf_counter()
         for graph in cones:
-            computer = ChainComputer(graph)
+            computer = ChainComputer(graph, backend=backend)
             union = set()
             per_target = {}
             for u in graph.sources():
@@ -168,10 +173,16 @@ def measure_circuit(
 
 
 def run_entry(
-    entry: SuiteEntry, scale: float = 1.0, check: bool = False, jobs: int = 1
+    entry: SuiteEntry,
+    scale: float = 1.0,
+    check: bool = False,
+    jobs: int = 1,
+    backend: str = "shared",
 ) -> Table1Row:
     """Measure one suite benchmark and attach the paper's numbers."""
-    row = measure_circuit(entry.circuit(scale), check=check, jobs=jobs)
+    row = measure_circuit(
+        entry.circuit(scale), check=check, jobs=jobs, backend=backend
+    )
     row.paper_single = entry.paper.single_doms
     row.paper_double = entry.paper.double_doms
     row.paper_improvement = entry.paper.improvement
@@ -185,6 +196,7 @@ def run_table1(
     verbose: bool = True,
     jobs: int = 1,
     seed: Optional[int] = None,
+    backend: str = "shared",
 ) -> List[Table1Row]:
     """Measure a set of suite benchmarks (all 30 by default).
 
@@ -205,7 +217,13 @@ def run_table1(
             if verbose:
                 print(f"  running {name} ...", file=sys.stderr, flush=True)
             rows.append(
-                run_entry(suite[name], scale=scale, check=check, jobs=jobs)
+                run_entry(
+                    suite[name],
+                    scale=scale,
+                    check=check,
+                    jobs=jobs,
+                    backend=backend,
+                )
             )
     finally:
         set_seed_offset(previous_offset)
@@ -307,6 +325,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="seed offset for the random-family suite circuits",
     )
+    parser.add_argument(
+        "--backend",
+        default="shared",
+        choices=("shared", "legacy"),
+        help="chain-construction backend for the t2 measurement",
+    )
     args = parser.parse_args(argv)
 
     names = args.names or (QUICK_SUBSET if args.quick else None)
@@ -316,6 +340,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         check=args.check,
         jobs=args.jobs,
         seed=args.seed,
+        backend=args.backend,
     )
     print(format_results(rows))
     if args.markdown:

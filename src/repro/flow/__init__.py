@@ -3,6 +3,7 @@
 from .maxflow import bfs_augmenting_path, max_flow
 from .residual import ResidualNetwork, in_node, out_node
 from .vertex_cut import (
+    RegionCutSolver,
     VertexCutResult,
     build_split_network,
     count_disjoint_paths,
@@ -10,6 +11,7 @@ from .vertex_cut import (
 )
 
 __all__ = [
+    "RegionCutSolver",
     "ResidualNetwork",
     "VertexCutResult",
     "bfs_augmenting_path",

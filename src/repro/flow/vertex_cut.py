@@ -121,6 +121,209 @@ def min_vertex_cut(
     return VertexCutResult(flow=flow, cut=sorted(cut))
 
 
+class RegionCutSolver:
+    """Reusable min-vertex-cut solver over one fixed region graph.
+
+    The chain search calls DOUBLEIDOM repeatedly inside the *same* search
+    region, varying only the source set; :func:`min_vertex_cut` rebuilds
+    the whole split network each time (the dominant cost on the Table-1
+    sweep).  This solver builds the split and edge arcs **once**, then
+    serves each query by
+
+    * appending the query's super-source arcs (truncated away afterwards,
+      so arc ids match the one-shot builder's exactly),
+    * running the augmenting-path search with preallocated epoch-stamped
+      visit/parent arrays instead of per-BFS allocations, and
+    * undoing the query through a *touched-arc log*: a flow of at most
+      ``limit`` changes O(limit · path length) arcs, so restoring only
+      those beats recopying the whole capacity array.
+
+    The arc layout is identical to :func:`build_split_network` (split
+    arcs ``2*v``/``2*v+1``, then edge arcs in adjacency order, then
+    super-source arcs in source order).  Augmenting paths are found by
+    DFS rather than Edmonds–Karp BFS; the extracted cut is still
+    bit-identical to the one-shot path because the residually-reachable
+    set of *any* max flow is the unique minimal source side among min
+    cuts — it does not depend on which augmenting paths were pushed.
+
+    The sink is pinned to ``graph.root`` — the only sink the region
+    search ever uses.
+    """
+
+    __slots__ = (
+        "graph",
+        "limit",
+        "sink",
+        "net",
+        "_baseline",
+        "_nbase",
+        "_stamp",
+        "_parent",
+        "_epoch",
+    )
+
+    def __init__(self, graph: IndexedGraph, limit: int = 3):
+        self.graph = graph
+        self.limit = limit
+        self.sink = sink = graph.root
+        n = graph.n
+        num_nodes = 2 * n + 1
+        net = ResidualNetwork(num_nodes)
+        # Bulk-build the arc arrays (per-arc ``add_arc`` calls are
+        # measurable on the Table-1 sweep).  Layout: split arc of vertex
+        # ``v`` is arc ``2*v`` (reverse ``2*v+1``), then the edge arcs.
+        head = net.head
+        head.extend(x ^ 1 for x in range(2 * n))
+        cap = net.cap
+        cap.extend([1, 0] * n)
+        cap[2 * sink] = limit
+        net.adj = adj = [[i] for i in range(2 * n)]
+        adj.append([])  # super source
+        aid = 2 * n
+        for v in range(n):
+            ov = 2 * v + 1
+            adj_ov = adj[ov]
+            for w in graph.succ[v]:
+                iw = 2 * w
+                head.append(iw)
+                head.append(ov)
+                adj_ov.append(aid)
+                adj[iw].append(aid + 1)
+                aid += 2
+        cap.extend([limit, 0] * ((aid - 2 * n) // 2))
+        self.net = net
+        self._baseline = list(cap)
+        self._nbase = aid
+        self._stamp = [0] * num_nodes
+        self._parent = [0] * num_nodes
+        self._epoch = 0
+
+    def min_cut(self, sources: Sequence[int]) -> VertexCutResult:
+        """Source-nearest min vertex cut from ``sources`` to the sink.
+
+        Same contract (and same deterministic answer) as
+        :func:`min_vertex_cut` with ``sink=graph.root``.
+        """
+        if not sources:
+            raise FlowError("min_vertex_cut requires at least one source")
+        if self.sink in sources:
+            raise FlowError("sink cannot be one of the sources")
+        net = self.net
+        head = net.head
+        cap = net.cap
+        adj = net.adj
+        n = self.graph.n
+        limit = self.limit
+        ss = 2 * n  # super source
+        t = 2 * self.sink  # in_node(sink)
+        nbase = self._nbase
+        adj_ss = adj[ss]
+        stamp = self._stamp
+        parent = self._parent
+        touched: List[int] = []
+        activated: List[int] = []
+        try:
+            aid = nbase
+            seen = set()
+            for s in sources:
+                if s in seen:
+                    continue
+                seen.add(s)
+                sp = 2 * s
+                cap[sp] = limit
+                touched.append(sp)
+                ov = sp + 1
+                head.append(ov)
+                head.append(ss)
+                cap.append(limit)
+                cap.append(0)
+                adj_ss.append(aid)
+                adj[ov].append(aid + 1)
+                activated.append(ov)
+                aid += 2
+            flow = 0
+            while flow < limit:
+                # Augmenting path by DFS over positive residuals.  Any
+                # augmenting order yields the same final answer: the
+                # residually-reachable set of *every* max flow is the
+                # unique minimal source side among min cuts, so the
+                # extracted cut never depends on path choice — and DFS
+                # reaches the sink without expanding whole BFS frontiers.
+                self._epoch += 1
+                epoch = self._epoch
+                stamp[ss] = epoch
+                stack = [ss]
+                found = False
+                while stack:
+                    u = stack.pop()
+                    for arc in adj[u]:
+                        v = head[arc]
+                        if cap[arc] > 0 and stamp[v] != epoch:
+                            stamp[v] = epoch
+                            parent[v] = arc
+                            if v == t:
+                                found = True
+                                stack.clear()
+                                break
+                            stack.append(v)
+                if not found:
+                    break
+                path: List[int] = []
+                v = t
+                while v != ss:
+                    arc = parent[v]
+                    path.append(arc)
+                    v = head[arc ^ 1]
+                bottleneck = min(cap[a] for a in path)
+                if bottleneck > limit - flow:
+                    bottleneck = limit - flow
+                for a in path:
+                    cap[a] -= bottleneck
+                    cap[a ^ 1] += bottleneck
+                    touched.append(a)
+                flow += bottleneck
+            if flow >= limit:
+                return VertexCutResult(flow=flow, cut=None)
+            # Residual reachability from the super source; an in-node
+            # reached with its out-node unreached is a saturated split
+            # arc nearest the sources — a cut vertex.
+            self._epoch += 1
+            epoch = self._epoch
+            stamp[ss] = epoch
+            stack = [ss]
+            reached_in: List[int] = []
+            while stack:
+                u = stack.pop()
+                for arc in adj[u]:
+                    v = head[arc]
+                    if cap[arc] > 0 and stamp[v] != epoch:
+                        stamp[v] = epoch
+                        stack.append(v)
+                        if not v & 1:
+                            reached_in.append(v)
+            cut = [iv >> 1 for iv in reached_in if stamp[iv | 1] != epoch]
+            if len(cut) != flow:
+                raise FlowError(
+                    f"inconsistent min cut: flow={flow} but extracted "
+                    f"{len(cut)} saturated vertices"
+                )
+            cut.sort()
+            return VertexCutResult(flow=flow, cut=cut)
+        finally:
+            # Undo the query: restore touched base arcs from the baseline
+            # and truncate the per-query super-source arcs.
+            baseline = self._baseline
+            for a in touched:
+                if a < nbase:
+                    cap[a] = baseline[a]
+                    cap[a ^ 1] = baseline[a ^ 1]
+            del head[nbase:]
+            del cap[nbase:]
+            adj_ss.clear()
+            for ov in activated:
+                adj[ov].pop()
+
+
 def count_disjoint_paths(
     graph: IndexedGraph,
     sources: Sequence[int],

@@ -41,7 +41,17 @@ class IndexedGraph:
         vertices such as the fake super-source of Section 4).
     """
 
-    __slots__ = ("n", "succ", "pred", "root", "names", "dead", "_name_index")
+    __slots__ = (
+        "n",
+        "succ",
+        "pred",
+        "root",
+        "names",
+        "dead",
+        "version",
+        "_name_index",
+        "_shared_index",
+    )
 
     def __init__(
         self,
@@ -68,7 +78,14 @@ class IndexedGraph:
         #: Tombstoned vertices (see :meth:`kill_vertex`).  Indices are
         #: never reused, so edits keep every live vertex's index stable.
         self.dead: set = set()
+        #: Monotone edit counter: every in-place mutation bumps it, so
+        #: derived structures (the shared dominator index, on-disk
+        #: artifacts) can cheaply detect staleness without hashing.
+        self.version = 0
         self._name_index: Optional[Dict[str, int]] = None
+        #: Cache slot for :class:`repro.dominators.shared.SharedConeIndex`
+        #: — ``(version, algorithm) -> index``; managed by that module.
+        self._shared_index: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # lookup
@@ -229,6 +246,7 @@ class IndexedGraph:
                 raise CircuitError(f"a vertex named {name!r} already exists")
         v = self.n
         self.n += 1
+        self.version += 1
         self.succ.append([])
         self.pred.append([])
         self.names.append(name)
@@ -251,6 +269,7 @@ class IndexedGraph:
             )
         self.succ[v].append(w)
         self.pred[w].append(v)
+        self.version += 1
 
     def remove_edge(self, v: int, w: int) -> None:
         """Remove one occurrence of the edge ``v -> w``."""
@@ -261,6 +280,7 @@ class IndexedGraph:
             self.pred[w].remove(v)
         except ValueError:
             raise CircuitError(f"no edge {v}->{w} to remove") from None
+        self.version += 1
 
     def set_fanins(self, v: int, fanins: Sequence[int]) -> List[int]:
         """Replace the fanin list of *v* (a rewire edit).
@@ -285,6 +305,7 @@ class IndexedGraph:
         self.pred[v] = new
         for p in new:
             self.succ[p].append(v)
+        self.version += 1
         return [v] + old + new
 
     def kill_vertex(self, v: int) -> List[int]:
@@ -306,6 +327,7 @@ class IndexedGraph:
         self.pred[v] = []
         self.succ[v] = []
         self.dead.add(v)
+        self.version += 1
         name = self.names[v]
         if name is not None:
             self.names[v] = None

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Set, Union
 from ..core.algorithm import ChainComputer
 from ..core.chain import DominatorChain
 from ..core.region_cache import CacheStats, RegionCache
+from ..dominators.shared import validate_backend
 from ..dominators.single import circuit_dominator_tree
 from ..dominators.tree import DominatorTree
 from ..errors import CircuitError
@@ -88,6 +89,13 @@ class IncrementalEngine:
     algorithm:
         Single-dominator algorithm for tree rebuilds (``"lt"``,
         ``"iterative"`` or ``"naive"``).
+    backend:
+        Chain-construction backend handed to every
+        :class:`~repro.core.algorithm.ChainComputer` the engine builds
+        (``"shared"`` default, ``"legacy"`` for the reference path).
+        Cached region entries are backend-agnostic — both backends
+        produce identical member orderings — so a session's cache
+        survives either choice.
 
     Examples
     --------
@@ -100,9 +108,15 @@ class IncrementalEngine:
     True
     """
 
-    def __init__(self, graph: IndexedGraph, algorithm: str = "lt"):
+    def __init__(
+        self,
+        graph: IndexedGraph,
+        algorithm: str = "lt",
+        backend: str = "shared",
+    ):
         self.graph = graph
         self.algorithm = algorithm
+        self.backend = validate_backend(backend)
         self.cache = RegionCache()
         self.gate_types: Dict[str, str] = {}
         self.log: List[Edit] = []
@@ -129,10 +143,11 @@ class IncrementalEngine:
         circuit: Circuit,
         output: Optional[str] = None,
         algorithm: str = "lt",
+        backend: str = "shared",
     ) -> "IncrementalEngine":
         """Open a session on one output cone of a netlist."""
         graph = IndexedGraph.from_circuit(circuit, output)
-        engine = cls(graph, algorithm)
+        engine = cls(graph, algorithm, backend=backend)
         for name in graph.names:
             if name is not None and name in circuit:
                 engine.gate_types[name] = circuit.node(name).type.value
@@ -146,17 +161,25 @@ class IncrementalEngine:
 
         Dominator state is not recomputed here — the next query pays one
         tree rebuild plus recomputation of the invalidated regions only.
+
+        A failing edit mid-batch leaves the earlier edits applied (see
+        the module docstring); the vertices they touched are still folded
+        into the dirty set before the exception propagates, so subsequent
+        queries never serve dominator state computed for the pre-batch
+        graph.
         """
         touched: Set[int] = set()
-        for edit in edits:
-            self._apply_one(edit, touched)
-            self.log.append(edit)
-            self.stats.edits += 1
-        self._dirty |= touched
-        if touched:
-            self._computer = None
-            for listener in self._edit_listeners:
-                listener()
+        try:
+            for edit in edits:
+                self._apply_one(edit, touched)
+                self.log.append(edit)
+                self.stats.edits += 1
+        finally:
+            if touched:
+                self._dirty |= touched
+                self._computer = None
+                for listener in self._edit_listeners:
+                    listener()
         return sorted(touched)
 
     def add_edit_listener(self, callback) -> None:
@@ -236,6 +259,7 @@ class IncrementalEngine:
             self.algorithm,
             tree=tree,
             region_cache=self.cache,
+            backend=self.backend,
         )
         self.stats.flushes += 1
 

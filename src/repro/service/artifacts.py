@@ -4,7 +4,7 @@ Layout (under one root directory)::
 
     root/
       index.json                      # {"versions": {circuit_key: int}}
-      <key[:2]>/<key>/v<version>/<safe_output>.json
+      <key[:2]>/<key>/v<version>/<backend>/<safe_output>.json
 
 One artifact file holds every target chain of one output cone —
 ``{"targets": {target_name: chain.to_dict()}, "meta": {...}}`` — because
@@ -32,12 +32,17 @@ import shutil
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from ..dominators.shared import validate_backend
 from .hashing import safe_key
 from .metrics import MetricsRegistry
 
 _INDEX = "index.json"
 #: Artifact schema version — bump when the on-disk layout changes.
-FORMAT_VERSION = 1
+#: v2: artifacts are additionally keyed by chain-construction backend
+#: (one ``<backend>/`` path segment and a ``meta["backend"]`` field), so
+#: differential runs never serve one backend's cached result to the
+#: other.
+FORMAT_VERSION = 2
 
 
 class ArtifactStore:
@@ -141,11 +146,14 @@ class ArtifactStore:
     def _circuit_dir(self, circuit_key: str) -> Path:
         return self.root / circuit_key[:2] / circuit_key
 
-    def _artifact_path(self, circuit_key: str, output: str) -> Path:
+    def _artifact_path(
+        self, circuit_key: str, output: str, backend: str = "shared"
+    ) -> Path:
         version = self.version(circuit_key)
         return (
             self._circuit_dir(circuit_key)
             / f"v{version}"
+            / validate_backend(backend)
             / f"{safe_key(output)}.json"
         )
 
@@ -153,14 +161,14 @@ class ArtifactStore:
     # get / put
     # ------------------------------------------------------------------
     def get(
-        self, circuit_key: str, output: str
+        self, circuit_key: str, output: str, backend: str = "shared"
     ) -> Optional[Dict[str, Dict[str, object]]]:
         """Stored ``{target_name: chain_dict}`` for a cone, if current.
 
-        Only artifacts written under the circuit's *current* version are
-        served; anything else is a miss.
+        Only artifacts written under the circuit's *current* version by
+        the same backend are served; anything else is a miss.
         """
-        path = self._artifact_path(circuit_key, output)
+        path = self._artifact_path(circuit_key, output, backend)
         if not path.exists():
             self._count("artifacts.misses")
             return None
@@ -171,7 +179,11 @@ class ArtifactStore:
             self._count("artifacts.read_errors")
             self._count("artifacts.misses")
             return None
-        if data.get("meta", {}).get("format") != FORMAT_VERSION:
+        meta = data.get("meta", {})
+        if (
+            meta.get("format") != FORMAT_VERSION
+            or meta.get("backend", "shared") != backend
+        ):
             self._count("artifacts.misses")
             return None
         self._count("artifacts.hits")
@@ -182,9 +194,10 @@ class ArtifactStore:
         circuit_key: str,
         output: str,
         targets: Dict[str, Dict[str, object]],
+        backend: str = "shared",
     ) -> Path:
         """Persist one cone's chains (atomic). Returns the file path."""
-        path = self._artifact_path(circuit_key, output)
+        path = self._artifact_path(circuit_key, output, backend)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "meta": {
@@ -192,6 +205,7 @@ class ArtifactStore:
                 "circuit": circuit_key,
                 "output": output,
                 "version": self.version(circuit_key),
+                "backend": backend,
             },
             "targets": targets,
         }

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import ChainComputer
+from ..dominators.shared import cone_graph, validate_backend
 from ..graph.circuit import Circuit
 from ..graph.indexed import IndexedGraph
 from .artifacts import ArtifactStore
@@ -50,15 +51,24 @@ def sequential_cone_chains(
     output: str,
     targets: Optional[Sequence[str]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "shared",
 ) -> Dict[str, Dict[str, object]]:
     """Chains of one output cone, serialized — the unit of all execution.
 
     This single code path backs the worker processes, the in-process
     fallback, and the sequential reference in tests, which is what makes
     "parallel == sequential" hold by construction.
+
+    With ``backend="shared"`` the cone itself comes out of the circuit's
+    :class:`~repro.dominators.shared.SharedCircuitIndex`, so a sweep over
+    *k* outputs converts the string-keyed netlist to int adjacency once
+    instead of *k* times.
     """
-    graph = IndexedGraph.from_circuit(circuit, output)
-    computer = ChainComputer(graph, metrics=metrics)
+    if backend == "shared":
+        graph = cone_graph(circuit, output)
+    else:
+        graph = IndexedGraph.from_circuit(circuit, output)
+    computer = ChainComputer(graph, metrics=metrics, backend=backend)
     if targets is None:
         indices = graph.sources()
     else:
@@ -86,16 +96,16 @@ def pairs_in_chain_dict(chain_dict: Dict[str, object]) -> int:
 def _process_chunk(payload):
     """Worker entry: compute every cone job of one chunk.
 
-    ``payload`` is ``(circuit, [(output, targets), ...])``; the return
+    ``payload`` is ``(circuit, cone_jobs, backend)``; the return
     value is ``([(output, chains, wall_seconds), ...], metrics_snapshot)``.
     """
-    circuit, cone_jobs = payload
+    circuit, cone_jobs, backend = payload
     registry = MetricsRegistry()
     results = []
     for output, targets in cone_jobs:
         start = time.perf_counter()
         chains = sequential_cone_chains(
-            circuit, output, targets, metrics=registry
+            circuit, output, targets, metrics=registry, backend=backend
         )
         wall = time.perf_counter() - start
         registry.observe("executor.job_seconds", wall)
@@ -132,12 +142,19 @@ class ExecutorConfig:
         ``multiprocessing`` start method; ``None`` prefers ``fork``
         where available (cheap on Linux) and falls back to the platform
         default.
+    backend:
+        Chain-construction backend used by every cone job
+        (``"shared"`` default, ``"legacy"`` for the reference path).
     """
 
     jobs: int = 1
     timeout: Optional[float] = None
     chunk_size: Optional[int] = None
     start_method: Optional[str] = None
+    backend: str = "shared"
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
 
 
 @dataclass
@@ -253,7 +270,7 @@ class ParallelExecutor:
             # Only all-target artifacts are stored/served: partial target
             # sets would poison later all-target reads.
             if self.store is not None and targets is None:
-                cached = self.store.get(key, output)
+                cached = self.store.get(key, output, self.config.backend)
             if cached is not None:
                 results[output] = ConeResult(output, cached, 0.0, "artifact")
             else:
@@ -264,7 +281,7 @@ class ParallelExecutor:
             results[output] = ConeResult(output, chains, wall, source)
             targets = targets_by_output.get(output)
             if self.store is not None and targets is None:
-                self.store.put(key, output, chains)
+                self.store.put(key, output, chains, self.config.backend)
         self.metrics.inc("executor.jobs_completed", len(pending))
         return [results[output] for output in cone_names]
 
@@ -316,7 +333,10 @@ class ParallelExecutor:
 
         try:
             handles = [
-                pool.apply_async(_chunk_entry, ((circuit, chunk),))
+                pool.apply_async(
+                    _chunk_entry,
+                    ((circuit, chunk, self.config.backend),),
+                )
                 for chunk in chunks
             ]
             self.metrics.inc("executor.chunks", len(chunks))
@@ -348,7 +368,11 @@ class ParallelExecutor:
         for output, targets in cone_jobs:
             start = time.perf_counter()
             chains = sequential_cone_chains(
-                circuit, output, targets, metrics=self.metrics
+                circuit,
+                output,
+                targets,
+                metrics=self.metrics,
+                backend=self.config.backend,
             )
             wall = time.perf_counter() - start
             self.metrics.observe("executor.job_seconds", wall)

@@ -212,9 +212,14 @@ class MetricsRegistry:
     def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters add; histogram bucket counts/sums add bucket-by-bucket
-        (bucket layouts must match — they do for registries built from
-        the same code, which is the worker→parent use case).
+        Counters add; histogram bucket counts/sums add bucket-by-bucket.
+        Bucket schemas are aligned on merge: every incoming bucket is
+        re-binned into the smallest local bucket whose bound covers it,
+        and incoming buckets beyond the local range (including the
+        incoming overflow bucket) fold into the local overflow bucket.
+        Exact when the schemas match — the worker→parent use case — and
+        conservative (observations may shift one bucket coarser, never
+        finer) when a worker was built with extra or different buckets.
         """
         for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
             self.counter(name).inc(int(value))
@@ -222,9 +227,19 @@ class MetricsRegistry:
             hist = self.histogram(name)
             incoming = data["buckets"]
             with hist._lock:
-                for idx, bound in enumerate(hist.buckets):
-                    hist._counts[idx] += int(incoming.get(f"le_{bound:g}", 0))
-                hist._counts[-1] += int(incoming.get("le_inf", 0))
+                for key, raw in incoming.items():
+                    count = int(raw)
+                    if not count:
+                        continue
+                    idx = len(hist.buckets)  # overflow by default
+                    if key != "le_inf":
+                        try:
+                            bound = float(key[3:])
+                        except ValueError:
+                            pass  # unparseable key: keep it, as overflow
+                        else:
+                            idx = bisect_left(hist.buckets, bound)
+                    hist._counts[idx] += count
                 hist._count += int(data["count"])
                 hist._sum += float(data["sum"])
                 hist._max = max(hist._max, float(data.get("max", 0.0)))

@@ -157,3 +157,58 @@ class TestCheckIncremental:
         )
         snap = metrics.snapshot()
         assert snap["counters"]["check.incremental_sessions"] == 1
+
+
+class TestBackendCrossCheck:
+    """Every oracle pass runs both construction backends per target."""
+
+    def test_other_backend_roundtrip(self):
+        from repro.check.oracle import other_backend
+
+        assert other_backend("shared") == "legacy"
+        assert other_backend("legacy") == "shared"
+        with pytest.raises(ValueError):
+            other_backend("turbo")
+
+    def test_both_primary_backends_pass(self):
+        for backend in ("shared", "legacy"):
+            report = check_circuit(figure2_circuit(), backend=backend)
+            assert report.ok, [str(m) for m in report.mismatches]
+
+    def test_diff_chains_reports_divergence(self):
+        from repro.check.oracle import diff_chains
+
+        a = DominatorChain(0, [ChainPair((1,), (2,))], {1: (1, 1), 2: (1, 1)})
+        b = DominatorChain(0, [ChainPair((1,), (3,))], {1: (1, 1), 3: (1, 1)})
+        assert diff_chains(a, a) is None
+        assert "pair vectors differ" in diff_chains(a, b)
+        wide = {1: (1, 2), 2: (1, 1), 3: (1, 1)}
+        narrow = {1: (1, 1), 2: (1, 1), 3: (1, 1)}
+        c = DominatorChain(0, [ChainPair((1,), (2, 3))], wide)
+        d = DominatorChain(0, [ChainPair((1,), (2, 3))], narrow)
+        assert "interval" in diff_chains(c, d)
+
+    def test_injected_backend_divergence_is_caught(self, monkeypatch):
+        # Force the comparison to report a divergence: the oracle must
+        # surface it as a ``backend`` mismatch tied to the target.
+        import repro.check.oracle as oracle_mod
+
+        monkeypatch.setattr(
+            oracle_mod, "diff_chains", lambda a, b: "forced divergence"
+        )
+        report = check_circuit(figure2_circuit())
+        assert not report.ok
+        assert any(m.kind == "backend" for m in report.mismatches)
+        assert any("forced divergence" in m.detail for m in report.mismatches)
+
+    def test_chain_fn_override_disables_cross_check(self):
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+        computer = ChainComputer(graph)
+        mismatches = check_cone(graph, chain_fn=lambda g, u: computer.chain(u))
+        assert mismatches == []
+
+    def test_incremental_backend_param(self):
+        circuit = figure2_circuit()
+        edits = [AddGate("x1", ("m", "n"), "and")]
+        for backend in ("shared", "legacy"):
+            assert check_incremental(circuit, edits, backend=backend) == []

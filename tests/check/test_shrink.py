@@ -90,3 +90,72 @@ class TestDumpRepro:
         path = dump_repro(shrunk, target, "case2")
         assert path.parent == target
         assert path.exists()
+
+
+class TestMutatingPredicate:
+    """Regression: the shrinker used to hand its *live* candidate to the
+    predicate.  A predicate that mutates its argument (the oracle replays
+    edit scripts in place) corrupted the shrink state, and ``dump_repro``
+    wrote the broken ``.bench`` file to disk before the round-trip check
+    could reject it — emitting repros whose OUTPUT line referenced a
+    removed gate."""
+
+    def test_predicate_mutation_cannot_corrupt_result(self):
+        circuit = _seeded(11)
+
+        def nasty(c: Circuit) -> bool:
+            ok = _has_xor(c)
+            # Simulate an edit-replaying oracle: rip a gate out of the
+            # candidate we were handed.
+            for name in list(c._nodes):
+                if c.node(name).type.is_gate:
+                    del c._nodes[name]
+                    break
+            return ok
+
+        shrunk = shrink_circuit(circuit, nasty)
+        shrunk.validate()  # must still be structurally sound
+        assert _has_xor(shrunk)
+        for out in shrunk.outputs:
+            assert out in shrunk
+
+    def test_predicate_dropping_output_gate_cannot_poison_repro(self, tmp_path):
+        circuit = _seeded(11)
+
+        def nasty(c: Circuit) -> bool:
+            ok = _has_xor(c)
+            for out in c.outputs:
+                if out in c._nodes and c.node(out).type.is_gate:
+                    del c._nodes[out]
+                    break
+            return ok
+
+        shrunk = shrink_circuit(circuit, nasty)
+        path = dump_repro(shrunk, tmp_path, "mutated")
+        reparsed = bench.loads(path.read_text(), name=shrunk.name)
+        reparsed.validate()
+        assert sorted(reparsed.outputs) == sorted(shrunk.outputs)
+
+
+class TestDumpReproValidation:
+    def test_no_file_written_for_broken_circuit(self, tmp_path):
+        """A circuit whose output references a removed gate must raise
+        without leaving a partial .bench file on disk."""
+        circuit = _seeded(11)
+        broken = circuit.copy()
+        victim = next(
+            name for name in broken.outputs if broken.node(name).type.is_gate
+        )
+        del broken._nodes[victim]
+        with pytest.raises(ReproError):
+            dump_repro(broken, tmp_path / "repros", "broken")
+        assert not (tmp_path / "repros").exists() or not list(
+            (tmp_path / "repros").glob("*.bench")
+        )
+
+    def test_valid_circuit_round_trips_outputs(self, tmp_path):
+        circuit = _seeded(5)
+        path = dump_repro(circuit, tmp_path, "ok", comment="regression")
+        reparsed = bench.loads(path.read_text(), name=circuit.name)
+        assert sorted(reparsed.outputs) == sorted(circuit.outputs)
+        assert sorted(reparsed) == sorted(circuit)

@@ -1,0 +1,168 @@
+"""Unit tests for the shared cone index building blocks.
+
+The end-to-end backend equivalence lives in
+``tests/property/test_differential.py``; these tests pin the individual
+pieces — the topological single-pass dominator engine, both
+:class:`RegionMatcher` engines against the reference SNCA, and the
+extracted region views against the legacy subgraph builder.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.generators import random_single_output
+from repro.dominators import dsu
+from repro.dominators.lengauer_tarjan import UNREACHABLE
+from repro.dominators.shared import (
+    RegionMatcher,
+    RegionView,
+    SharedConeIndex,
+    topo_cone_idoms,
+    validate_backend,
+)
+from repro.dominators.single import circuit_dominator_tree
+from repro.errors import ChainConstructionError
+from repro.graph import IndexedGraph
+from repro.graph.transform import region_between
+
+
+def _graph(seed, gates=25):
+    circuit = random_single_output(4, gates, seed=seed)
+    return IndexedGraph.from_circuit(circuit, circuit.outputs[0])
+
+
+class TestValidateBackend:
+    def test_accepts_known(self):
+        assert validate_backend("shared") == "shared"
+        assert validate_backend("legacy") == "legacy"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate_backend("turbo")
+
+
+class TestTopoConeIdoms:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_full_algorithm_on_cones(self, seed):
+        graph = _graph(seed)
+        idoms = topo_cone_idoms(graph)
+        # from_circuit numbers cones topologically with the root last,
+        # so the single-pass engine must engage (a silent None here
+        # would mean the fast path never runs in production).
+        assert idoms is not None
+        assert idoms == circuit_dominator_tree(graph).idom
+
+    def test_none_when_root_not_last(self):
+        g = IndexedGraph([[], [0]], root=0)
+        assert topo_cone_idoms(g) is None
+
+    def test_none_on_descending_edge(self):
+        # 1 -> 0 -> 2 is a fine DAG but not in ascending id order.
+        g = IndexedGraph([[2], [0], []], root=2)
+        assert topo_cone_idoms(g) is None
+
+    def test_none_when_vertex_misses_root(self):
+        # Vertex 1 has no fanout: not a cone, fall back to the full
+        # algorithm (which tolerates unreachable vertices).
+        g = IndexedGraph([[2], [], []], root=2)
+        assert topo_cone_idoms(g) is None
+
+
+def _reference_vector(region, excl, w_start):
+    """Matching vector via the reference SNCA on the region's arrays."""
+    idoms = dsu.compute_idoms(
+        region.n, region.pred, region.root, pred=region.succ, exclude=excl
+    )
+    if idoms[w_start] == UNREACHABLE:
+        return None
+    out = []
+    x = w_start
+    while x != region.root:
+        out.append(x)
+        x = idoms[x]
+    return out
+
+
+def _shuffle_region(region, rng):
+    """The same region under a random id permutation (breaks topo order)."""
+    perm = list(range(region.n))
+    rng.shuffle(perm)
+    succ = [[] for _ in range(region.n)]
+    for v, ws in enumerate(region.succ):
+        for w in ws:
+            succ[perm[v]].append(perm[w])
+    return RegionView(succ, root=perm[region.root]), perm
+
+
+def _regions_of(graph):
+    """Every nontrivial search region along every PI's idom chain."""
+    index = SharedConeIndex.for_graph(graph, "lt")
+    tree = index.tree
+    out = []
+    seen = set()
+    for u in graph.sources():
+        chain = tree.chain(u)
+        for start, sink in zip(chain, chain[1:]):
+            if (start, sink) in seen:
+                continue
+            seen.add((start, sink))
+            view, _, local_start = index.extract_region(start, sink)
+            if view.n > 2:
+                out.append((view, local_start))
+    return out
+
+
+class TestRegionMatcher:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_topo_engine_matches_reference(self, seed):
+        for view, local_start in _regions_of(_graph(seed)):
+            matcher = RegionMatcher(view)
+            assert matcher._topo  # extracted regions keep ascending ids
+            self._check_all_queries(view, matcher)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_snca_fallback_matches_reference(self, seed):
+        rng = random.Random(f"shared-region:{seed}")
+        for view, _ in _regions_of(_graph(seed)):
+            shuffled, _ = _shuffle_region(view, rng)
+            matcher = RegionMatcher(shuffled)
+            self._check_all_queries(shuffled, matcher)
+
+    @staticmethod
+    def _check_all_queries(view, matcher):
+        for excl in range(view.n):
+            if excl == view.root:
+                continue
+            for w_start in range(view.n):
+                if w_start in (excl, view.root):
+                    continue
+                expected = _reference_vector(view, excl, w_start)
+                if expected is None:
+                    with pytest.raises(ChainConstructionError):
+                        matcher.matching_vector(excl, w_start)
+                else:
+                    got = matcher.matching_vector(excl, w_start)
+                    assert got == expected, (excl, w_start)
+
+
+class TestExtractRegion:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_legacy_region_between(self, seed):
+        graph = _graph(seed)
+        index = SharedConeIndex.for_graph(graph, "lt")
+        tree = index.tree
+        for u in graph.sources():
+            chain = tree.chain(u)
+            for start, sink in zip(chain, chain[1:]):
+                view, orig_of, local_start = index.extract_region(
+                    start, sink
+                )
+                sub, legacy_orig = region_between(graph, start, sink)
+                assert orig_of == legacy_orig
+                assert view.n == sub.n
+                assert view.root == sub.root
+                assert orig_of[local_start] == start
+                for v in range(view.n):
+                    assert sorted(view.succ[v]) == sorted(sub.succ[v])
+                    assert sorted(view.pred[v]) == sorted(sub.pred[v])

@@ -5,6 +5,7 @@ import pytest
 from repro.circuits.generators import random_single_output
 from repro.errors import FlowError
 from repro.flow import count_disjoint_paths, min_vertex_cut
+from repro.flow.vertex_cut import RegionCutSolver
 from repro.graph import IndexedGraph
 
 
@@ -92,3 +93,58 @@ class TestCutProperties:
             )
             assert result.flow == paths
             assert len(result.cut) == paths
+
+
+class TestRegionCutSolver:
+    """The reusable solver must answer exactly like the one-shot builder
+    on every query, including after arbitrarily many prior queries (its
+    undo log must leave no residue in the network)."""
+
+    def test_figure2_matches_one_shot(self, fig2_graph):
+        g = fig2_graph
+        solver = RegionCutSolver(g, limit=5)
+        result = solver.min_cut([g.index_of("k"), g.index_of("l")])
+        assert result.flow == 2
+        assert {g.name_of(v) for v in result.cut} == {"m", "n"}
+        for u in g.sources():
+            expected = min_vertex_cut(g, [u], g.root, limit=5)
+            got = solver.min_cut([u])
+            assert (got.flow, got.cut) == (expected.flow, expected.cut)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_one_shot_on_random_cones(self, seed):
+        graph = _graph(random_single_output(4, 25, seed=seed + 300))
+        solver = RegionCutSolver(graph, limit=3)
+        sources = graph.sources()
+        # Single- and two-source queries, interleaved, twice over: the
+        # second sweep re-asks every question to catch undo-log residue.
+        queries = [[u] for u in sources]
+        queries += [
+            [sources[i], sources[(i + 1) % len(sources)]]
+            for i in range(len(sources))
+            if len(sources) > 1 and sources[i] != sources[(i + 1) % len(sources)]
+        ]
+        for _ in range(2):
+            for srcs in queries:
+                expected = min_vertex_cut(graph, srcs, graph.root, limit=3)
+                got = solver.min_cut(srcs)
+                assert got.flow == expected.flow, srcs
+                assert got.cut == expected.cut, srcs
+
+    def test_bounded_query_undoes_cleanly(self, fig2_graph):
+        g = fig2_graph
+        u = g.index_of("u")
+        solver = RegionCutSolver(g, limit=1)  # every real cut is >= 1
+        first = solver.min_cut([u])
+        assert first.bounded and first.cut is None
+        # Re-asking on the same solver must reproduce the bounded answer
+        # exactly (the aborted flow must have been fully undone).
+        second = solver.min_cut([u])
+        assert (second.flow, second.cut) == (first.flow, first.cut)
+
+    def test_validation(self, fig2_graph):
+        solver = RegionCutSolver(fig2_graph)
+        with pytest.raises(FlowError):
+            solver.min_cut([])
+        with pytest.raises(FlowError):
+            solver.min_cut([fig2_graph.root])

@@ -3,7 +3,10 @@
 The edge cases the worked examples never hit are pinned explicitly —
 single-gate cones, PI-only cones, multi-fanout roots, fanout-free chains
 — then hypothesis sweeps random netlists through the full differential
-oracle, and random edit scripts through incremental-vs-scratch.
+oracle (which runs *both* construction backends on every target), and
+random edit scripts through incremental-vs-scratch.  Backend equivalence
+is additionally asserted directly: shared and legacy chains must agree
+not just on pair sets but on pair vectors and intervals.
 """
 
 import random
@@ -12,9 +15,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.check import check_circuit, check_cone, check_incremental
+from repro.check import (
+    check_circuit,
+    check_cone,
+    check_incremental,
+    diff_chains,
+)
 from repro.check.fuzzer import _draw_edits
 from repro.circuits.generators import random_circuit
+from repro.core.algorithm import ChainComputer
+from repro.core.bruteforce import all_double_dominators
 from repro.graph import IndexedGraph, NodeType
 from repro.graph.circuit import Circuit
 
@@ -81,6 +91,73 @@ class TestRandomCones:
         report = check_circuit(circuit, brute_limit=64)
         assert report.ok, [str(m) for m in report.mismatches]
         assert report.brute_confirmed == report.targets
+
+
+class TestBackendEquivalence:
+    """The shared array-index backend must be indistinguishable from the
+    legacy per-call-subgraph backend — identical pair vectors and
+    intervals for every target, not merely the same pair set."""
+
+    @given(small_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_chains_identical_across_backends(self, circuit):
+        for out in circuit.outputs:
+            graph = IndexedGraph.from_circuit(circuit, out)
+            shared = ChainComputer(graph, backend="shared")
+            legacy = ChainComputer(graph, backend="legacy")
+            for u in graph.sources():
+                divergence = diff_chains(shared.chain(u), legacy.chain(u))
+                assert divergence is None, f"{out}/{u}: {divergence}"
+
+    @given(st.integers(2, 5), st.sampled_from(_MULTI_INPUT_GATES))
+    def test_single_gate_cone_both_backends(self, arity, gate):
+        # The whole cone is one search region with no interior vertex,
+        # so both backends must return an empty chain for every PI.
+        c = Circuit("one_gate_backends")
+        fanins = [c.add_input(f"i{k}") for k in range(arity)]
+        c.add_gate("g", gate, fanins)
+        c.set_outputs(["g"])
+        graph = IndexedGraph.from_circuit(c)
+        for backend in ("shared", "legacy"):
+            computer = ChainComputer(graph, backend=backend)
+            for u in graph.sources():
+                chain = computer.chain(u)
+                assert chain.pair_set() == set(), backend
+                assert diff_chains(
+                    chain, ChainComputer(graph, backend="legacy").chain(u)
+                ) is None
+
+    def test_straddling_dominator_pairs(self):
+        # Two reconvergent diamonds stacked through a single dominator
+        # ``s``: the chain of ``u`` is u -> s -> root with one pair in
+        # each search region — {a, c} below s and {b, d} above it.  The
+        # pairs straddle the region boundary, the shape where per-region
+        # index bookkeeping (offsets, interval renumbering) can go wrong.
+        c = Circuit("straddle")
+        u = c.add_input("u")
+        c.add_gate("a", NodeType.BUF, [u])
+        c.add_gate("c", NodeType.NOT, [u])
+        c.add_gate("s", NodeType.AND, ["a", "c"])
+        c.add_gate("b", NodeType.BUF, ["s"])
+        c.add_gate("d", NodeType.NOT, ["s"])
+        c.add_gate("root", NodeType.OR, ["b", "d"])
+        c.set_outputs(["root"])
+        graph = IndexedGraph.from_circuit(c)
+        target = graph.index_of("u")
+        expected = {
+            frozenset({graph.index_of("a"), graph.index_of("c")}),
+            frozenset({graph.index_of("b"), graph.index_of("d")}),
+        }
+        assert all_double_dominators(graph, target) == expected
+        chains = {
+            backend: ChainComputer(graph, backend=backend).chain(target)
+            for backend in ("shared", "legacy")
+        }
+        for backend, chain in chains.items():
+            assert chain.pair_set() == expected, backend
+        assert diff_chains(chains["shared"], chains["legacy"]) is None
+        report = check_circuit(c)
+        assert report.ok, [str(m) for m in report.mismatches]
 
 
 class TestIncrementalAgreement:

@@ -123,3 +123,74 @@ class TestRegistry:
         # bucket counts merged bucket-by-bucket
         buckets = hist.as_dict()["buckets"]
         assert buckets[f"le_{DEFAULT_BUCKETS[1]:g}"] == 2
+
+
+class TestMergeSchemaAlignment:
+    """Regression: merging a worker snapshot whose histogram had *more*
+    buckets than the parent silently dropped the extra buckets (and the
+    worker's overflow bucket landed in the wrong place), so the merged
+    export under-reported tail latency: sum(buckets) < count."""
+
+    def test_merge_wider_worker_schema_keeps_every_observation(self):
+        parent = MetricsRegistry()
+        parent.histogram("svc.latency")  # DEFAULT_BUCKETS, top bound 30.0
+        worker = MetricsRegistry()
+        worker.histogram(
+            "svc.latency", buckets=list(DEFAULT_BUCKETS) + [60.0, 120.0]
+        )
+        worker.observe("svc.latency", 45.0)   # lands in worker le_60
+        worker.observe("svc.latency", 200.0)  # lands in worker le_inf
+        worker.observe("svc.latency", 0.002)  # shared bucket
+
+        parent.merge_snapshot(worker.snapshot())
+        data = parent.snapshot()["histograms"]["svc.latency"]
+        assert data["count"] == 3
+        assert sum(data["buckets"].values()) == data["count"]
+        # Both tail observations exceed the parent's 30.0 top bound.
+        assert data["buckets"]["le_inf"] == 2
+        assert data["buckets"]["le_0.005"] == 1
+        assert data["max"] == 200.0
+
+    def test_merge_narrower_worker_schema(self):
+        parent = MetricsRegistry()
+        parent.histogram("svc.latency")
+        worker = MetricsRegistry()
+        worker.histogram("svc.latency", buckets=[0.01, 1.0])
+        worker.observe("svc.latency", 0.5)
+        worker.observe("svc.latency", 7.0)  # worker overflow, parent le_30
+
+        parent.merge_snapshot(worker.snapshot())
+        data = parent.snapshot()["histograms"]["svc.latency"]
+        assert data["count"] == 2
+        assert sum(data["buckets"].values()) == data["count"]
+        # The worker's 1.0-bound bucket folds into the parent's own 1.0
+        # bucket; the worker's overflow stays overflow (its contents are
+        # only known to exceed 1.0, but they *could* exceed 30.0 too —
+        # conservative means never re-binning finer than known).
+        assert data["buckets"]["le_1"] == 1
+        assert data["buckets"]["le_inf"] == 1
+
+    def test_merge_identical_schema_is_exact(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        for value in (0.0002, 0.02, 2.0, 50.0):
+            worker.observe("svc.latency", value)
+        parent.merge_snapshot(worker.snapshot())
+        assert (
+            parent.snapshot()["histograms"]["svc.latency"]
+            == worker.snapshot()["histograms"]["svc.latency"]
+        )
+
+    def test_merged_export_json_consistent(self, tmp_path):
+        parent = MetricsRegistry()
+        parent.histogram("svc.latency")
+        worker = MetricsRegistry()
+        worker.histogram(
+            "svc.latency", buckets=list(DEFAULT_BUCKETS) + [60.0]
+        )
+        worker.observe("svc.latency", 45.0)
+        parent.merge_snapshot(worker.snapshot())
+        out = tmp_path / "metrics.json"
+        parent.export_json(str(out))
+        data = json.loads(out.read_text())["histograms"]["svc.latency"]
+        assert sum(data["buckets"].values()) == data["count"] == 1
