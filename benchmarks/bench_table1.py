@@ -13,14 +13,22 @@ dispatch overhead or, on multi-core runners, its speedup.
 Circuits are built at scale 0.5 to keep a full run in CI territory; run
 ``python -m repro.experiments.table1`` for the paper-matched sizes.
 
-Run directly as a script to compare the two chain-construction backends
-and emit a machine-readable report::
+Run directly as a script to compare the chain-construction backends
+(three-way by default: legacy, shared, linear) and emit a
+machine-readable report::
 
-    python benchmarks/bench_table1.py --out BENCH_shared_backend.json
+    python benchmarks/bench_table1.py --out BENCH_linear_backend.json
+    python benchmarks/bench_table1.py --backends shared linear \
+        --names C6288 C432 too_large --min-linear-vs-shared 1.0
 
-The report holds best-of-N wall times of ``backend="legacy"`` and
-``backend="shared"`` over the Table-1 quick subset plus the aggregate
-speedup; ``--min-speedup X`` turns it into a CI gate (exit 1 below X).
+The report holds best-of-N wall times of every requested backend over
+the Table-1 quick subset plus aggregate speedups relative to legacy and
+the linear-vs-shared ratio.  Two CI gates: ``--min-speedup X`` fails
+(exit 1) when the aggregate shared-vs-legacy speedup drops below X, and
+``--min-linear-vs-shared X`` fails when the aggregate linear-vs-shared
+ratio does.  Unknown backends or benchmark names exit 2 with a clear
+message (backend names are validated by the same
+:func:`repro.cli.backend_arg` used by every CLI entry point).
 """
 
 import argparse
@@ -48,10 +56,10 @@ def _cones(name):
     ]
 
 
-def _run_new(cones):
+def _run_new(cones, backend="shared"):
     total = 0
     for graph in cones:
-        computer = ChainComputer(graph)
+        computer = ChainComputer(graph, backend=backend)
         for u in graph.sources():
             total += computer.chain(u).num_dominators()
     return total
@@ -71,6 +79,14 @@ def test_new_algorithm(benchmark, name):
     benchmark.group = f"table1:{name}"
     benchmark.name = "new (t2)"
     benchmark(_run_new, cones)
+
+
+@pytest.mark.parametrize("name", QUICK_SUBSET)
+def test_linear_backend(benchmark, name):
+    cones = _cones(name)
+    benchmark.group = f"table1:{name}"
+    benchmark.name = "new (t2, backend=linear)"
+    benchmark(_run_new, cones, "linear")
 
 
 @pytest.mark.parametrize("name", QUICK_SUBSET)
@@ -95,14 +111,14 @@ def test_parallel_sweep(benchmark, name):
 
 
 # ----------------------------------------------------------------------
-# script mode: shared-vs-legacy backend comparison
+# script mode: three-way backend comparison (legacy / shared / linear)
 # ----------------------------------------------------------------------
 def _measure_backend(cones, backend, repeats):
     """Best-of-``repeats`` wall time of the full workload on ``backend``.
 
     The cached shared index is dropped before every timed run, so the
-    shared time *includes* building its per-circuit index — the cost a
-    cold caller actually pays.
+    shared/linear times *include* building the per-circuit index — the
+    cost a cold caller actually pays.
     """
     best = None
     pairs = 0
@@ -120,46 +136,81 @@ def _measure_backend(cones, backend, repeats):
     return best, pairs
 
 
-def run_backend_comparison(names, scale=SCALE, repeats=3):
-    """Legacy-vs-shared wall times per circuit plus the aggregate."""
+def run_backend_comparison(names, scale=SCALE, repeats=3, backends=None):
+    """Per-circuit wall times of every backend plus aggregates.
+
+    ``backends`` defaults to all registered backends (legacy, shared,
+    linear).  Every measured backend must agree on the pair count — a
+    disagreement raises, so the comparison doubles as a correctness
+    cross-check.  Speedups are reported relative to ``legacy`` when it
+    is measured, and the ``linear``/``shared`` ratio separately (that is
+    the ratio the CI bench gate enforces).
+    """
+    from repro.dominators.shared import BACKENDS
+
+    backends = list(backends) if backends else list(BACKENDS)
     circuits = []
-    total = {"legacy_seconds": 0.0, "shared_seconds": 0.0}
+    total_seconds = {b: 0.0 for b in backends}
     for name in names:
         cones = _cones_at(name, scale)
-        legacy_s, legacy_pairs = _measure_backend(cones, "legacy", repeats)
-        shared_s, shared_pairs = _measure_backend(cones, "shared", repeats)
-        if legacy_pairs != shared_pairs:
+        seconds = {}
+        pair_counts = {}
+        for backend in backends:
+            seconds[backend], pair_counts[backend] = _measure_backend(
+                cones, backend, repeats
+            )
+        counts = set(pair_counts.values())
+        if len(counts) > 1:
             raise AssertionError(
                 f"{name}: backends disagree on the pair count "
-                f"({shared_pairs} vs {legacy_pairs})"
+                f"({pair_counts})"
             )
-        circuits.append(
-            {
-                "name": name,
-                "pairs": shared_pairs,
-                "legacy_seconds": round(legacy_s, 6),
-                "shared_seconds": round(shared_s, 6),
-                "speedup": round(legacy_s / shared_s, 3),
+        row = {
+            "name": name,
+            "pairs": pair_counts[backends[0]],
+            "seconds": {b: round(s, 6) for b, s in seconds.items()},
+        }
+        if "legacy" in seconds:
+            row["speedup_vs_legacy"] = {
+                b: round(seconds["legacy"] / seconds[b], 3)
+                for b in backends
+                if b != "legacy"
             }
-        )
-        total["legacy_seconds"] += legacy_s
-        total["shared_seconds"] += shared_s
+        if "linear" in seconds and "shared" in seconds:
+            row["linear_vs_shared"] = round(
+                seconds["shared"] / seconds["linear"], 3
+            )
+        circuits.append(row)
+        for backend in backends:
+            total_seconds[backend] += seconds[backend]
         print(
-            f"  {name:12s} legacy {legacy_s * 1e3:9.1f} ms   "
-            f"shared {shared_s * 1e3:9.1f} ms   "
-            f"{legacy_s / shared_s:5.2f}x",
+            "  {:12s} {}".format(
+                name,
+                "   ".join(
+                    f"{b} {seconds[b] * 1e3:9.1f} ms" for b in backends
+                ),
+            ),
             file=sys.stderr,
         )
-    total["speedup"] = round(
-        total["legacy_seconds"] / total["shared_seconds"], 3
-    )
-    total["legacy_seconds"] = round(total["legacy_seconds"], 6)
-    total["shared_seconds"] = round(total["shared_seconds"], 6)
+    total = {"seconds": {b: round(s, 6) for b, s in total_seconds.items()}}
+    if "legacy" in total_seconds:
+        total["speedup_vs_legacy"] = {
+            b: round(total_seconds["legacy"] / total_seconds[b], 3)
+            for b in backends
+            if b != "legacy"
+        }
+    if "linear" in total_seconds and "shared" in total_seconds:
+        total["linear_vs_shared"] = round(
+            total_seconds["shared"] / total_seconds["linear"], 3
+        )
     return {
         "workload": "all-PI dominator chains per output cone (Table 1)",
         "scale": scale,
         "repeats": repeats,
-        "timing": "best-of-repeats; shared times include index build",
+        "timing": (
+            "best-of-repeats; shared/linear times include index build"
+        ),
+        "backends": backends,
         "circuits": circuits,
         "total": total,
     }
@@ -173,12 +224,15 @@ def _cones_at(name, scale):
 
 
 def main(argv=None):
+    from repro.cli import backend_arg
+    from repro.dominators.shared import BACKENDS
+
     parser = argparse.ArgumentParser(
-        description="shared-vs-legacy chain backend comparison (Table 1)"
+        description="chain-construction backend comparison (Table 1)"
     )
     parser.add_argument(
         "--out",
-        default="BENCH_shared_backend.json",
+        default="BENCH_linear_backend.json",
         help="report file (JSON)",
     )
     parser.add_argument(
@@ -186,13 +240,32 @@ def main(argv=None):
         nargs="*",
         help="benchmark names (default: the quick subset)",
     )
+    parser.add_argument(
+        "--backends",
+        nargs="*",
+        type=backend_arg,
+        metavar="{%s}" % ",".join(BACKENDS),
+        help="backends to measure (default: all registered backends)",
+    )
     parser.add_argument("--scale", type=float, default=SCALE)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
-        help="exit 1 when the aggregate speedup falls below this",
+        help=(
+            "exit 1 when the aggregate shared-vs-legacy speedup falls "
+            "below this (requires both backends to be measured)"
+        ),
+    )
+    parser.add_argument(
+        "--min-linear-vs-shared",
+        type=float,
+        default=None,
+        help=(
+            "exit 1 when the aggregate linear-vs-shared ratio falls "
+            "below this (requires both backends to be measured)"
+        ),
     )
     args = parser.parse_args(argv)
     names = args.names or QUICK_SUBSET
@@ -200,22 +273,53 @@ def main(argv=None):
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    backends = args.backends or list(BACKENDS)
+    for gate, needed in (
+        (args.min_speedup, ("legacy", "shared")),
+        (args.min_linear_vs_shared, ("shared", "linear")),
+    ):
+        if gate is not None:
+            missing = [b for b in needed if b not in backends]
+            if missing:
+                print(
+                    "gate requires backend(s) not being measured: "
+                    + ", ".join(missing),
+                    file=sys.stderr,
+                )
+                return 2
     report = run_backend_comparison(
-        names, scale=args.scale, repeats=args.repeats
+        names, scale=args.scale, repeats=args.repeats, backends=backends
     )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    speedup = report["total"]["speedup"]
-    print(f"aggregate speedup {speedup}x -> {args.out}", file=sys.stderr)
-    if args.min_speedup is not None and speedup < args.min_speedup:
+    total = report["total"]
+    failures = []
+    if args.min_speedup is not None:
+        speedup = total["speedup_vs_legacy"]["shared"]
         print(
-            f"FAIL: aggregate speedup {speedup}x is below the "
-            f"--min-speedup gate {args.min_speedup}x",
+            f"aggregate shared-vs-legacy speedup {speedup}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        if speedup < args.min_speedup:
+            failures.append(
+                f"shared-vs-legacy speedup {speedup}x is below the "
+                f"--min-speedup gate {args.min_speedup}x"
+            )
+    if args.min_linear_vs_shared is not None:
+        ratio = total["linear_vs_shared"]
+        print(
+            f"aggregate linear-vs-shared ratio {ratio}x", file=sys.stderr
+        )
+        if ratio < args.min_linear_vs_shared:
+            failures.append(
+                f"linear-vs-shared ratio {ratio}x is below the "
+                f"--min-linear-vs-shared gate {args.min_linear_vs_shared}x"
+            )
+    print(f"report -> {args.out}", file=sys.stderr)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

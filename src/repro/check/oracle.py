@@ -43,7 +43,14 @@ ChainFn = Callable[[IndexedGraph, int], DominatorChain]
 
 
 def other_backend(backend: str) -> str:
-    """The counterpart construction backend (shared <-> legacy)."""
+    """The counterpart construction backend cross-run by the oracle.
+
+    ``shared`` is checked against ``legacy`` (array views vs. per-call
+    subgraph copies); ``legacy`` and ``linear`` are each checked
+    against ``shared``, so every fuzz case on the linear backend proves
+    it equivalent to the max-flow construction pair that brute force
+    already guards.
+    """
     return "legacy" if validate_backend(backend) == "shared" else "shared"
 
 

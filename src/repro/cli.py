@@ -61,6 +61,7 @@ from typing import Optional, Sequence
 
 from .core.algorithm import ChainComputer
 from .core.api import count_double_dominators, count_single_dominators
+from .dominators.shared import BACKENDS, validate_backend
 from .errors import ReproError
 from .graph.circuit import Circuit
 from .graph.indexed import IndexedGraph
@@ -491,13 +492,29 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def backend_arg(value: str) -> str:
+    """Shared ``argparse`` validator for every ``--backend`` flag.
+
+    All CLIs (including the benchmark scripts) funnel backend names
+    through this so an unknown backend is rejected uniformly — exit 2
+    with the canonical one-line message instead of a per-tool variant
+    or, worse, a traceback deep inside the run.
+    """
+    try:
+        return validate_backend(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         default="shared",
-        choices=("shared", "legacy"),
+        type=backend_arg,
+        metavar="{%s}" % ",".join(BACKENDS),
         help="chain-construction backend: one shared array index per "
-        "circuit version (default) or the legacy per-call subgraphs",
+        "circuit version (default), the legacy per-call subgraphs, or "
+        "the linear-time all-pairs construction",
     )
 
 

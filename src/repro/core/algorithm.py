@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..dominators.linear import region_chain_pairs
 from ..dominators.shared import (
     RegionMatcher,
     SharedConeIndex,
@@ -44,6 +45,24 @@ def _expand_region(
         # vertices joined by a direct edge).
         return []
     results: List[RegionPair] = []
+    if backend == "linear":
+        # One flow-of-two + residual-SCC pass yields every pair of the
+        # region at once (repro.dominators.linear) — no per-pair
+        # DOUBLEIDOM restarts, no per-element C − v idom chains.
+        for side1, side2, intervals in region_chain_pairs(
+            region.graph, region.local_start
+        ):
+            results.append(
+                (
+                    [region.orig_of[x] for x in side1],
+                    [region.orig_of[x] for x in side2],
+                    {
+                        region.orig_of[x]: interval
+                        for x, interval in intervals.items()
+                    },
+                )
+            )
+        return results
     sources = [region.local_start]
     if backend == "shared":
         solver = RegionCutSolver(region.graph, limit=3)
@@ -136,9 +155,13 @@ class ChainComputer:
         ``"shared"`` (default) runs region extraction, restricted-graph
         ``C − v`` chains and the split flow network as views over one
         per-version array index (:mod:`repro.dominators.shared`);
-        ``"legacy"`` keeps the original per-call subgraph copies.  Both
-        produce identical chains (the differential oracle cross-checks
-        them) — legacy exists as the reference implementation.
+        ``"legacy"`` keeps the original per-call subgraph copies;
+        ``"linear"`` extracts regions from the same shared index but
+        replaces the per-pair max-flow and per-element restricted-idom
+        walks with one linear pass per region
+        (:mod:`repro.dominators.linear`).  All three produce identical
+        chains (the differential oracle cross-checks them) — legacy
+        exists as the reference implementation.
     """
 
     def __init__(
@@ -156,9 +179,12 @@ class ChainComputer:
         self.cache_regions = cache_regions
         self.metrics = metrics
         self.backend = validate_backend(backend)
+        # The linear backend reuses the shared index for region
+        # extraction and the cone dominator tree; only the per-region
+        # pair construction differs.
         self._index = (
             SharedConeIndex.for_graph(graph, algorithm)
-            if backend == "shared"
+            if backend in ("shared", "linear")
             else None
         )
         if tree is not None:

@@ -52,7 +52,16 @@ from .single import circuit_dominator_tree
 from .tree import DominatorTree
 
 #: Valid values of the public ``backend=`` parameter.
-BACKENDS = ("shared", "legacy")
+#:
+#: * ``shared`` — region views over one per-version array index, with
+#:   max-flow DOUBLEIDOM and scratch-reusing restricted-idom matching
+#:   (this module);
+#: * ``legacy`` — the original per-call subgraph copies (reference);
+#: * ``linear`` — the follow-up paper's linear-time construction
+#:   (:mod:`repro.dominators.linear`): shared region extraction, then
+#:   one flow-of-two + residual-SCC pass per region instead of
+#:   per-pair max-flow and per-element ``C − v`` idom walks.
+BACKENDS = ("shared", "legacy", "linear")
 
 
 def validate_backend(backend: str) -> str:

@@ -325,10 +325,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="seed offset for the random-family suite circuits",
     )
+    from ..cli import backend_arg
+    from ..dominators.shared import BACKENDS
+
     parser.add_argument(
         "--backend",
         default="shared",
-        choices=("shared", "legacy"),
+        type=backend_arg,
+        metavar="{%s}" % ",".join(BACKENDS),
         help="chain-construction backend for the t2 measurement",
     )
     args = parser.parse_args(argv)

@@ -1,0 +1,113 @@
+"""Unit tests for the linear one-pass backend (repro.dominators.linear).
+
+The property suite (tests/property/test_differential.py) asserts chain
+equality against the other backends on random cones; these tests pin the
+region-level contract of :func:`region_chain_pairs` directly on
+hand-analysable regions — the boundary shapes where the flow/closure
+machinery degenerates.
+"""
+
+import argparse
+
+import pytest
+
+from repro.cli import backend_arg
+from repro.dominators.linear import region_chain_pairs
+from repro.dominators.shared import BACKENDS, validate_backend
+
+
+class _Region:
+    """Minimal region stand-in: ``succ``/``n``/``root`` in signal
+    orientation, vertex ids already topological as the shared index
+    guarantees for extracted regions."""
+
+    def __init__(self, succ, root):
+        self.succ = succ
+        self.n = len(succ)
+        self.root = root
+
+
+class TestRegionChainPairs:
+    def test_diamond_single_pair(self):
+        # 0 -> {1, 2} -> 3: the classic reconvergence, one pair {1, 2}.
+        region = _Region([[1, 2], [3], [3], []], root=3)
+        pairs = region_chain_pairs(region, start=0)
+        assert pairs == [([1], [2], {1: (1, 1), 2: (1, 1)})]
+
+    def test_series_chain_no_pairs(self):
+        # 0 -> 1 -> 2 -> 3: every interior vertex is a *single*
+        # dominator (min vertex cut of one), so no size-two pair is
+        # minimal and the region contributes nothing.
+        region = _Region([[1], [2], [3], []], root=3)
+        assert region_chain_pairs(region, start=0) == []
+
+    def test_three_parallel_paths_no_pairs(self):
+        # 0 -> {1, 2, 3} -> 4: minimum vertex cut is three, so no pair
+        # of vertices dominates the entry.
+        region = _Region([[1, 2, 3], [4], [4], [4], []], root=4)
+        assert region_chain_pairs(region, start=0) == []
+
+    def test_direct_entry_sink_edge_no_pairs(self):
+        # The 0 -> 4 shortcut bypasses every interior vertex.
+        region = _Region([[1, 2, 4], [3], [3], [4], []], root=4)
+        assert region_chain_pairs(region, start=0) == []
+
+    def test_trivial_region_no_pairs(self):
+        # Fewer than two interior vertices can never form a pair.
+        assert region_chain_pairs(_Region([[1], []], root=1), 0) == []
+        assert (
+            region_chain_pairs(_Region([[1], [2], []], root=2), 0) == []
+        )
+
+    def test_ladder_merges_into_one_pair_with_intervals(self):
+        # 0 -> {1, 3}; 1 -> {2, 4}; 3 -> 4; {2, 4} -> 5.  The rung
+        # 1 -> 4 makes {1, 4} a cut as well, chaining the two rungs
+        # into a single {V_1k, V_2k} pair with non-trivial matching
+        # intervals: 1 matches both opposite elements, 2 only the last.
+        region = _Region(
+            [[1, 3], [2, 4], [5], [4], [5], []], root=5
+        )
+        pairs = region_chain_pairs(region, start=0)
+        assert pairs == [
+            (
+                [1, 2],
+                [3, 4],
+                {1: (1, 2), 2: (2, 2), 3: (1, 1), 4: (1, 2)},
+            )
+        ]
+
+    def test_stacked_diamonds_two_pairs(self):
+        # Two independent reconvergences with *crossing* middle edges so
+        # that neither junction vertex is a single dominator:
+        # 0 -> {1, 2}; 1 -> {3, 4}; 2 -> {3, 4}; {3, 4} -> 5.
+        # Pairs {1, 2} and {3, 4} stay separate (no interval overlap).
+        region = _Region(
+            [[1, 2], [3, 4], [3, 4], [5], [5], []], root=5
+        )
+        pairs = region_chain_pairs(region, start=0)
+        assert pairs == [
+            ([1], [2], {1: (1, 1), 2: (1, 1)}),
+            ([3], [4], {3: (1, 1), 4: (1, 1)}),
+        ]
+
+
+class TestBackendRegistration:
+    def test_linear_is_registered(self):
+        assert "linear" in BACKENDS
+        assert validate_backend("linear") == "linear"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            validate_backend("turbo")
+
+    def test_cli_backend_arg_accepts_all_registered(self):
+        for backend in BACKENDS:
+            assert backend_arg(backend) == backend
+
+    def test_cli_backend_arg_rejects_unknown_with_clear_message(self):
+        with pytest.raises(argparse.ArgumentTypeError) as excinfo:
+            backend_arg("turbo")
+        message = str(excinfo.value)
+        assert "turbo" in message
+        for backend in BACKENDS:
+            assert backend in message

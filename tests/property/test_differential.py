@@ -3,10 +3,10 @@
 The edge cases the worked examples never hit are pinned explicitly —
 single-gate cones, PI-only cones, multi-fanout roots, fanout-free chains
 — then hypothesis sweeps random netlists through the full differential
-oracle (which runs *both* construction backends on every target), and
+oracle (which cross-checks construction backends on every target), and
 random edit scripts through incremental-vs-scratch.  Backend equivalence
-is additionally asserted directly: shared and legacy chains must agree
-not just on pair sets but on pair vectors and intervals.
+is additionally asserted directly: shared, legacy and linear chains must
+agree not just on pair sets but on pair vectors and intervals.
 """
 
 import random
@@ -94,9 +94,10 @@ class TestRandomCones:
 
 
 class TestBackendEquivalence:
-    """The shared array-index backend must be indistinguishable from the
-    legacy per-call-subgraph backend — identical pair vectors and
-    intervals for every target, not merely the same pair set."""
+    """The shared array-index backend and the linear one-pass backend
+    must be indistinguishable from the legacy per-call-subgraph backend
+    — identical pair vectors and intervals for every target, not merely
+    the same pair set."""
 
     @given(small_circuits())
     @settings(max_examples=40, deadline=None)
@@ -104,21 +105,25 @@ class TestBackendEquivalence:
         for out in circuit.outputs:
             graph = IndexedGraph.from_circuit(circuit, out)
             shared = ChainComputer(graph, backend="shared")
-            legacy = ChainComputer(graph, backend="legacy")
             for u in graph.sources():
-                divergence = diff_chains(shared.chain(u), legacy.chain(u))
-                assert divergence is None, f"{out}/{u}: {divergence}"
+                reference = shared.chain(u)
+                for backend in ("legacy", "linear"):
+                    other = ChainComputer(graph, backend=backend)
+                    divergence = diff_chains(reference, other.chain(u))
+                    assert divergence is None, (
+                        f"{out}/{u} vs {backend}: {divergence}"
+                    )
 
     @given(st.integers(2, 5), st.sampled_from(_MULTI_INPUT_GATES))
-    def test_single_gate_cone_both_backends(self, arity, gate):
+    def test_single_gate_cone_all_backends(self, arity, gate):
         # The whole cone is one search region with no interior vertex,
-        # so both backends must return an empty chain for every PI.
+        # so every backend must return an empty chain for every PI.
         c = Circuit("one_gate_backends")
         fanins = [c.add_input(f"i{k}") for k in range(arity)]
         c.add_gate("g", gate, fanins)
         c.set_outputs(["g"])
         graph = IndexedGraph.from_circuit(c)
-        for backend in ("shared", "legacy"):
+        for backend in ("shared", "legacy", "linear"):
             computer = ChainComputer(graph, backend=backend)
             for u in graph.sources():
                 chain = computer.chain(u)
@@ -151,11 +156,12 @@ class TestBackendEquivalence:
         assert all_double_dominators(graph, target) == expected
         chains = {
             backend: ChainComputer(graph, backend=backend).chain(target)
-            for backend in ("shared", "legacy")
+            for backend in ("shared", "legacy", "linear")
         }
         for backend, chain in chains.items():
             assert chain.pair_set() == expected, backend
         assert diff_chains(chains["shared"], chains["legacy"]) is None
+        assert diff_chains(chains["shared"], chains["linear"]) is None
         report = check_circuit(c)
         assert report.ok, [str(m) for m in report.mismatches]
 
