@@ -492,6 +492,92 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .daemon import DaemonService, ServiceConfig
+    from .daemon.server import run_daemon
+
+    if not args.stdio and args.http is None:
+        print(
+            "error: pick at least one transport (--stdio and/or --http PORT)",
+            file=sys.stderr,
+        )
+        return 2
+    service = DaemonService(
+        ServiceConfig(
+            jobs=args.jobs,
+            backend=getattr(args, "backend", "shared"),
+            use_shared_memory=not args.no_shared_memory,
+            max_in_flight=args.max_in_flight,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+        )
+    )
+    try:
+        asyncio.run(
+            run_daemon(service, stdio=args.stdio, http_port=args.http)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        service.close()
+        _export_metrics(service.metrics, args.metrics)
+    return 0
+
+
+def jobs_arg(value: str) -> int:
+    """Shared ``argparse`` validator for every ``--jobs`` flag.
+
+    Worker counts must be positive integers (``1`` = in-process); zero,
+    negative or non-integer values exit 2 with a one-line message in
+    every CLI that takes the flag (``sweep``, ``serve-batch``,
+    ``table1``, ``daemon``) instead of misbehaving deep inside the pool
+    setup.
+    """
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {value!r}"
+        ) from None
+    if jobs <= 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be positive, got {jobs}"
+        )
+    return jobs
+
+
+def timeout_arg(value: str) -> float:
+    """Shared ``argparse`` validator for every ``--timeout`` flag."""
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {value!r}"
+        ) from None
+    if timeout < 0:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be non-negative, got {value}"
+        )
+    return timeout
+
+
+def positive_float_arg(value: str) -> float:
+    """Shared ``argparse`` validator for rate/burst-style flags."""
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return number
+
+
 def backend_arg(value: str) -> str:
     """Shared ``argparse`` validator for every ``--backend`` flag.
 
@@ -614,7 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument("--quick", action="store_true")
     p_t1.add_argument("--scale", type=float, default=1.0)
     p_t1.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for t2"
+        "--jobs", type=jobs_arg, default=1, help="worker processes for t2"
     )
     p_t1.add_argument(
         "--seed", type=int, default=None, help="suite seed offset"
@@ -627,13 +713,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel dominator sweep over the built-in circuit suite",
     )
     p_sweep.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+        "--jobs",
+        type=jobs_arg,
+        default=1,
+        help="worker processes (1 = in-process)",
     )
     p_sweep.add_argument("--quick", action="store_true")
     p_sweep.add_argument("--names", nargs="*", help="benchmark names")
     p_sweep.add_argument("--scale", type=float, default=1.0)
     p_sweep.add_argument(
-        "--timeout", type=float, default=None, help="per-cone seconds budget"
+        "--timeout",
+        type=timeout_arg,
+        default=None,
+        help="per-cone seconds budget",
     )
     p_sweep.add_argument(
         "--artifacts", metavar="DIR", help="artifact store directory"
@@ -653,14 +745,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("requests", help="JSON request file")
     p_serve.add_argument("--out", help="response file (default: stdout)")
-    p_serve.add_argument("--jobs", type=int, default=1)
-    p_serve.add_argument("--timeout", type=float, default=None)
+    p_serve.add_argument("--jobs", type=jobs_arg, default=1)
+    p_serve.add_argument("--timeout", type=timeout_arg, default=None)
     p_serve.add_argument("--artifacts", metavar="DIR")
     p_serve.add_argument(
         "--metrics", metavar="FILE", help="write metrics snapshot JSON"
     )
     _add_backend_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve_batch)
+
+    p_daemon = sub.add_parser(
+        "daemon",
+        help="long-lived async query service (JSONL stdio and/or HTTP)",
+    )
+    p_daemon.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSONL requests on stdin/stdout",
+    )
+    p_daemon.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve HTTP on 127.0.0.1:PORT (0 = ephemeral)",
+    )
+    p_daemon.add_argument("--jobs", type=jobs_arg, default=1)
+    p_daemon.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="disable shared-memory circuit publication",
+    )
+    p_daemon.add_argument(
+        "--max-in-flight",
+        type=jobs_arg,
+        default=16,
+        help="admission control: concurrent request cap",
+    )
+    p_daemon.add_argument(
+        "--tenant-rate",
+        type=positive_float_arg,
+        default=50.0,
+        help="admission control: per-tenant requests/second",
+    )
+    p_daemon.add_argument(
+        "--tenant-burst",
+        type=positive_float_arg,
+        default=20.0,
+        help="admission control: per-tenant burst capacity",
+    )
+    p_daemon.add_argument(
+        "--metrics", metavar="FILE", help="write metrics snapshot JSON on exit"
+    )
+    _add_backend_flag(p_daemon)
+    p_daemon.set_defaults(func=_cmd_daemon)
     return parser
 
 

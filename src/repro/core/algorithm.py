@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..dominators.linear import region_chain_pairs
+from ..dominators.linear import LinearScratch, region_chain_pairs
 from ..dominators.shared import (
     RegionMatcher,
     SharedConeIndex,
@@ -36,7 +36,10 @@ from .regions import SearchRegion
 
 
 def _expand_region(
-    region: SearchRegion, algorithm: str, backend: str = "legacy"
+    region: SearchRegion,
+    algorithm: str,
+    backend: str = "legacy",
+    scratch=None,
 ) -> List[RegionPair]:
     """All chain pairs inside one search region, in chain order."""
     if region.is_trivial:
@@ -48,9 +51,10 @@ def _expand_region(
     if backend == "linear":
         # One flow-of-two + residual-SCC pass yields every pair of the
         # region at once (repro.dominators.linear) — no per-pair
-        # DOUBLEIDOM restarts, no per-element C − v idom chains.
+        # DOUBLEIDOM restarts, no per-element C − v idom chains.  The
+        # caller's LinearScratch (if any) is reused across regions.
         for side1, side2, intervals in region_chain_pairs(
-            region.graph, region.local_start
+            region.graph, region.local_start, scratch
         ):
             results.append(
                 (
@@ -187,6 +191,10 @@ class ChainComputer:
             if backend in ("shared", "linear")
             else None
         )
+        # One epoch-stamped scratch shared by every linear-backend
+        # region expansion of this computer (grown to the largest
+        # region, never cleared — see LinearScratch).
+        self._scratch = LinearScratch() if backend == "linear" else None
         if tree is not None:
             self.tree = tree
         elif self._index is not None:
@@ -258,7 +266,9 @@ class ChainComputer:
                     orig_of=orig_of,
                     local_start=local_of[start],
                 )
-            expanded = _expand_region(region, self.algorithm, self.backend)
+            expanded = _expand_region(
+                region, self.algorithm, self.backend, self._scratch
+            )
             if self.metrics is not None:
                 self.metrics.inc("core.region_expansions")
             if self.region_cache is not None:

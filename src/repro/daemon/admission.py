@@ -1,0 +1,194 @@
+"""Admission control for the daemon: bounded in-flight + token buckets.
+
+A long-lived service must fail *fast* when oversubscribed — queueing
+every burst unboundedly just converts overload into timeout storms.  The
+daemon therefore runs every request (except ``stats``/``shutdown``)
+through an :class:`AdmissionController` before any work is scheduled:
+
+* a global **in-flight cap**: at most ``max_in_flight`` requests may be
+  executing or queued for the worker pool at once; request number
+  ``max_in_flight + 1`` is shed immediately with a 429-style response,
+* a per-tenant **token bucket** (``rate`` tokens/second, ``burst``
+  capacity): a single chatty tenant exhausts its own bucket and gets
+  shed while other tenants' buckets stay full — per-tenant fairness
+  without queues or scheduling.
+
+Shedding is explicit and cheap: the caller gets
+``{"error": {"code": 429, "reason": ...}}`` and may retry with backoff.
+The controller is thread-safe (the asyncio front end and pool callbacks
+touch it from different contexts) and takes an injectable clock so
+tests can drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The bucket starts full.  ``try_acquire`` refills lazily from the
+    injected clock and either takes a token or reports the shortage —
+    it never blocks.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` (and no debit) if not."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after a lazy refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+@dataclass
+class AdmissionStats:
+    """Lifetime counters of one controller."""
+
+    admitted: int = 0
+    shed_in_flight: int = 0
+    shed_rate_limited: int = 0
+    peak_in_flight: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "shed_in_flight": self.shed_in_flight,
+            "shed_rate_limited": self.shed_rate_limited,
+            "peak_in_flight": self.peak_in_flight,
+        }
+
+
+class AdmissionController:
+    """Admit-or-shed gate in front of the daemon's work queue.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Global cap on concurrently admitted requests.
+    tenant_rate, tenant_burst:
+        Token-bucket parameters applied to every tenant individually
+        (buckets are created on first sight of a tenant id).
+    clock:
+        Injectable monotonic clock shared by all buckets.
+    """
+
+    #: Shed reasons, stable strings for clients and metrics.
+    REASON_IN_FLIGHT = "in_flight_limit"
+    REASON_RATE = "tenant_rate_limit"
+
+    def __init__(
+        self,
+        max_in_flight: int = 16,
+        tenant_rate: float = 50.0,
+        tenant_burst: float = 20.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_in_flight <= 0:
+            raise ValueError(
+                f"max_in_flight must be positive, got {max_in_flight}"
+            )
+        if tenant_rate <= 0:
+            raise ValueError(f"tenant_rate must be positive, got {tenant_rate}")
+        if tenant_burst <= 0:
+            raise ValueError(
+                f"tenant_burst must be positive, got {tenant_burst}"
+            )
+        self.max_in_flight = max_in_flight
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self.stats = AdmissionStats()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.tenant_rate, self.tenant_burst, self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str = "default") -> Tuple[bool, Optional[str]]:
+        """Try to admit one request; returns ``(admitted, shed_reason)``.
+
+        An admitted request **must** be paired with exactly one
+        :meth:`release` call when it finishes (success or failure).
+        """
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                self.stats.shed_in_flight += 1
+                return False, self.REASON_IN_FLIGHT
+            bucket = self._bucket(tenant)
+            if not bucket.try_acquire():
+                self.stats.shed_rate_limited += 1
+                return False, self.REASON_RATE
+            self._in_flight += 1
+            self.stats.admitted += 1
+            if self._in_flight > self.stats.peak_in_flight:
+                self.stats.peak_in_flight = self._in_flight
+            return True, None
+
+    def release(self) -> None:
+        """Return one in-flight slot (exactly once per admitted request)."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching admit()")
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            data: Dict[str, object] = {
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+                "tenants": len(self._buckets),
+            }
+        data.update(self.stats.as_dict())
+        return data
+
+
+__all__ = ["AdmissionController", "AdmissionStats", "TokenBucket"]

@@ -1,0 +1,133 @@
+"""The daemon's versioned request/response protocol.
+
+Every request is one JSON object (one line in JSONL transport, one POST
+body over HTTP)::
+
+    {"v": 1, "op": "chain", "id": "q-17", "tenant": "alice",
+     "params": {"circuit": "<key>", "output": "f", "targets": ["a"]}}
+
+* ``v`` — protocol version; requests with a different major version are
+  rejected with code 400 (``unsupported_version``) so clients never get
+  silently misinterpreted,
+* ``op`` — one of ``load``, ``chain``, ``sweep``, ``edit``, ``stats``,
+  ``shutdown``,
+* ``id`` — opaque client token echoed in the response (responses may be
+  delivered out of order on the JSONL transport),
+* ``tenant`` — admission-control identity (defaults to ``"default"``),
+* ``params`` — operation arguments.
+
+Responses mirror the shape::
+
+    {"v": 1, "id": "q-17", "ok": true,  "result": {...}}
+    {"v": 1, "id": "q-17", "ok": false,
+     "error": {"code": 429, "reason": "tenant_rate_limit", ...}}
+
+Error codes follow HTTP semantics (400 malformed / 404 unknown circuit
+/ 429 shed / 500 internal) and double as the HTTP status on the HTTP
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+PROTOCOL_VERSION = 1
+
+#: Operations the daemon understands.
+OPERATIONS = ("load", "chain", "sweep", "edit", "stats", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed or unsupported request (maps to a 4xx response)."""
+
+    def __init__(self, message: str, code: int = 400, reason: str = "bad_request"):
+        super().__init__(message)
+        self.code = code
+        self.reason = reason
+
+
+@dataclass
+class Request:
+    """One parsed, validated protocol request."""
+
+    op: str
+    id: Optional[str] = None
+    tenant: str = "default"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def parse_request(obj: Any) -> Request:
+    """Validate a decoded JSON object into a :class:`Request`.
+
+    Raises :class:`ProtocolError` (code 400) on anything malformed; the
+    error message is safe to echo back to the client.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    version = obj.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this daemon speaks v{PROTOCOL_VERSION})",
+            reason="unsupported_version",
+        )
+    op = obj.get("op")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPERATIONS)}",
+            reason="unknown_op",
+        )
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise ProtocolError("id must be a string when present")
+    tenant = obj.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("tenant must be a non-empty string")
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("params must be a JSON object")
+    return Request(op=op, id=request_id, tenant=tenant, params=params)
+
+
+def ok_response(request_id: Optional[str], result: Any) -> Dict[str, Any]:
+    """A success envelope for one request."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result,
+    }
+
+
+def error_response(
+    request_id: Optional[str],
+    code: int,
+    reason: str,
+    message: str,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """A failure envelope; ``code`` doubles as the HTTP status."""
+    error: Dict[str, Any] = {
+        "code": code,
+        "reason": reason,
+        "message": message,
+    }
+    error.update(extra)
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error,
+    }
+
+
+__all__ = [
+    "OPERATIONS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]

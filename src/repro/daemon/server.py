@@ -1,0 +1,298 @@
+"""Asyncio front ends for :class:`~repro.daemon.service.DaemonService`.
+
+Two transports share one dispatch path (parse → admit → handle in a
+worker thread → reply):
+
+* **JSONL** (:func:`serve_jsonl`, and :func:`serve_stdio` for
+  stdin/stdout) — one JSON request per line, one JSON response per
+  line.  Requests are processed **concurrently** (each line becomes a
+  task; responses carry the request ``id`` and may interleave), which
+  is what makes the admission controller's in-flight bound observable
+  from a single connection.  An ``EOF`` or a successful ``shutdown``
+  ends the session.
+* **HTTP** (:func:`serve_http`) — a minimal hand-rolled HTTP/1.1
+  endpoint (the toolchain has no aiohttp): ``POST /v1/<op>`` with a
+  JSON body of ``{"id", "tenant", "params"}``, or a full protocol
+  envelope to ``POST /v1``; ``GET /v1/stats`` for observability.  The
+  protocol error code doubles as the HTTP status (200/400/404/429/500),
+  and connections are ``Connection: close`` — clients are expected to
+  be load generators and tests, not browsers.
+
+CPU-bound work runs in the event loop's default thread pool via
+``run_in_executor`` (the service itself fans sweeps to its process
+pool), so the loop stays responsive to accept, shed, and report stats
+while chains are being computed — backpressure comes from admission
+control, not from the accept queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Optional, Tuple
+
+from .protocol import ProtocolError, error_response, parse_request
+from .service import DaemonService
+
+_MAX_LINE = 16 * 1024 * 1024
+_MAX_BODY = 16 * 1024 * 1024
+
+
+async def _dispatch(service: DaemonService, raw: bytes) -> dict:
+    """Parse one raw JSON request and run it on the thread pool."""
+    try:
+        obj = json.loads(raw)
+    except ValueError as exc:
+        return error_response(None, 400, "bad_json", f"invalid JSON: {exc}")
+    try:
+        request = parse_request(obj)
+    except ProtocolError as exc:
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        return error_response(
+            request_id if isinstance(request_id, str) else None,
+            exc.code,
+            exc.reason,
+            str(exc),
+        )
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, service.handle, request)
+
+
+# ----------------------------------------------------------------------
+# JSONL transport
+# ----------------------------------------------------------------------
+async def serve_jsonl(
+    service: DaemonService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Run one JSONL session until EOF or shutdown.
+
+    Lines are dispatched concurrently; the write side is serialized by
+    a lock so interleaved responses stay line-atomic.
+    """
+    write_lock = asyncio.Lock()
+    pending = set()
+
+    async def _serve_line(line: bytes) -> None:
+        response = await _dispatch(service, line)
+        payload = json.dumps(response, sort_keys=True) + "\n"
+        async with write_lock:
+            writer.write(payload.encode("utf-8"))
+            await writer.drain()
+
+    while not service.shutdown_requested.is_set():
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):  # oversized or dropped
+            break
+        if not line:
+            break
+        if not line.strip():
+            continue
+        task = asyncio.ensure_future(_serve_line(line))
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+        if service.shutdown_requested.is_set():
+            break
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    try:
+        async with write_lock:
+            await writer.drain()
+    except ConnectionError:  # pragma: no cover - peer went away
+        pass
+
+
+async def serve_stdio(service: DaemonService) -> None:
+    """JSONL over this process's stdin/stdout (the CLI ``--stdio`` mode)."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader(limit=_MAX_LINE)
+    protocol = asyncio.StreamReaderProtocol(reader)
+    await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+    transport, writer_protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, writer_protocol, reader, loop)
+    try:
+        await serve_jsonl(service, reader, writer)
+    finally:
+        transport.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+def _http_payload(status: int, body: bytes) -> bytes:
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        429: "Too Many Requests",
+        500: "Internal Server Error",
+    }
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request; returns ``(method, path, body)`` or None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ValueError, ConnectionError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ProtocolError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise ProtocolError("bad Content-Length") from None
+    if content_length > _MAX_BODY:
+        raise ProtocolError("request body too large", code=413, reason="too_large")
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    return method, path, body
+
+
+async def _handle_http(
+    service: DaemonService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            parsed = await _read_http_request(reader)
+        except ProtocolError as exc:
+            response = error_response(None, exc.code, exc.reason, str(exc))
+            body = json.dumps(response).encode("utf-8")
+            writer.write(_http_payload(exc.code, body))
+            await writer.drain()
+            return
+        except asyncio.IncompleteReadError:
+            return
+        if parsed is None:
+            return
+        method, path, body = parsed
+
+        if method == "GET" and path in ("/v1/stats", "/stats"):
+            raw = json.dumps({"v": 1, "op": "stats"}).encode("utf-8")
+            response = await _dispatch(service, raw)
+        elif method != "POST":
+            response = error_response(
+                None, 405, "method_not_allowed", f"{method} not supported"
+            )
+        elif path == "/v1":
+            response = await _dispatch(service, body)
+        elif path.startswith("/v1/"):
+            op = path[len("/v1/") :]
+            try:
+                extra = json.loads(body) if body.strip() else {}
+            except ValueError as exc:
+                extra = None
+                response = error_response(
+                    None, 400, "bad_json", f"invalid JSON body: {exc}"
+                )
+            if extra is not None:
+                if not isinstance(extra, dict):
+                    response = error_response(
+                        None, 400, "bad_request", "body must be a JSON object"
+                    )
+                else:
+                    envelope = {
+                        "v": extra.get("v", 1),
+                        "op": op,
+                        "id": extra.get("id"),
+                        "tenant": extra.get("tenant", "default"),
+                        "params": extra.get("params", {}),
+                    }
+                    response = await _dispatch(
+                        service, json.dumps(envelope).encode("utf-8")
+                    )
+        else:
+            response = error_response(
+                None, 404, "not_found", f"no route {path!r}"
+            )
+
+        status = 200
+        if not response.get("ok", False):
+            status = int(response.get("error", {}).get("code", 500))
+        payload = json.dumps(response, sort_keys=True).encode("utf-8")
+        writer.write(_http_payload(status, payload))
+        await writer.drain()
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def serve_http(
+    service: DaemonService, host: str = "127.0.0.1", port: int = 0
+) -> "asyncio.AbstractServer":
+    """Start the localhost HTTP endpoint; returns the listening server."""
+
+    async def _client(reader, writer):
+        await _handle_http(service, reader, writer)
+
+    return await asyncio.start_server(_client, host=host, port=port)
+
+
+async def run_daemon(
+    service: DaemonService,
+    stdio: bool = True,
+    http_port: Optional[int] = None,
+    host: str = "127.0.0.1",
+) -> None:
+    """Run the selected front ends until shutdown is requested."""
+    http_server = None
+    try:
+        if http_port is not None:
+            http_server = await serve_http(service, host=host, port=http_port)
+            bound = http_server.sockets[0].getsockname()
+            print(
+                f"daemon: http on {bound[0]}:{bound[1]}",
+                file=sys.stderr,
+                flush=True,
+            )
+        if stdio:
+            await serve_stdio(service)
+        else:
+            while not service.shutdown_requested.is_set():
+                await asyncio.sleep(0.05)
+    finally:
+        if http_server is not None:
+            http_server.close()
+            await http_server.wait_closed()
+        service.close()
+
+
+__all__ = [
+    "run_daemon",
+    "serve_http",
+    "serve_jsonl",
+    "serve_stdio",
+]

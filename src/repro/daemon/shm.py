@@ -1,0 +1,415 @@
+"""Shared-memory circuit publication (:class:`SharedCircuitPool`).
+
+The per-chunk cost of the :class:`~repro.service.executor.ParallelExecutor`
+is dominated, for large netlists, by shipping the circuit: every chunk
+pickles the whole :class:`~repro.graph.circuit.Circuit` into the task
+payload, and every worker re-derives the
+:class:`~repro.dominators.shared.SharedCircuitIndex` (topological order,
+int-id adjacency) from scratch per chunk.  This module publishes each
+circuit **version** into one :mod:`multiprocessing.shared_memory`
+segment instead:
+
+* the segment holds a compact, self-describing encoding — a JSON header
+  (name, node order, gate types, inputs/outputs) followed by the flat
+  CSR fanin arrays (``array('q')`` offsets + indices) that *are* the
+  ``SharedCircuitIndex`` layout;
+* :func:`attach_circuit` in a worker maps the segment, decodes it once,
+  **pre-seeds** the circuit-index cache from the CSR arrays (no re-walk
+  of the netlist), and caches the result in a refcounted worker-local
+  table keyed by segment name — subsequent chunks for the same circuit
+  version are a dictionary hit;
+* a new circuit version gets a new segment name, so stale worker caches
+  can never serve an edited circuit: invalidation is just "publish
+  under the next name", wired to
+  :meth:`repro.incremental.IncrementalEngine.add_edit_listener` through
+  :meth:`SharedCircuitPool.listener_for`.
+
+Decoded circuits are **bit-compatible** with pickled ones: the header
+carries the publisher's topological order and the decoder installs it
+verbatim, so every downstream vertex numbering (cone extraction, chain
+vertex ids) matches the pickle path exactly — the equivalence tests
+compare the two dispatch modes result-for-result.
+
+On platforms without ``multiprocessing.shared_memory`` (or without
+``/dev/shm``) the pool reports itself unavailable and callers fall back
+to pickled dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - platform probe
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - no shm on this platform
+    shared_memory = None  # type: ignore[assignment]
+
+from ..dominators.shared import SharedCircuitIndex, _CIRCUIT_INDEXES
+from ..graph.circuit import Circuit
+from ..graph.node import NodeType
+from .. import errors as _errors
+
+_MAGIC = b"RPC1"
+_LEN = struct.Struct("<Q")
+
+
+class SharedMemoryUnavailable(_errors.ReproError):
+    """Raised when shared-memory publication is requested but impossible."""
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create shared-memory segments."""
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):  # pragma: no cover - degraded platform
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def encode_circuit(circuit: Circuit) -> bytes:
+    """Serialize a circuit into the flat segment layout.
+
+    Layout: magic, length-prefixed JSON header, then the CSR fanin
+    arrays (``offsets[n + 1]`` and ``fanins[nnz]`` as little-endian
+    int64) indexing into the header's topological node order.
+    """
+    order = circuit.topological_order()
+    index = {nm: i for i, nm in enumerate(order)}
+    fanins = array("q")
+    offsets = array("q", [0])
+    for nm in order:
+        for driver in circuit.fanins(nm):
+            fanins.append(index[driver])
+        offsets.append(len(fanins))
+    header = json.dumps(
+        {
+            "name": circuit.name,
+            "order": order,
+            "types": [circuit.node(nm).type.value for nm in order],
+            "inputs": circuit.inputs,
+            "outputs": circuit.outputs,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    parts = [
+        _MAGIC,
+        _LEN.pack(len(header)),
+        header,
+        _LEN.pack(len(order)),
+        _LEN.pack(len(fanins)),
+        offsets.tobytes(),
+        fanins.tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def decode_circuit(buf) -> Circuit:
+    """Rebuild a circuit (plus its pre-seeded index) from segment bytes.
+
+    The decoded circuit's cached topological order is the publisher's,
+    and the :class:`SharedCircuitIndex` is reconstructed directly from
+    the CSR arrays and installed in the circuit-index cache — a worker
+    using the shared backend never re-derives either.
+    """
+    view = memoryview(buf)
+    if bytes(view[:4]) != _MAGIC:
+        raise ValueError("not a shared-circuit segment (bad magic)")
+    pos = 4
+    (header_len,) = _LEN.unpack_from(view, pos)
+    pos += _LEN.size
+    header = json.loads(bytes(view[pos : pos + header_len]).decode("utf-8"))
+    pos += header_len
+    (n,) = _LEN.unpack_from(view, pos)
+    pos += _LEN.size
+    (nnz,) = _LEN.unpack_from(view, pos)
+    pos += _LEN.size
+    offsets = array("q")
+    offsets.frombytes(bytes(view[pos : pos + 8 * (n + 1)]))
+    pos += 8 * (n + 1)
+    fanins = array("q")
+    fanins.frombytes(bytes(view[pos : pos + 8 * nnz]))
+
+    order: List[str] = header["order"]
+    types: List[str] = header["types"]
+    circuit = Circuit(header["name"])
+    for i, nm in enumerate(order):
+        node_type = NodeType(types[i])
+        if node_type is NodeType.INPUT:
+            circuit.add_input(nm)
+        elif node_type is NodeType.CONST0:
+            circuit.add_constant(nm, 0)
+        elif node_type is NodeType.CONST1:
+            circuit.add_constant(nm, 1)
+        else:
+            circuit.add_gate(
+                nm,
+                node_type,
+                [order[f] for f in fanins[offsets[i] : offsets[i + 1]]],
+            )
+    circuit.set_outputs(header["outputs"])
+    # Restore the publisher's declaration order of inputs (nodes were
+    # inserted in topological order above) and install its topological
+    # order verbatim, so fingerprints and every downstream vertex
+    # numbering match the pickle dispatch path exactly.
+    circuit._inputs = list(header["inputs"])
+    circuit._topo = list(order)
+
+    shared_index = SharedCircuitIndex.__new__(SharedCircuitIndex)
+    shared_index.order = list(order)
+    shared_index.index = {nm: i for i, nm in enumerate(order)}
+    succ: List[List[int]] = [[] for _ in range(n)]
+    pred: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for f in fanins[offsets[i] : offsets[i + 1]]:
+            succ[f].append(i)
+            pred[i].append(f)
+    shared_index.succ = succ
+    shared_index.pred = pred
+    shared_index._size = len(circuit)
+    _CIRCUIT_INDEXES[circuit] = shared_index
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# refs and the worker-side attach cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CircuitRef:
+    """Picklable handle to one published circuit version.
+
+    This is what crosses the process boundary instead of the circuit:
+    a segment name, the payload size, and bookkeeping identity
+    (``key``/``version``) for diagnostics.
+    """
+
+    segment: str
+    size: int
+    key: str
+    version: int
+
+
+#: Worker-local attach cache: segment name -> (shm, circuit, refcount).
+#: A new circuit version always has a new segment name, so a hit can
+#: never be stale.
+_ATTACHED: Dict[str, Tuple[object, Circuit, int]] = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_circuit(ref: CircuitRef) -> Circuit:
+    """Map a published segment and return its decoded circuit.
+
+    Refcounted per segment name: the first attach maps + decodes, later
+    ones are cache hits.  Pair every attach with :func:`detach_circuit`
+    (or call :func:`detach_all` at worker teardown).
+    """
+    if shared_memory is None:  # pragma: no cover - degraded platform
+        raise SharedMemoryUnavailable(
+            "multiprocessing.shared_memory is unavailable"
+        )
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(ref.segment)
+        if cached is not None:
+            shm, circuit, count = cached
+            _ATTACHED[ref.segment] = (shm, circuit, count + 1)
+            return circuit
+        shm = shared_memory.SharedMemory(name=ref.segment)
+        try:
+            circuit = decode_circuit(shm.buf[: ref.size])
+        except Exception:
+            shm.close()
+            raise
+        _ATTACHED[ref.segment] = (shm, circuit, 1)
+        return circuit
+
+
+def detach_circuit(ref: CircuitRef) -> None:
+    """Release one attach; unmaps the segment at refcount zero."""
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(ref.segment)
+        if cached is None:
+            return
+        shm, circuit, count = cached
+        if count > 1:
+            _ATTACHED[ref.segment] = (shm, circuit, count - 1)
+            return
+        del _ATTACHED[ref.segment]
+        shm.close()
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (worker teardown)."""
+    with _ATTACH_LOCK:
+        for shm, _circuit, _count in _ATTACHED.values():
+            shm.close()
+        _ATTACHED.clear()
+
+
+def attached_segments() -> List[str]:
+    """Names of currently attached segments (diagnostics/tests)."""
+    with _ATTACH_LOCK:
+        return sorted(_ATTACHED)
+
+
+# ----------------------------------------------------------------------
+# the publisher
+# ----------------------------------------------------------------------
+class SharedCircuitPool:
+    """Publishes circuit versions to shared memory, exactly once each.
+
+    One pool lives in the dispatching process (the daemon, or a
+    shared-memory-enabled executor).  ``publish`` is idempotent per
+    ``(key, version)``; ``invalidate`` retires the current version so
+    the next ``publish`` creates a fresh segment under a new name.
+    Unlinking is safe while workers are still attached (POSIX keeps the
+    mapping alive until the last close), so invalidation never races a
+    worker mid-decode.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._segments: Dict[str, Tuple[int, object, CircuitRef]] = {}
+        self._versions: Dict[str, int] = {}
+        self._counter = 0
+        self._closed = False
+
+    # -- bookkeeping ----------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
+    def version(self, key: str) -> int:
+        """Current published version of a circuit key (0 = never)."""
+        with self._lock:
+            return self._versions.get(key, 0)
+
+    def ref(self, key: str) -> Optional[CircuitRef]:
+        """The live ref for a key, if its current version is published."""
+        with self._lock:
+            entry = self._segments.get(key)
+            return entry[2] if entry is not None else None
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "published": self._counter,
+                "live_segments": len(self._segments),
+                "bytes_live": sum(
+                    ref.size for _, _, ref in self._segments.values()
+                ),
+            }
+
+    # -- publish / invalidate ------------------------------------------
+    def publish(self, circuit: Circuit, key: str) -> CircuitRef:
+        """Ensure the circuit's current version is in shared memory.
+
+        Returns the existing ref when ``(key, current version)`` is
+        already published — the once-per-version guarantee.
+        """
+        if shared_memory is None:  # pragma: no cover - degraded platform
+            raise SharedMemoryUnavailable(
+                "multiprocessing.shared_memory is unavailable"
+            )
+        with self._lock:
+            if self._closed:
+                raise SharedMemoryUnavailable("pool is closed")
+            entry = self._segments.get(key)
+            if entry is not None:
+                self._count("shm.publish_hits")
+                return entry[2]
+            version = self._versions.get(key, 0) + 1
+            self._versions[key] = version
+            payload = encode_circuit(circuit)
+            self._counter += 1
+            name = f"rpro_{key[:8]}_{version}_{os.getpid()}_{self._counter}"
+            shm = shared_memory.SharedMemory(
+                create=True, size=len(payload), name=name
+            )
+            shm.buf[: len(payload)] = payload
+            ref = CircuitRef(
+                segment=shm.name,
+                size=len(payload),
+                key=key,
+                version=version,
+            )
+            self._segments[key] = (version, shm, ref)
+            self._count("shm.publishes")
+            self._count("shm.bytes_published", len(payload))
+            return ref
+
+    def invalidate(self, key: str) -> None:
+        """Retire the published version of a circuit (e.g. after an edit).
+
+        The old segment is unlinked immediately; attached workers keep
+        their mapping until they detach, and the next :meth:`publish`
+        creates version + 1 under a fresh name.
+        """
+        with self._lock:
+            entry = self._segments.pop(key, None)
+            if entry is None:
+                return
+            _version, shm, _ref = entry
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._count("shm.invalidations")
+
+    def listener_for(self, key: str):
+        """Zero-argument edit callback retiring this key's segment.
+
+        Register with
+        :meth:`repro.incremental.IncrementalEngine.add_edit_listener`
+        so circuit edits invalidate the shared-memory copy in step.
+        """
+
+        def _on_edit() -> None:
+            self.invalidate(key)
+
+        return _on_edit
+
+    def close(self) -> None:
+        """Unlink every live segment; the pool rejects further publishes."""
+        with self._lock:
+            for _version, shm, _ref in self._segments.values():
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            self._segments.clear()
+            self._closed = True
+
+    def __enter__(self) -> "SharedCircuitPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "CircuitRef",
+    "SharedCircuitPool",
+    "SharedMemoryUnavailable",
+    "attach_circuit",
+    "attached_segments",
+    "decode_circuit",
+    "detach_all",
+    "detach_circuit",
+    "encode_circuit",
+    "shared_memory_available",
+]

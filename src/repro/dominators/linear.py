@@ -51,7 +51,7 @@ differential oracle compare all three backends vector-for-vector.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ChainConstructionError
 
@@ -60,9 +60,65 @@ from ..errors import ChainConstructionError
 LocalRegionPair = Tuple[List[int], List[int], Dict[int, Tuple[int, int]]]
 
 
-def _augment(adj, eto, ecap, source, target, nnodes) -> bool:
+class _StampedArray:
+    """An int work array validated by a monotone epoch, grown on demand.
+
+    ``begin(n)`` bumps the epoch and guarantees capacity ``n``; entries
+    with ``stamp[x] != epoch`` are logically unset (no O(n) clear
+    between uses — the same trick as
+    :class:`repro.dominators.shared.SharedConeIndex`'s region scratch).
+    """
+
+    __slots__ = ("stamp", "value", "epoch")
+
+    def __init__(self) -> None:
+        self.stamp: List[int] = []
+        self.value: List[int] = []
+        self.epoch = 0
+
+    def begin(self, n: int) -> int:
+        """Reserve capacity ``n`` and return the fresh epoch."""
+        if len(self.stamp) < n:
+            grow = max(n, 2 * len(self.stamp)) - len(self.stamp)
+            self.stamp.extend([0] * grow)
+            self.value.extend([0] * grow)
+        self.epoch += 1
+        return self.epoch
+
+
+class LinearScratch:
+    """Reusable scratch of :func:`region_chain_pairs` across regions.
+
+    One cone's chain walks dozens to hundreds of search regions; the
+    per-region work arrays of the linear construction (BFS parent
+    edges, the flow-decomposition resume pointers, the two residual
+    reachability labelings) would otherwise be reallocated for every
+    region.  A :class:`ChainComputer <repro.core.algorithm.ChainComputer>`
+    with ``backend="linear"`` owns one instance and threads it through
+    every expansion; the arrays grow to the largest region seen and are
+    epoch-validated, so reuse needs no clearing and cannot leak state
+    between regions (the property suite asserts chains are bit-identical
+    with and without reuse).
+
+    The split-network adjacency itself (``adj``/``eto``/``ecap``) is the
+    region's edge data and is still built per region — only the
+    O(region) *work* arrays are pooled here.
+    """
+
+    __slots__ = ("work", "zlab", "wlab")
+
+    def __init__(self) -> None:
+        self.work = _StampedArray()  # BFS parents, then resume pointers
+        self.zlab = _StampedArray()  # P1 reachability labels
+        self.wlab = _StampedArray()  # P2 reachability labels
+
+
+def _augment(adj, eto, ecap, source, target, nnodes, work) -> bool:
     """One BFS augmentation over the split residual graph (unit flow)."""
-    parent_edge = [-1] * nnodes
+    epoch = work.begin(nnodes)
+    stamp = work.stamp
+    parent_edge = work.value
+    stamp[source] = epoch
     parent_edge[source] = -2
     queue = [source]
     head = 0
@@ -74,10 +130,11 @@ def _augment(adj, eto, ecap, source, target, nnodes) -> bool:
         for k in adj[x]:
             if ecap[k] > 0:
                 y = eto[k]
-                if parent_edge[y] == -1:
+                if stamp[y] != epoch:
+                    stamp[y] = epoch
                     parent_edge[y] = k
                     queue.append(y)
-    if parent_edge[target] == -1:
+    if stamp[target] != epoch:
         return False
     x = target
     while x != source:
@@ -88,8 +145,8 @@ def _augment(adj, eto, ecap, source, target, nnodes) -> bool:
     return True
 
 
-def _reach_labels(adj, eto, ecap, seeds, nnodes) -> List[int]:
-    """``label[x]`` = highest index ``k`` with ``x ⇝ seeds[k]`` residually.
+def _reach_labels(adj, eto, ecap, seeds, nnodes, lab) -> int:
+    """Label ``x`` with the highest ``k`` s.t. ``x ⇝ seeds[k]`` residually.
 
     Seeds are processed in descending index order with one *reverse*
     residual traversal each (following arcs against their residual
@@ -97,12 +154,18 @@ def _reach_labels(adj, eto, ecap, seeds, nnodes) -> List[int]:
     already-labeled nodes stop the walk — they, and everything behind
     them, were claimed by a higher seed — so every node is expanded at
     most once and the whole labeling is ``O(V + E)``.
+
+    Results land in the stamped array ``lab`` (``lab.stamp[x] != epoch``
+    means "unreached", the old ``-1``); returns the epoch.
     """
-    label = [-1] * nnodes
+    epoch = lab.begin(nnodes)
+    stamp = lab.stamp
+    label = lab.value
     for k in range(len(seeds) - 1, -1, -1):
         s = seeds[k]
-        if label[s] != -1:
+        if stamp[s] == epoch:
             continue
+        stamp[s] = epoch
         label[s] = k
         stack = [s]
         while stack:
@@ -112,13 +175,16 @@ def _reach_labels(adj, eto, ecap, seeds, nnodes) -> List[int]:
                 # iff ecap[e^1] > 0, making eto[e] a reverse-neighbor.
                 if ecap[e ^ 1] > 0:
                     y = eto[e]
-                    if label[y] == -1:
+                    if stamp[y] != epoch:
+                        stamp[y] = epoch
                         label[y] = k
                         stack.append(y)
-    return label
+    return epoch
 
 
-def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
+def region_chain_pairs(
+    region, start: int, scratch: Optional[LinearScratch] = None
+) -> List[LocalRegionPair]:
     """All chain pairs of one search region, in chain order.
 
     Parameters
@@ -130,6 +196,10 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
         region sink.
     start:
         Region-local id of the region entry vertex.
+    scratch:
+        Optional :class:`LinearScratch` reused across calls (a fresh
+        one is created when omitted).  Reuse never changes results —
+        only the allocation count.
 
     Returns
     -------
@@ -138,6 +208,8 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
         with pair-local 1-based matching intervals — exactly what the
         legacy/shared expansion produces for the same region.
     """
+    if scratch is None:
+        scratch = LinearScratch()
     n = region.n
     sink = region.root
     succ = region.succ
@@ -173,8 +245,9 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
             m += 2
     ecap: List[int] = [1, 0] * n + [2, 0] * narcs
 
-    if not (_augment(adj, eto, ecap, source, target, nnodes) and
-            _augment(adj, eto, ecap, source, target, nnodes)):
+    work = scratch.work
+    if not (_augment(adj, eto, ecap, source, target, nnodes, work) and
+            _augment(adj, eto, ecap, source, target, nnodes, work)):
         # A single interior vertex (or the start→sink edge alone)
         # already separates entry from sink: no pair can be minimal.
         return []
@@ -188,20 +261,25 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
     # passes need the untouched residual) — the ``used`` list is only
     # as long as the two paths, no per-edge flow array.
     # ------------------------------------------------------------------
-    scan_pos = [0] * nnodes  # per-node resume pointer, O(E) total
+    # Per-node resume pointers, O(E) total — stamped reuse of ``work``
+    # (the augmentation epochs above are already stale).
+    sp_epoch = work.begin(nnodes)
+    sp_stamp = work.stamp
+    scan_pos = work.value
     used: List[int] = []
     paths: List[List[int]] = []
     for _ in range(2):
         interior: List[int] = []
         x = source
         while x != target:
-            pos = scan_pos[x]
+            pos = scan_pos[x] if sp_stamp[x] == sp_epoch else 0
             edges = adj[x]
             while True:
                 k = edges[pos]
                 if not k & 1 and ecap[k + 1] > 0:
                     break
                 pos += 1
+            sp_stamp[x] = sp_epoch
             scan_pos[x] = pos
             ecap[k + 1] -= 1
             used.append(k)
@@ -231,8 +309,8 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
     # ------------------------------------------------------------------
     zseeds = [source] + [2 * a + 1 for a in p1]
     wseeds = [source] + [2 * b + 1 for b in p2]
-    znode = _reach_labels(adj, eto, ecap, zseeds, nnodes)
-    wnode = _reach_labels(adj, eto, ecap, wseeds, nnodes)
+    z_epoch = _reach_labels(adj, eto, ecap, zseeds, nnodes, scratch.zlab)
+    w_epoch = _reach_labels(adj, eto, ecap, wseeds, nnodes, scratch.wlab)
 
     # ------------------------------------------------------------------
     # prefix maxima along both chains: a_i can appear in a cut iff no
@@ -241,22 +319,26 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
     # opposite-chain index the prefix drags into any closure cut at a_i
     # — a_i's partners must lie strictly above it.
     # ------------------------------------------------------------------
-    def _valid(seeds, interior, own, opp):
+    def _valid(seeds, interior, own, own_epoch, opp, opp_epoch):
+        ostamp, olab = own.stamp, own.value
+        pstamp, plab = opp.stamp, opp.value
         out = []  # (chain index, vertex, opposite-chain floor)
-        mown = own[seeds[0]]
-        mopp = opp[seeds[0]]
+        s0 = seeds[0]
+        mown = olab[s0] if ostamp[s0] == own_epoch else -1
+        mopp = plab[s0] if pstamp[s0] == opp_epoch else -1
         for i in range(1, len(seeds)):
             if mown < i:
                 out.append((i, interior[i - 1], mopp))
             s = seeds[i]
-            if own[s] > mown:
-                mown = own[s]
-            if opp[s] > mopp:
-                mopp = opp[s]
+            if ostamp[s] == own_epoch and olab[s] > mown:
+                mown = olab[s]
+            if pstamp[s] == opp_epoch and plab[s] > mopp:
+                mopp = plab[s]
         return out
 
-    valid_a = _valid(zseeds, p1, znode, wnode)  # P1 cut candidates
-    valid_b = _valid(wseeds, p2, wnode, znode)  # P2 cut candidates
+    # P1 / P2 cut candidates.
+    valid_a = _valid(zseeds, p1, scratch.zlab, z_epoch, scratch.wlab, w_epoch)
+    valid_b = _valid(wseeds, p2, scratch.wlab, w_epoch, scratch.zlab, z_epoch)
     if not valid_a or not valid_b:
         return []
 
@@ -343,4 +425,4 @@ def region_chain_pairs(region, start: int) -> List[LocalRegionPair]:
     return results
 
 
-__all__ = ["region_chain_pairs"]
+__all__ = ["LinearScratch", "region_chain_pairs"]

@@ -313,9 +313,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--markdown", metavar="FILE", help="also write a markdown table"
     )
+    from ..cli import backend_arg, jobs_arg
+    from ..dominators.shared import BACKENDS
+
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=jobs_arg,
         default=1,
         help="worker processes for the t2 measurement (1 = in-process)",
     )
@@ -325,8 +328,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="seed offset for the random-family suite circuits",
     )
-    from ..cli import backend_arg
-    from ..dominators.shared import BACKENDS
 
     parser.add_argument(
         "--backend",

@@ -96,11 +96,21 @@ def pairs_in_chain_dict(chain_dict: Dict[str, object]) -> int:
 def _process_chunk(payload):
     """Worker entry: compute every cone job of one chunk.
 
-    ``payload`` is ``(circuit, cone_jobs, backend)``; the return
-    value is ``([(output, chains, wall_seconds), ...], metrics_snapshot)``.
+    ``payload`` is ``(circuit, cone_jobs, backend)`` where the circuit
+    slot is either a pickled :class:`Circuit` or a
+    :class:`~repro.daemon.shm.CircuitRef` into a published
+    shared-memory segment (resolved through the worker-local attach
+    cache, so repeated chunks for one circuit version decode it once).
+    The return value is
+    ``([(output, chains, wall_seconds), ...], metrics_snapshot)``.
     """
     circuit, cone_jobs, backend = payload
     registry = MetricsRegistry()
+    if not isinstance(circuit, Circuit):
+        from ..daemon.shm import attach_circuit
+
+        circuit = attach_circuit(circuit)
+        registry.inc("executor.shm_attaches")
     results = []
     for output, targets in cone_jobs:
         start = time.perf_counter()
@@ -130,10 +140,12 @@ class ExecutorConfig:
     Attributes
     ----------
     jobs:
-        Worker process count; ``<= 1`` means in-process execution.
+        Worker process count; ``1`` means in-process execution.
+        Zero or negative counts are rejected (``ValueError``).
     timeout:
         Per-cone time budget in seconds; a chunk's deadline is
-        ``timeout * len(chunk)``.  ``None`` disables timeouts.
+        ``timeout * len(chunk)``.  ``None`` disables timeouts;
+        negative budgets are rejected (``ValueError``).
     chunk_size:
         Cones per dispatched chunk; ``None`` picks
         ``ceil(n_cones / (4 * jobs))`` so each worker sees ~4 chunks
@@ -145,6 +157,14 @@ class ExecutorConfig:
     backend:
         Chain-construction backend used by every cone job
         (``"shared"`` default, ``"legacy"`` for the reference path).
+    shared_circuits:
+        Publish each circuit to a :mod:`multiprocessing.shared_memory`
+        segment once (via :class:`repro.daemon.shm.SharedCircuitPool`)
+        and ship workers a tiny ref per chunk instead of pickling the
+        netlist into every task payload.  Falls back to pickled
+        dispatch when shared memory is unavailable.  Call
+        :meth:`ParallelExecutor.close` (or use the executor as a
+        context manager) to unlink the segments.
     """
 
     jobs: int = 1
@@ -152,9 +172,22 @@ class ExecutorConfig:
     chunk_size: Optional[int] = None
     start_method: Optional[str] = None
     backend: str = "shared"
+    shared_circuits: bool = False
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        if self.jobs <= 0:
+            raise ValueError(
+                f"jobs must be a positive integer, got {self.jobs}"
+            )
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(
+                f"timeout must be non-negative, got {self.timeout}"
+            )
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be a positive integer, got {self.chunk_size}"
+            )
 
 
 @dataclass
@@ -241,6 +274,39 @@ class ParallelExecutor:
         self.config = config or ExecutorConfig()
         self.metrics = metrics or MetricsRegistry()
         self.store = store
+        self._shm_pool = None
+
+    def close(self) -> None:
+        """Unlink any shared-memory segments this executor published."""
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _shared_payload(self, circuit: Circuit):
+        """The circuit slot of chunk payloads: a shm ref, or the circuit.
+
+        Publishing happens once per circuit version; any shared-memory
+        failure degrades to pickled dispatch (counted, never fatal).
+        """
+        if not self.config.shared_circuits:
+            return circuit
+        from ..daemon.shm import SharedCircuitPool, SharedMemoryUnavailable
+
+        try:
+            if self._shm_pool is None:
+                self._shm_pool = SharedCircuitPool(self.metrics)
+            return self._shm_pool.publish(
+                circuit, circuit_fingerprint(circuit)
+            )
+        except SharedMemoryUnavailable:
+            self.metrics.inc("executor.shm_fallbacks")
+            return circuit
 
     # ------------------------------------------------------------------
     # public API
@@ -331,11 +397,12 @@ class ParallelExecutor:
             yield from self._run_inprocess(circuit, cone_jobs)
             return
 
+        payload_circuit = self._shared_payload(circuit)
         try:
             handles = [
                 pool.apply_async(
                     _chunk_entry,
-                    ((circuit, chunk, self.config.backend),),
+                    ((payload_circuit, chunk, self.config.backend),),
                 )
                 for chunk in chunks
             ]

@@ -107,10 +107,16 @@ class Histogram:
         return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the q-quantile observation.
+        """The q-quantile estimated by linear interpolation inside buckets.
 
-        Coarse by construction (bucket resolution); ``inf`` when the
-        quantile falls in the overflow bucket, ``0.0`` when empty.
+        The rank ``q * count`` is located in the per-bucket counts and
+        mapped to a value by interpolating between the bucket's lower
+        and upper bound (Prometheus ``histogram_quantile`` style), so
+        p50/p99 latencies come out as smooth seconds instead of bucket
+        edges.  The first bucket interpolates up from 0; the overflow
+        bucket interpolates between the last bound and the maximum
+        observation ever seen (never reporting ``inf`` for real data).
+        Returns ``0.0`` when the histogram is empty.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
@@ -120,12 +126,19 @@ class Histogram:
             rank = q * self._count
             running = 0
             for idx, count in enumerate(self._counts):
+                if not count:
+                    continue
+                if running + count >= rank:
+                    lo = self.buckets[idx - 1] if idx > 0 else 0.0
+                    hi = (
+                        self.buckets[idx]
+                        if idx < len(self.buckets)
+                        else max(self._max, lo)
+                    )
+                    fraction = (rank - running) / count
+                    return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
                 running += count
-                if running >= rank:
-                    if idx < len(self.buckets):
-                        return self.buckets[idx]
-                    return float("inf")
-        return float("inf")  # pragma: no cover - defensive
+        return self._max  # pragma: no cover - defensive
 
     def as_dict(self) -> Dict[str, object]:
         with self._lock:
@@ -191,6 +204,11 @@ class MetricsRegistry:
     def timer(self, name: str) -> "_Timer":
         """Context manager observing the block's wall time into ``name``."""
         return _Timer(self.histogram(name))
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Copy of the live histogram table (name -> Histogram)."""
+        with self._lock:
+            return dict(self._histograms)
 
     # ------------------------------------------------------------------
     # snapshot / export

@@ -1,0 +1,129 @@
+"""Admission control: token buckets, in-flight cap, per-tenant isolation."""
+
+import pytest
+
+from repro.daemon.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    """Deterministic monotonic clock for refill tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_failed_acquire_does_not_debit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        before = bucket.tokens
+        assert not bucket.try_acquire()
+        assert bucket.tokens == pytest.approx(before)
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1, 1), (1, 0), (1, -5)])
+    def test_rejects_nonpositive_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestAdmissionController:
+    def _controller(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("max_in_flight", 2)
+        kw.setdefault("tenant_rate", 10.0)
+        kw.setdefault("tenant_burst", 5.0)
+        return AdmissionController(clock=clock, **kw), clock
+
+    def test_in_flight_cap_sheds(self):
+        ctrl, _ = self._controller(max_in_flight=2)
+        assert ctrl.admit() == (True, None)
+        assert ctrl.admit() == (True, None)
+        admitted, reason = ctrl.admit()
+        assert not admitted
+        assert reason == AdmissionController.REASON_IN_FLIGHT
+        ctrl.release()
+        assert ctrl.admit() == (True, None)
+
+    def test_rate_limit_sheds_per_tenant(self):
+        ctrl, clock = self._controller(max_in_flight=100, tenant_burst=2.0)
+        assert ctrl.admit("a") == (True, None)
+        assert ctrl.admit("a") == (True, None)
+        admitted, reason = ctrl.admit("a")
+        assert not admitted
+        assert reason == AdmissionController.REASON_RATE
+        # Tenant "b" has its own full bucket: unaffected by "a"'s burst.
+        assert ctrl.admit("b") == (True, None)
+        # And "a" recovers once its bucket refills.
+        clock.advance(1.0)
+        assert ctrl.admit("a") == (True, None)
+
+    def test_in_flight_cap_checked_before_bucket(self):
+        # A shed for capacity must NOT burn the tenant's tokens.
+        ctrl, _ = self._controller(max_in_flight=1, tenant_burst=1.0)
+        assert ctrl.admit("a") == (True, None)
+        admitted, reason = ctrl.admit("b")
+        assert not admitted
+        assert reason == AdmissionController.REASON_IN_FLIGHT
+        ctrl.release()
+        assert ctrl.admit("b") == (True, None)  # b's bucket still full
+
+    def test_release_without_admit_raises(self):
+        ctrl, _ = self._controller()
+        with pytest.raises(RuntimeError):
+            ctrl.release()
+
+    def test_stats_track_peak_and_sheds(self):
+        ctrl, _ = self._controller(max_in_flight=2, tenant_burst=10.0)
+        ctrl.admit()
+        ctrl.admit()
+        ctrl.admit()  # shed: in-flight
+        ctrl.release()
+        ctrl.release()
+        stats = ctrl.as_dict()
+        assert stats["admitted"] == 2
+        assert stats["shed_in_flight"] == 1
+        assert stats["peak_in_flight"] == 2
+        assert stats["in_flight"] == 0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"max_in_flight": 0},
+            {"tenant_rate": 0.0},
+            {"tenant_burst": -1.0},
+        ],
+    )
+    def test_rejects_nonpositive_parameters(self, kw):
+        with pytest.raises(ValueError):
+            self._controller(**kw)

@@ -1,0 +1,102 @@
+"""Versioned request parsing and response envelopes."""
+
+import pytest
+
+from repro.daemon.protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+def _req(**overrides):
+    obj = {"v": PROTOCOL_VERSION, "op": "stats"}
+    obj.update(overrides)
+    return obj
+
+
+class TestParseRequest:
+    def test_minimal_request(self):
+        request = parse_request(_req())
+        assert isinstance(request, Request)
+        assert request.op == "stats"
+        assert request.tenant == "default"
+        assert request.id is None
+        assert request.params == {}
+
+    def test_full_request(self):
+        request = parse_request(
+            _req(op="chain", id="r1", tenant="acme", params={"circuit": "k"})
+        )
+        assert request.op == "chain"
+        assert request.id == "r1"
+        assert request.tenant == "acme"
+        assert request.params == {"circuit": "k"}
+
+    def test_all_operations_accepted(self):
+        for op in OPERATIONS:
+            assert parse_request(_req(op=op)).op == op
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(["not", "a", "dict"])
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(_req(v=99))
+        assert err.value.reason == "unsupported_version"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(_req(op="frobnicate"))
+        assert err.value.reason == "unknown_op"
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"v": PROTOCOL_VERSION})
+
+    def test_bad_id_type(self):
+        with pytest.raises(ProtocolError):
+            parse_request(_req(id=42))
+
+    def test_bad_tenant(self):
+        with pytest.raises(ProtocolError):
+            parse_request(_req(tenant=""))
+        with pytest.raises(ProtocolError):
+            parse_request(_req(tenant=7))
+
+    def test_bad_params(self):
+        with pytest.raises(ProtocolError):
+            parse_request(_req(params=[1, 2]))
+
+
+class TestEnvelopes:
+    def test_ok_response(self):
+        resp = ok_response("r9", {"answer": 42})
+        assert resp == {
+            "v": PROTOCOL_VERSION,
+            "id": "r9",
+            "ok": True,
+            "result": {"answer": 42},
+        }
+
+    def test_error_response(self):
+        resp = error_response("r9", 429, "tenant_rate_limit", "slow down")
+        assert resp["ok"] is False
+        assert resp["id"] == "r9"
+        assert resp["error"]["code"] == 429
+        assert resp["error"]["reason"] == "tenant_rate_limit"
+        assert resp["error"]["message"] == "slow down"
+
+    def test_error_response_extra_fields(self):
+        resp = error_response("x", 400, "bad", "msg", hint="try again")
+        assert resp["error"]["hint"] == "try again"
+
+    def test_protocol_error_defaults(self):
+        err = ProtocolError("nope")
+        assert err.code == 400
+        assert err.reason == "bad_request"

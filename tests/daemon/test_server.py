@@ -1,0 +1,339 @@
+"""Transport tests: JSONL sessions and the hand-rolled HTTP endpoint."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.circuits.generators import random_circuit
+from repro.daemon.server import serve_http, serve_jsonl
+from repro.daemon.service import DaemonService, ServiceConfig
+
+
+def _definition(circuit):
+    return {
+        "name": circuit.name,
+        "nodes": [
+            {
+                "name": name,
+                "type": circuit.node(name).type.value,
+                "fanins": list(circuit.node(name).fanins),
+            }
+            for name in circuit
+        ],
+        "outputs": list(circuit.outputs),
+    }
+
+
+def _circuit():
+    return random_circuit(4, 20, num_outputs=2, seed=7, name="xport")
+
+
+async def _jsonl_session(service, lines):
+    """Run ``lines`` through a JSONL session over a loopback TCP pair.
+
+    Returns the decoded response objects (arrival order).
+    """
+    responses = []
+    done = asyncio.Event()
+
+    async def _client(reader, writer):
+        await serve_jsonl(service, reader, writer)
+        writer.close()
+        done.set()
+
+    server = await asyncio.start_server(_client, host="127.0.0.1", port=0)
+    host, port = server.sockets[0].getsockname()[:2]
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for line in lines:
+            writer.write((json.dumps(line) + "\n").encode("utf-8"))
+        await writer.drain()
+        writer.write_eof()
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout=30)
+            if not raw:
+                break
+            responses.append(json.loads(raw))
+    finally:
+        writer.close()
+        server.close()
+        await server.wait_closed()
+    return responses
+
+
+async def _http_request(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"\r\n"
+    )
+    writer.write(head.encode("ascii") + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+    raw = await reader.read()
+    writer.close()
+    return status, json.loads(raw) if raw else None
+
+
+class TestJsonl:
+    def test_full_session(self):
+        circuit = _circuit()
+
+        async def scenario():
+            with DaemonService(ServiceConfig(jobs=1)) as service:
+                lines = [
+                    {
+                        "v": 1,
+                        "op": "load",
+                        "id": "L",
+                        "params": {"definition": _definition(circuit)},
+                    },
+                ]
+                responses = await _jsonl_session(service, lines)
+                assert len(responses) == 1
+                load = responses[0]
+                assert load["ok"], load
+                key = load["result"]["circuit"]
+
+                lines = [
+                    {
+                        "v": 1,
+                        "op": "chain",
+                        "id": "C1",
+                        "params": {
+                            "circuit": key,
+                            "output": circuit.outputs[0],
+                        },
+                    },
+                    {
+                        "v": 1,
+                        "op": "sweep",
+                        "id": "S1",
+                        "params": {"circuit": key},
+                    },
+                    {"v": 1, "op": "stats", "id": "T1"},
+                    {"not": "json-rpc"},
+                    "bad json line",
+                ]
+                # NB: the circuit survives across sessions — same service.
+                responses = await _jsonl_session(service, lines)
+                by_id = {r.get("id"): r for r in responses}
+                assert by_id["C1"]["ok"]
+                assert by_id["S1"]["ok"]
+                assert by_id["T1"]["ok"]
+                errors = [r for r in responses if not r["ok"]]
+                assert len(errors) == 2
+                reasons = {e["error"]["reason"] for e in errors}
+                assert reasons <= {"bad_request", "unknown_op"}
+
+        asyncio.run(scenario())
+
+    def test_bad_json_line_gets_error_response(self):
+        async def scenario():
+            with DaemonService(ServiceConfig(jobs=1)) as service:
+                responses = []
+                done = asyncio.Event()
+
+                async def _client(reader, writer):
+                    await serve_jsonl(service, reader, writer)
+                    writer.close()
+                    done.set()
+
+                server = await asyncio.start_server(
+                    _client, host="127.0.0.1", port=0
+                )
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"{this is not json\n")
+                await writer.drain()
+                writer.write_eof()
+                raw = await asyncio.wait_for(reader.readline(), timeout=30)
+                responses.append(json.loads(raw))
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                assert not responses[0]["ok"]
+                assert responses[0]["error"]["reason"] == "bad_json"
+
+        asyncio.run(scenario())
+
+    def test_shutdown_ends_session(self):
+        async def scenario():
+            with DaemonService(ServiceConfig(jobs=1)) as service:
+                responses = await _jsonl_session(
+                    service,
+                    [
+                        {"v": 1, "op": "stats", "id": "T"},
+                        {"v": 1, "op": "shutdown", "id": "X"},
+                    ],
+                )
+                by_id = {r.get("id"): r for r in responses}
+                assert by_id["X"]["ok"]
+                assert by_id["X"]["result"]["stopping"]
+                assert service.shutdown_requested.is_set()
+
+        asyncio.run(scenario())
+
+    def test_concurrent_lines_all_answered(self):
+        circuit = _circuit()
+
+        async def scenario():
+            with DaemonService(
+                ServiceConfig(jobs=1, max_in_flight=64)
+            ) as service:
+                load = await _jsonl_session(
+                    service,
+                    [
+                        {
+                            "v": 1,
+                            "op": "load",
+                            "id": "L",
+                            "params": {"definition": _definition(circuit)},
+                        }
+                    ],
+                )
+                key = load[0]["result"]["circuit"]
+                lines = [
+                    {
+                        "v": 1,
+                        "op": "chain",
+                        "id": f"c{i}",
+                        "params": {
+                            "circuit": key,
+                            "output": circuit.outputs[i % 2],
+                        },
+                    }
+                    for i in range(12)
+                ]
+                responses = await _jsonl_session(service, lines)
+                assert sorted(r["id"] for r in responses) == sorted(
+                    line["id"] for line in lines
+                )
+                assert all(r["ok"] for r in responses)
+
+        asyncio.run(scenario())
+
+
+class TestHttp:
+    def test_routes_and_status_codes(self):
+        circuit = _circuit()
+
+        async def scenario():
+            with DaemonService(ServiceConfig(jobs=1)) as service:
+                server = await serve_http(service, port=0)
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    status, resp = await _http_request(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/load",
+                        {"id": "L", "params": {"definition": _definition(circuit)}},
+                    )
+                    assert status == 200 and resp["ok"]
+                    key = resp["result"]["circuit"]
+
+                    status, resp = await _http_request(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/chain",
+                        {
+                            "params": {
+                                "circuit": key,
+                                "output": circuit.outputs[0],
+                            }
+                        },
+                    )
+                    assert status == 200 and resp["ok"]
+                    assert resp["result"]["chains"]
+
+                    # Full envelope to POST /v1.
+                    status, resp = await _http_request(
+                        host, port, "POST", "/v1", {"v": 1, "op": "stats"}
+                    )
+                    assert status == 200 and resp["ok"]
+
+                    status, resp = await _http_request(
+                        host, port, "GET", "/v1/stats"
+                    )
+                    assert status == 200 and resp["ok"]
+
+                    status, resp = await _http_request(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/chain",
+                        {"params": {"circuit": "missing"}},
+                    )
+                    assert status == 404
+                    assert resp["error"]["reason"] == "unknown_circuit"
+
+                    status, resp = await _http_request(
+                        host, port, "POST", "/v1/frobnicate", {}
+                    )
+                    assert status == 400
+                    assert resp["error"]["reason"] == "unknown_op"
+
+                    status, resp = await _http_request(
+                        host, port, "GET", "/other"
+                    )
+                    assert status == 405
+
+                    status, resp = await _http_request(
+                        host, port, "POST", "/other", {}
+                    )
+                    assert status == 404
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_shed_maps_to_429(self):
+        circuit = _circuit()
+
+        async def scenario():
+            config = ServiceConfig(jobs=1, max_in_flight=1)
+            with DaemonService(config) as service:
+                server = await serve_http(service, port=0)
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    status, resp = await _http_request(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/load",
+                        {"params": {"definition": _definition(circuit)}},
+                    )
+                    key = resp["result"]["circuit"]
+                    assert service.admission.admit()[0]  # hog the slot
+                    status, resp = await _http_request(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/chain",
+                        {
+                            "params": {
+                                "circuit": key,
+                                "output": circuit.outputs[0],
+                            }
+                        },
+                    )
+                    assert status == 429
+                    assert resp["error"]["reason"] == "in_flight_limit"
+                    service.admission.release()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        asyncio.run(scenario())

@@ -12,7 +12,7 @@ import argparse
 import pytest
 
 from repro.cli import backend_arg
-from repro.dominators.linear import region_chain_pairs
+from repro.dominators.linear import LinearScratch, region_chain_pairs
 from repro.dominators.shared import BACKENDS, validate_backend
 
 
@@ -89,6 +89,58 @@ class TestRegionChainPairs:
             ([1], [2], {1: (1, 1), 2: (1, 1)}),
             ([3], [4], {3: (1, 1), 4: (1, 1)}),
         ]
+
+
+class TestScratchReuse:
+    """One LinearScratch across many regions changes nothing but the
+    allocation count — results must be identical to fresh-scratch runs."""
+
+    REGIONS = [
+        (_Region([[1, 2], [3], [3], []], root=3), 0),
+        (_Region([[1], [2], [3], []], root=3), 0),
+        (_Region([[1, 2, 3], [4], [4], [4], []], root=4), 0),
+        (_Region([[1, 2, 4], [3], [3], [4], []], root=4), 0),
+        (_Region([[1, 3], [2, 4], [5], [4], [5], []], root=5), 0),
+        (_Region([[1, 2], [3, 4], [3, 4], [5], [5], []], root=5), 0),
+        (_Region([[1], []], root=1), 0),
+    ]
+
+    def test_shared_scratch_matches_fresh(self):
+        scratch = LinearScratch()
+        for region, start in self.REGIONS:
+            fresh = region_chain_pairs(region, start)
+            reused = region_chain_pairs(region, start, scratch)
+            assert reused == fresh
+
+    def test_scratch_survives_shrinking_regions(self):
+        # Grow on the biggest region first, then reuse on smaller ones:
+        # stale high-epoch entries beyond the small region must be
+        # invisible.
+        scratch = LinearScratch()
+        ordered = sorted(
+            self.REGIONS, key=lambda rs: rs[0].n, reverse=True
+        )
+        for region, start in ordered:
+            assert region_chain_pairs(region, start, scratch) == (
+                region_chain_pairs(region, start)
+            )
+
+    def test_repeated_reuse_is_deterministic(self):
+        scratch = LinearScratch()
+        region, start = self.REGIONS[4]
+        first = region_chain_pairs(region, start, scratch)
+        for _ in range(10):
+            assert region_chain_pairs(region, start, scratch) == first
+
+    def test_capacity_grows_monotonically(self):
+        scratch = LinearScratch()
+        region, start = self.REGIONS[0]
+        region_chain_pairs(region, start, scratch)
+        cap = len(scratch.work.stamp)
+        assert cap >= 2 * region.n
+        big, bstart = self.REGIONS[4]
+        region_chain_pairs(big, bstart, scratch)
+        assert len(scratch.work.stamp) >= 2 * big.n >= cap
 
 
 class TestBackendRegistration:

@@ -132,6 +132,21 @@ class TestBackendEquivalence:
                     chain, ChainComputer(graph, backend="legacy").chain(u)
                 ) is None
 
+    @given(small_circuits())
+    @settings(max_examples=25, deadline=None)
+    def test_linear_scratch_reuse_bit_identical(self, circuit):
+        # One linear ChainComputer reuses a single epoch-stamped
+        # scratch across every region of every target; a fresh computer
+        # per target starts from a cold scratch.  The chains must be
+        # bit-identical (pair vectors, intervals, grouping) either way.
+        for out in circuit.outputs:
+            graph = IndexedGraph.from_circuit(circuit, out)
+            warm = ChainComputer(graph, backend="linear")
+            for u in graph.sources():
+                cold = ChainComputer(graph, backend="linear")
+                divergence = diff_chains(cold.chain(u), warm.chain(u))
+                assert divergence is None, f"{out}/{u}: {divergence}"
+
     def test_straddling_dominator_pairs(self):
         # Two reconvergent diamonds stacked through a single dominator
         # ``s``: the chain of ``u`` is u -> s -> root with one pair in

@@ -144,3 +144,88 @@ class TestFingerprints:
         store.invalidate("abcd")
         data = json.loads((tmp_path / "index.json").read_text())
         assert data["versions"] == {"abcd": 1}
+
+
+class TestConcurrentWriters:
+    """Threaded hammer tests: the index must survive concurrent writers."""
+
+    def test_invalidate_hammer_loses_no_bumps(self, tmp_path):
+        import threading
+
+        store = ArtifactStore(str(tmp_path))
+        keys = [f"{i:02d}key{i}" for i in range(6)]
+        rounds = 20
+        errors = []
+
+        def hammer(key):
+            try:
+                for _ in range(rounds):
+                    store.invalidate(key)
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(key,))
+            for key in keys
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"concurrent invalidate raised: {errors[:3]}"
+        for key in keys:
+            assert store.version(key) == 3 * rounds
+        # The on-disk index must agree after reopening.
+        reopened = ArtifactStore(str(tmp_path))
+        for key in keys:
+            assert reopened.version(key) == 3 * rounds
+
+    def test_two_stores_one_root_do_not_erase_each_other(self, tmp_path):
+        # Two writer processes each hold their own store over one root
+        # (the daemon + a CLI sweep, say): an invalidation through one
+        # must not be erased by an index save through the other.
+        a = ArtifactStore(str(tmp_path))
+        b = ArtifactStore(str(tmp_path))
+        a.invalidate("circuit-a")
+        b.invalidate("circuit-b")
+        reopened = ArtifactStore(str(tmp_path))
+        assert reopened.version("circuit-a") == 1
+        assert reopened.version("circuit-b") == 1
+
+    def test_put_get_during_invalidation_storm(self, tmp_path):
+        import threading
+
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path), metrics=MetricsRegistry())
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    store.put(key, "f", chains)
+                    got = store.get(key, "f")
+                    assert got is None or got == chains
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        def invalidator():
+            try:
+                for _ in range(30):
+                    store.invalidate(key)
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        bumper = threading.Thread(target=invalidator)
+        for t in writers:
+            t.start()
+        bumper.start()
+        bumper.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert not errors, f"writers raised during invalidation: {errors[:3]}"
+        assert store.version(key) == 30

@@ -243,3 +243,76 @@ def test_four_job_sweep_is_at_least_twice_as_fast():
         f"expected >=2x speedup, got {sequential / parallel:.2f}x "
         f"(seq {sequential:.2f}s, par {parallel:.2f}s)"
     )
+
+
+class TestConfigValidation:
+    def test_zero_or_negative_jobs_rejected(self):
+        for jobs in (0, -1, -8):
+            with pytest.raises(ValueError):
+                ExecutorConfig(jobs=jobs)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(timeout=-1.0)
+
+    def test_zero_timeout_and_one_job_accepted(self):
+        config = ExecutorConfig(jobs=1, timeout=0.0)
+        assert config.jobs == 1
+        assert config.timeout == 0.0
+
+    def test_nonpositive_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(chunk_size=0)
+
+
+class TestSharedCircuits:
+    """``shared_circuits=True`` ships a shm ref instead of a pickled netlist."""
+
+    @pytest.mark.parametrize("name", ["alu2", "comp"])
+    def test_shm_sweep_bit_identical_to_pickle(self, name):
+        from repro.daemon.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this platform")
+        circuit = table1_suite()[name].circuit(SCALE)
+        with ParallelExecutor(
+            ExecutorConfig(jobs=2, shared_circuits=True)
+        ) as shm_ex:
+            shm_results = {
+                r.output: r.chains for r in shm_ex.sweep_circuit(circuit)
+            }
+        pickle_ex = ParallelExecutor(ExecutorConfig(jobs=2))
+        pickle_results = {
+            r.output: r.chains for r in pickle_ex.sweep_circuit(circuit)
+        }
+        assert shm_results == pickle_results
+
+    def test_shm_publish_happens_once_per_circuit(self):
+        from repro.daemon.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this platform")
+        circuit = table1_suite()["alu2"].circuit(SCALE)
+        metrics = MetricsRegistry()
+        with ParallelExecutor(
+            ExecutorConfig(jobs=2, shared_circuits=True), metrics=metrics
+        ) as ex:
+            ex.sweep_circuit(circuit)
+            ex.sweep_circuit(circuit)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["shm.publishes"] == 1
+        assert snapshot["counters"].get("executor.shm_attaches", 0) >= 1
+
+    def test_close_unlinks_segments(self):
+        from repro.daemon.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this platform")
+        circuit = table1_suite()["comp"].circuit(SCALE)
+        ex = ParallelExecutor(ExecutorConfig(jobs=2, shared_circuits=True))
+        ex.sweep_circuit(circuit)
+        ex.close()
+        if os.path.isdir("/dev/shm"):
+            assert [
+                f for f in os.listdir("/dev/shm") if f.startswith("rpro_")
+            ] == []

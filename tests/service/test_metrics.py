@@ -1,7 +1,6 @@
 """Tests for the service metrics registry."""
 
 import json
-import math
 
 import pytest
 
@@ -54,12 +53,46 @@ class TestHistogram:
         assert h.quantile(0.5) == 1.0
         assert h.quantile(1.0) == 4.0
         h.observe(100.0)
-        assert h.quantile(1.0) == math.inf
+        # The overflow bucket interpolates toward the observed maximum,
+        # never reporting inf for real data.
+        assert h.quantile(1.0) == pytest.approx(100.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)  # all ten land in the first bucket
+        # rank q*10 sits q of the way through [0, 1.0].
+        assert h.quantile(0.25) == pytest.approx(0.25)
+        assert h.quantile(0.99) == pytest.approx(0.99)
+
+    def test_quantile_p50_p99_spread(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for _ in range(98):
+            h.observe(0.005)
+        h.observe(0.5)
+        h.observe(0.5)
+        # p50 well inside the first bucket, p99 in the third.
+        assert h.quantile(0.5) < 0.01
+        assert 0.1 < h.quantile(0.99) <= 1.0
+
+    def test_quantile_skips_empty_buckets(self):
+        h = Histogram("lat", buckets=(0.001, 1.0, 2.0))
+        h.observe(1.5)
+        h.observe(1.5)
+        # Both observations sit in (1.0, 2.0]; every quantile must
+        # interpolate inside that bucket, not in the empty ones below.
+        assert 1.0 <= h.quantile(0.01) <= 2.0
+        assert h.quantile(1.0) == pytest.approx(2.0)
 
     def test_empty_quantile_and_mean(self):
         h = Histogram("lat")
         assert h.quantile(0.5) == 0.0
         assert h.mean == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
 
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(ValueError):

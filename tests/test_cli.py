@@ -363,6 +363,76 @@ class TestFuzzCommand:
             assert bench.load(repro).gate_count() <= 15
 
 
+class TestJobsTimeoutValidation:
+    """--jobs <= 0 and negative --timeout exit 2 in every command."""
+
+    @pytest.mark.parametrize("jobs", ["0", "-1", "-4", "two"])
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["sweep", "--quick"],
+            ["serve-batch", "req.json"],
+            ["table1", "--quick"],
+        ],
+    )
+    def test_bad_jobs_exits_2(self, command, jobs, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([*command, "--jobs", jobs])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+    @pytest.mark.parametrize(
+        "command",
+        [["sweep", "--quick"], ["serve-batch", "req.json"]],
+    )
+    def test_negative_timeout_exits_2(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([*command, "--timeout", "-0.5"])
+        assert exc.value.code == 2
+        assert "--timeout" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--jobs", "--max-in-flight"])
+    def test_daemon_bad_jobs_exits_2(self, flag, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["daemon", "--stdio", flag, "0"])
+        assert exc.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--tenant-rate", "--tenant-burst"])
+    @pytest.mark.parametrize("value", ["0", "-1", "nope"])
+    def test_daemon_bad_rates_exit_2(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["daemon", "--stdio", flag, value])
+        assert exc.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_daemon_without_transport_exits_2(self, capsys):
+        assert main(["daemon"]) == 2
+        assert "transport" in capsys.readouterr().err
+
+    def test_table1_module_rejects_bad_jobs(self, capsys):
+        from repro.experiments import table1
+
+        with pytest.raises(SystemExit) as exc:
+            table1.main(["--quick", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_zero_timeout_is_allowed_syntax(self):
+        # 0 is a legal (if harsh) budget — only negatives are rejected;
+        # jobs=1 keeps everything in-process so nothing can time out.
+        assert (
+            main(
+                [
+                    "sweep", "--names", "cmb", "--scale", "0.3",
+                    "--timeout", "0", "--no-progress",
+                ]
+            )
+            == 0
+        )
+
+
 class TestBatchErrorContract:
     def test_sweep_unknown_benchmark_exits_2(self, capsys):
         assert main(["sweep", "--names", "nonesuch"]) == 2
