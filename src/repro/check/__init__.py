@@ -10,7 +10,9 @@ harnesses used to validate dynamic dominator algorithms:
 * :mod:`repro.check.oracle` runs all three on the same cone and diffs
   the results pair-for-pair and vector-for-vector, including the O(1)
   ``(flag, index, min, max)`` look-up structure at its interval
-  boundaries;
+  boundaries, and certifies the shared single-dominator tree with a
+  low-high order (:func:`~repro.check.oracle.check_low_high`) — the
+  fourth, non-differential oracle;
 * :mod:`repro.check.fuzzer` draws seeded random circuits from
   :mod:`repro.circuits.generators`, applies structured mutations
   (:func:`repro.graph.rewrite.expand_xors`, random incremental edit
@@ -29,6 +31,7 @@ from .oracle import (
     check_circuit,
     check_cone,
     check_incremental,
+    check_low_high,
     diff_chains,
     other_backend,
 )
@@ -43,6 +46,7 @@ __all__ = [
     "check_circuit",
     "check_cone",
     "check_incremental",
+    "check_low_high",
     "diff_chains",
     "dump_repro",
     "generate_case",

@@ -14,9 +14,12 @@ circuits on every machine — the CI contract.  Case kinds cover:
 * structural mutations: XOR→NAND expansion
   (:func:`repro.graph.rewrite.expand_xors`) multiplies reconvergence
   exactly like the paper's C499→C1355 pair;
-* incremental sessions: a random edit script replayed through
-  :class:`~repro.incremental.IncrementalEngine`, cross-checked against
-  from-scratch recomputation after every edit.
+* incremental sessions: a random edit script (mixed, deletion-heavy or
+  strictly interleaved insert/delete schedule) replayed through
+  :class:`~repro.incremental.IncrementalEngine`, alternating the
+  ``patch`` and ``dynamic`` engines by case index, cross-checked
+  against from-scratch recomputation and the low-high certificate
+  after every edit.
 
 A mismatching case is handed to :mod:`repro.check.shrink`; the minimized
 circuit is dumped as a ``.bench`` fixture for the bug report.
@@ -55,12 +58,18 @@ Fault = Callable[[Circuit], bool]
 
 @dataclass(frozen=True)
 class FuzzCase:
-    """One drawn test case."""
+    """One drawn test case.
+
+    ``engine`` is the incremental-engine strategy the case's edit script
+    is replayed under (``"patch"`` or ``"dynamic"``); it is meaningful
+    only when ``edits`` is non-empty.
+    """
 
     index: int
     kind: str
     circuit: Circuit
     edits: Tuple[Edit, ...] = ()
+    engine: str = "patch"
 
 
 @dataclass
@@ -160,6 +169,7 @@ def generate_case(seed: int, index: int, max_gates: int = 24) -> FuzzCase:
     rng = random.Random(f"repro-fuzz:{seed}:{index}")
     roll = rng.random()
     edits: Tuple[Edit, ...] = ()
+    engine = "patch"
     if roll < 0.45:
         kind = "random"
         circuit = random_circuit(
@@ -182,7 +192,14 @@ def generate_case(seed: int, index: int, max_gates: int = 24) -> FuzzCase:
     elif roll < 0.84:
         kind, circuit = _degenerate_case(rng, f"{seed}_{index}")
     else:
-        kind = "incremental"
+        # Alternate the engine under test by case index so a fixed-seed
+        # run covers both strategies evenly; the edit schedule is drawn
+        # per case (deletion-heavy and interleaved schedules stress the
+        # dynamic maintainer's region sweep far harder than pure
+        # insertion streams do).
+        schedule = rng.choice(("mixed", "deletion_heavy", "interleaved"))
+        engine = ("patch", "dynamic")[index % 2]
+        kind = f"incremental[{schedule},{engine}]"
         circuit = random_circuit(
             num_inputs=rng.randint(2, 5),
             num_gates=rng.randint(3, max(3, max_gates // 2)),
@@ -191,33 +208,55 @@ def generate_case(seed: int, index: int, max_gates: int = 24) -> FuzzCase:
             name=f"fuzz_inc_{seed}_{index}",
         )
         edits = tuple(
-            _draw_edits(rng, circuit, rng.randint(1, 4))
+            _draw_edits(rng, circuit, rng.randint(1, 6), schedule)
         )
-    if kind != "incremental" and rng.random() < 0.2:
+    if not edits and rng.random() < 0.2:
         expanded = expand_xors(circuit)
         if expanded.gate_count() <= max_gates * 4:
             kind += "+xor_expanded"
             circuit = expanded
-    return FuzzCase(index=index, kind=kind, circuit=circuit, edits=edits)
+    return FuzzCase(
+        index=index, kind=kind, circuit=circuit, edits=edits, engine=engine
+    )
+
+
+#: Edit-kind pools per schedule: ``mixed`` is the balanced original,
+#: ``deletion_heavy`` biases toward removals (stressing affected-region
+#: recomputation) and ``interleaved`` alternates insert/delete strictly
+#: so every batch both grows and shrinks the cone.
+_SCHEDULES = {
+    "mixed": ("rewire", "add", "remove", "add"),
+    "deletion_heavy": ("remove", "remove", "remove", "rewire", "add"),
+    "interleaved": None,  # add on even steps, remove on odd
+}
 
 
 def _draw_edits(
-    rng: random.Random, circuit: Circuit, count: int
+    rng: random.Random,
+    circuit: Circuit,
+    count: int,
+    schedule: str = "mixed",
 ) -> List[Edit]:
     """A random, applicable edit script against a *simulated* netlist.
 
     Tracks name liveness and a conservative reachability map so every
     generated edit is valid for the engine (no cycles, no dead names).
+    Schedules stay shrinker-compatible: the output is a plain edit list
+    and any prefix of it is still a valid script.
     """
     from ..graph.indexed import IndexedGraph
 
     graph = IndexedGraph.from_circuit(circuit)
+    pool = _SCHEDULES[schedule]
     edits: List[Edit] = []
     for step in range(count):
         alive = [v for v in range(graph.n) if graph.is_alive(v)]
         gates = [v for v in alive if graph.pred[v]]
         removable = [v for v in alive if v != graph.root]
-        kind = rng.choice(("rewire", "add", "remove", "add"))
+        if pool is None:
+            kind = ("add", "remove")[step % 2]
+        else:
+            kind = rng.choice(pool)
         if kind == "rewire" and gates:
             w = rng.choice(gates)
             reach = graph.reachable_from(w)
@@ -336,7 +375,11 @@ def _case_mismatches(
     if case.edits:
         result.incremental_sessions += 1
         return check_incremental(
-            case.circuit, case.edits, metrics=metrics, backend=backend
+            case.circuit,
+            case.edits,
+            metrics=metrics,
+            backend=backend,
+            engine=case.engine,
         )
     report: OracleReport = check_circuit(
         case.circuit, brute_limit=brute_limit, metrics=metrics,
@@ -369,7 +412,12 @@ def _shrink_predicate(
             if not applicable:
                 return False
             return bool(
-                check_incremental(candidate, applicable, backend=backend)
+                check_incremental(
+                    candidate,
+                    applicable,
+                    backend=backend,
+                    engine=case.engine,
+                )
             )
 
         return failing_incremental

@@ -28,6 +28,7 @@ from ..core.algorithm import ChainComputer
 from ..core.baseline import baseline_double_dominators
 from ..core.bruteforce import all_double_dominators
 from ..core.chain import DominatorChain
+from ..dominators.dynamic import certify_tree
 from ..dominators.shared import validate_backend
 from ..errors import ReproError
 from ..graph.circuit import Circuit
@@ -84,8 +85,10 @@ class Mismatch:
         Discriminator: ``chain-vs-brute``, ``baseline-vs-brute``,
         ``chain-vs-baseline``, ``lookup`` (the O(1) membership structure
         disagrees with the chain's own pair set), ``backend`` (the shared
-        and legacy chain backends disagree), ``incremental`` or ``crash``
-        (an implementation raised instead of answering).
+        and legacy chain backends disagree), ``incremental``,
+        ``certificate`` (the dominator tree fails its low-high
+        certificate) or ``crash`` (an implementation raised instead of
+        answering).
     circuit / output / target:
         Where it happened, by name where names exist.
     detail:
@@ -259,6 +262,30 @@ def check_chain_lookup(
     return mismatches
 
 
+def check_low_high(
+    graph: IndexedGraph,
+    idom: Sequence[int],
+    circuit: str = "",
+    output: str = "",
+) -> List[Mismatch]:
+    """The fourth oracle: certify a dominator tree by low-high order.
+
+    Builds a low-high order of ``idom`` over ``graph`` and verifies it
+    together with the ancestor property and the exact reachable span
+    (:mod:`repro.dominators.dynamic.lowhigh`) — one O(n + m) pass that
+    *proves* the tree correct without re-running any dominator
+    algorithm.  Unlike the differential comparisons this needs no second
+    implementation to disagree with: the certificate is unconditional,
+    so it also guards the single-dominator layer that all three chain
+    producers share (a bug common to every backend would slip past the
+    backend and baseline cross-checks but not past this).
+    """
+    return [
+        Mismatch("certificate", circuit, output, "", detail)
+        for detail in certify_tree(graph, idom)
+    ]
+
+
 def check_cone(
     graph: IndexedGraph,
     targets: Optional[Sequence[int]] = None,
@@ -309,6 +336,10 @@ def check_cone(
         cross_computer = ChainComputer(
             graph, algorithm, backend=other_backend(backend)
         )
+        # Fourth oracle: certify the cone's single-dominator tree once
+        # per cone (the chain producers all consume this tree).
+        report.comparisons += 1
+        mismatches += check_low_high(graph, computer.tree.idom, circuit, output)
 
     try:
         per_target = baseline_double_dominators(
@@ -438,6 +469,7 @@ def check_incremental(
     algorithm: str = "lt",
     metrics=None,
     backend: str = "shared",
+    engine: str = "patch",
 ) -> List[Mismatch]:
     """Cross-check the incremental engine against from-scratch results.
 
@@ -445,35 +477,50 @@ def check_incremental(
     :class:`~repro.incremental.IncrementalEngine` session and, after
     every edit, compares the engine's chains for all live primary inputs
     against a fresh :class:`ChainComputer` on the same (edited) graph —
-    pair sets, pair vectors and intervals must be identical.
+    pair sets, pair vectors and intervals must be identical — and runs
+    the low-high certificate on the engine's maintained tree (kind
+    ``certificate`` on failure).
 
     The engine runs on ``backend``; the from-scratch reference runs on
     the *counterpart* backend, so each step also cross-checks the two
     construction backends on the edited (not freshly extracted) graph —
-    the one shape the pure-fuzz oracle path never sees.
+    the one shape the pure-fuzz oracle path never sees.  ``engine``
+    selects the dominator-maintenance strategy under test
+    (``"patch"`` or ``"dynamic"``).
     """
     from ..incremental import IncrementalEngine
 
-    engine = IncrementalEngine.from_circuit(
-        circuit, output, algorithm, backend=backend
+    engine_obj = IncrementalEngine.from_circuit(
+        circuit, output, algorithm, backend=backend, engine=engine
     )
     out_name = output or (circuit.outputs[0] if circuit.outputs else "")
     mismatches: List[Mismatch] = []
-    engine.chains_for_sources()  # warm the cache pre-edit
+    engine_obj.chains_for_sources()  # warm the cache pre-edit
     for step, edit in enumerate(edits, 1):
-        engine.apply(edit)
+        engine_obj.apply(edit)
         fresh = ChainComputer(
-            engine.graph, algorithm, backend=other_backend(backend)
+            engine_obj.graph, algorithm, backend=other_backend(backend)
         )
-        tree = engine.tree
-        for u in engine.graph.sources():
+        for detail in engine_obj.check_certificate():
+            mismatches.append(
+                Mismatch(
+                    "certificate",
+                    circuit.name,
+                    out_name,
+                    "",
+                    f"after edit {step} ({engine_obj.engine} engine): "
+                    + detail,
+                )
+            )
+        tree = engine_obj.tree
+        for u in engine_obj.graph.sources():
             if not tree.is_reachable(u):
                 continue
-            incremental = engine.chain(u)
+            incremental = engine_obj.chain(u)
             scratch = fresh.chain(u)
             if incremental.pair_set() != scratch.pair_set():
                 mismatches += _diff_pairs(
-                    engine.graph,
+                    engine_obj.graph,
                     "incremental",
                     circuit.name,
                     out_name,
@@ -493,7 +540,7 @@ def check_incremental(
                         "incremental",
                         circuit.name,
                         out_name,
-                        _name(engine.graph, u),
+                        _name(engine_obj.graph, u),
                         f"after edit {step}: same pair set but different "
                         "chain layout (pair vectors or intervals differ)",
                     )

@@ -61,6 +61,7 @@ from typing import Optional, Sequence
 
 from .core.algorithm import ChainComputer
 from .core.api import count_double_dominators, count_single_dominators
+from .dominators.dynamic import ENGINES, validate_engine
 from .dominators.shared import BACKENDS, validate_backend
 from .errors import ReproError
 from .graph.circuit import Circuit
@@ -157,7 +158,7 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
         )
         return 2
     engine = IncrementalEngine.from_circuit(
-        circuit, output, backend=args.backend
+        circuit, output, backend=args.backend, engine=args.engine
     )
 
     def query():
@@ -181,8 +182,8 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
     incremental_time = time.perf_counter() - start
 
     print("\nsession statistics:")
-    for key, value in engine.stats.as_dict().items():
-        print(f"  {key:14s} {value}")
+    for key, value in engine.stats_dict().items():
+        print(f"  {key:28s} {value}")
 
     if args.compare:
         # replay as a cold engine per step: the from-scratch strawman
@@ -508,6 +509,7 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
         ServiceConfig(
             jobs=args.jobs,
             backend=getattr(args, "backend", "shared"),
+            engine=getattr(args, "engine", "patch"),
             use_shared_memory=not args.no_shared_memory,
             max_in_flight=args.max_in_flight,
             tenant_rate=args.tenant_rate,
@@ -592,6 +594,32 @@ def backend_arg(value: str) -> str:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def engine_arg(value: str) -> str:
+    """Shared ``argparse`` validator for every ``--engine`` flag.
+
+    Mirrors :func:`backend_arg`: an unknown incremental-engine name
+    exits 2 with the canonical one-line message listing the registered
+    engines (:data:`repro.dominators.dynamic.ENGINES`) in every CLI
+    that takes the flag (``edit-session``, ``daemon``).
+    """
+    try:
+        return validate_engine(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="patch",
+        type=engine_arg,
+        metavar="{%s}" % ",".join(ENGINES),
+        help="incremental dominator maintenance: dirty-cone idom patch "
+        "with rebuild fallback (default) or the true dynamic maintainer "
+        "with low-high certificates",
+    )
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
@@ -639,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time from-scratch recomputation per edit",
     )
     _add_backend_flag(p_edit)
+    _add_engine_flag(p_edit)
     p_edit.set_defaults(func=_cmd_edit_session)
 
     p_check = sub.add_parser(
@@ -798,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", help="write metrics snapshot JSON on exit"
     )
     _add_backend_flag(p_daemon)
+    _add_engine_flag(p_daemon)
     p_daemon.set_defaults(func=_cmd_daemon)
     return parser
 

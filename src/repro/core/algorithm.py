@@ -166,6 +166,13 @@ class ChainComputer:
         (:mod:`repro.dominators.linear`).  All three produce identical
         chains (the differential oracle cross-checks them) — legacy
         exists as the reference implementation.
+    shared_index:
+        Set ``False`` to skip building the per-version
+        :class:`~repro.dominators.shared.SharedConeIndex` and extract
+        each region on demand (identical chains, no O(n + m) setup) —
+        the mode the dynamic incremental engine runs in, where the
+        graph version changes every flush.  Requires ``tree`` to be
+        supplied for the shared/linear backends to stay O(1) to build.
     """
 
     def __init__(
@@ -177,6 +184,7 @@ class ChainComputer:
         region_cache: Optional[RegionCache] = None,
         metrics=None,
         backend: str = "shared",
+        shared_index: bool = True,
     ):
         self.graph = graph
         self.algorithm = algorithm
@@ -185,10 +193,15 @@ class ChainComputer:
         self.backend = validate_backend(backend)
         # The linear backend reuses the shared index for region
         # extraction and the cone dominator tree; only the per-region
-        # pair construction differs.
+        # pair construction differs.  ``shared_index=False`` skips the
+        # index and extracts regions per query with ``region_between``
+        # instead: the index is an O(n + m) build keyed on the graph
+        # version, which the dynamic incremental engine cannot afford
+        # once per flush.  Both extractions assign region-local ids in
+        # ascending original-id order, so chains stay bit-identical.
         self._index = (
             SharedConeIndex.for_graph(graph, algorithm)
-            if backend in ("shared", "linear")
+            if shared_index and backend in ("shared", "linear")
             else None
         )
         # One epoch-stamped scratch shared by every linear-backend

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..dominators.dynamic import validate_engine
 from ..errors import ReproError
 from ..graph.circuit import Circuit, Node
 from ..graph.node import NodeType
@@ -70,6 +71,7 @@ class ServiceConfig:
 
     jobs: int = 1
     backend: str = "shared"
+    engine: str = "patch"
     use_shared_memory: bool = True
     max_in_flight: int = 16
     tenant_rate: float = 50.0
@@ -83,6 +85,7 @@ class ServiceConfig:
             raise ValueError(
                 f"chunk_size must be a positive integer, got {self.chunk_size}"
             )
+        validate_engine(self.engine)
 
 
 def _circuit_from_inline(definition: Dict[str, Any]) -> Circuit:
@@ -342,6 +345,8 @@ class DaemonService:
                     self._circuits[key].copy(),
                     output,
                     backend=self.config.backend,
+                    engine=self.config.engine,
+                    metrics=self.metrics,
                 )
                 if self._pool is not None:
                     engine.add_edit_listener(self._pool.listener_for(key))
@@ -561,6 +566,23 @@ class DaemonService:
             # the published segment explicitly.
             self._pool.invalidate(key)
         self.metrics.inc("daemon.edits_applied", len(edits))
+        if output is not None and self.config.engine == "dynamic":
+            # The dynamic engine proves its maintained tree correct
+            # after every edit batch; a failed certificate is an
+            # internal invariant violation, so the broken engine is
+            # dropped (next query reopens fresh) and the client gets a
+            # 500 — the netlist itself is already updated above.
+            violations = self._engine(key, str(output)).check_certificate()
+            if violations:
+                with self._lock:
+                    self._engines.pop((key, str(output)), None)
+                self.metrics.inc("daemon.certificate_failures")
+                raise ProtocolError(
+                    "low-high certificate failed after edit: "
+                    + "; ".join(violations[:3]),
+                    code=500,
+                    reason="certificate_failed",
+                )
         return {
             "circuit": key,
             "version": version,
@@ -587,12 +609,24 @@ class DaemonService:
                 for key, c in self._circuits.items()
             }
             engines = len(self._engines)
+            # Aggregate the per-session counters of every warm engine —
+            # under engine="dynamic" this includes the maintainer's
+            # update/fallback/certificate counts.
+            engine_stats: Dict[str, int] = {}
+            for session in self._engines.values():
+                for stat_key, value in session.stats_dict().items():
+                    if isinstance(value, int):
+                        engine_stats[stat_key] = (
+                            engine_stats.get(stat_key, 0) + value
+                        )
         result: Dict[str, Any] = {
             "metrics": self.metrics.snapshot(),
             "latency": quantiles,
             "admission": self.admission.as_dict(),
             "circuits": circuits,
             "engines": engines,
+            "engine": self.config.engine,
+            "engine_stats": engine_stats,
             "jobs": self.config.jobs,
             "backend": self.config.backend,
             "shared_memory": (

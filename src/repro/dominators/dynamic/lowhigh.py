@@ -1,0 +1,352 @@
+"""Low-high orders — an O(n + m) certificate for dominator trees.
+
+A *low-high order* of a flow graph ``G`` with dominator tree ``D``
+(Georgiadis & Tarjan; maintained incrementally in arXiv:1608.06462) is a
+preorder ``delta`` of ``D`` such that every vertex ``v`` other than the
+root satisfies one of
+
+* ``(idom(v), v)`` is an edge of ``G``, or
+* ``v`` has predecessors ``u`` and ``w`` with
+  ``delta(u) < delta(v) < delta(w)`` and ``w`` not a descendant of ``v``
+  in ``D``.
+
+The verification theorem makes this a *certificate*: a tree ``D`` that
+spans exactly the reachable vertices, has the ancestor property (for
+every edge ``(u, v)``, ``u`` descends from ``idom(v)``) and admits a
+low-high order **is** the dominator tree — no matter how it was
+computed.  :func:`verify_low_high` checks all three in one O(n + m)
+pass, so the dynamic engine can prove its incrementally-maintained tree
+correct after every batch without re-running a static algorithm.
+
+Orientation: as everywhere in :mod:`repro.dominators`, dominance is in
+the paper's sense — on the edge-reversed circuit with the output as
+entry.  A *flow* predecessor of ``v`` is therefore ``graph.succ[v]``
+(its signal fanouts) and a flow successor is ``graph.pred[v]``.
+
+:func:`compute_low_high` builds a low-high order constructively for
+circuit DAGs: children of each tree node are placed in graph topological
+order, and a child with no direct parent edge is inserted immediately
+after its lowest-placed *derived* predecessor (the sibling subtree
+containing one of its flow predecessors).  For a correct dominator tree
+of a DAG such a child always has derived predecessors in at least two
+sibling subtrees (otherwise that sibling would dominate it), so the
+insertion leaves at least one derived predecessor on each side — the
+resulting preorder always verifies.  For an *incorrect* tree either the
+construction fails (:class:`LowHighError`) or the verifier reports the
+violated property.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from typing import Dict, List, Sequence
+
+from ..lengauer_tarjan import UNREACHABLE
+
+__all__ = [
+    "LowHighError",
+    "compute_low_high",
+    "verify_low_high",
+    "certify_tree",
+]
+
+#: Cap on messages returned by one verification, to keep oracle reports
+#: and daemon error payloads bounded on badly corrupted trees.
+MAX_VIOLATIONS = 20
+
+
+class LowHighError(ValueError):
+    """The low-high construction found the tree structurally invalid."""
+
+
+def _tree_children(idom: Sequence[int], root: int, n: int) -> List[List[int]]:
+    children: List[List[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if v != root and idom[v] != UNREACHABLE:
+            parent = idom[v]
+            if not 0 <= parent < n or idom[parent] == UNREACHABLE:
+                raise LowHighError(
+                    f"idom[{v}] = {parent} is not a reachable vertex"
+                )
+            children[parent].append(v)
+    return children
+
+
+def _preorder_intervals(
+    children: List[List[int]], root: int, n: int
+) -> "tuple[List[int], List[int]]":
+    """DFS entry times and subtree sizes over arbitrary child order."""
+    tin = [UNREACHABLE] * n
+    size = [1] * n
+    order: List[int] = []
+    stack = [root]
+    clock = 0
+    while stack:
+        v = stack.pop()
+        if tin[v] != UNREACHABLE:
+            raise LowHighError(f"vertex {v} appears twice in the tree")
+        tin[v] = clock
+        clock += 1
+        order.append(v)
+        stack.extend(reversed(children[v]))
+    for v in reversed(order):
+        for c in children[v]:
+            size[v] += size[c]
+    return tin, size
+
+
+def _flow_topo_order(graph, reachable: Sequence[bool]) -> List[int]:
+    """Topological order of the reachable vertices, flow orientation.
+
+    Flow edges run ``u -> v`` for ``u in graph.succ[v]``; the returned
+    order lists every reachable flow predecessor before its successors.
+    """
+    indeg = {}
+    for v in range(graph.n):
+        if reachable[v]:
+            indeg[v] = sum(1 for u in graph.succ[v] if reachable[u])
+    queue = deque(v for v, d in indeg.items() if d == 0)
+    order: List[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in graph.pred[v]:
+            if reachable[w]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+    if len(order) != len(indeg):
+        raise LowHighError("cycle among reachable vertices")
+    return order
+
+
+def compute_low_high(graph, idom: Sequence[int]) -> List[int]:
+    """A low-high order of ``idom`` over ``graph``, as a position array.
+
+    Returns ``delta`` with ``delta[v]`` the preorder position of ``v``
+    (root at 0) and :data:`UNREACHABLE` for vertices outside the tree.
+
+    Raises :class:`LowHighError` when the tree is structurally unable to
+    carry a low-high order (broken parent links, a cycle, or a vertex
+    whose predecessors all sit in one sibling subtree — impossible for
+    a genuine dominator tree of a DAG).  A successfully returned order
+    still needs :func:`verify_low_high` to certify the tree: the
+    construction trusts ``idom`` where the verifier does not.
+    """
+    n = graph.n
+    root = graph.root
+    if len(idom) != n:
+        raise LowHighError(f"idom has length {len(idom)}, graph has {n}")
+    if idom[root] != root:
+        raise LowHighError(f"idom[root] = {idom[root]}, expected {root}")
+    children = _tree_children(idom, root, n)
+    tin, size = _preorder_intervals(children, root, n)
+    reachable = [tin[v] != UNREACHABLE for v in range(n)]
+    topo_pos = {v: i for i, v in enumerate(_flow_topo_order(graph, reachable))}
+    for v in range(n):
+        if reachable[v] and v not in topo_pos:
+            raise LowHighError(
+                f"vertex {v} is in the tree but not flow-reachable"
+            )
+
+    placed_order: List[List[int]] = [[] for _ in range(n)]
+    for p in range(n):
+        kids = children[p]
+        if not kids:
+            continue
+        by_tin = sorted(kids, key=lambda c: tin[c])
+        tins = [tin[c] for c in by_tin]
+        placed = placed_order[p]
+        for c in sorted(kids, key=lambda c: topo_pos[c]):
+            direct = False
+            derived = set()
+            for u in graph.succ[c]:  # flow predecessors of c
+                if not reachable[u]:
+                    continue
+                if u == p:
+                    direct = True
+                    continue
+                # The sibling subtree containing u (ancestor property
+                # says u descends from p, hence from exactly one child).
+                i = bisect_right(tins, tin[u]) - 1
+                sib = by_tin[i] if i >= 0 else None
+                if sib is None or tin[u] > tin[sib] + size[sib] - 1:
+                    raise LowHighError(
+                        f"edge ({u}, {c}): predecessor {u} does not "
+                        f"descend from idom[{c}] = {p}"
+                    )
+                if sib == c:
+                    raise LowHighError(
+                        f"edge ({u}, {c}): predecessor inside the "
+                        f"subtree of {c} (cycle through {c})"
+                    )
+                derived.add(sib)
+            if direct:
+                placed.append(c)
+            elif not placed or len(derived) < 2:
+                raise LowHighError(
+                    f"vertex {c}: no edge from idom[{c}] = {p} and "
+                    f"predecessors in {len(derived)} sibling subtree(s) "
+                    "(a dominator tree guarantees two)"
+                )
+            else:
+                lowest = min(placed.index(s) for s in derived)
+                placed.insert(lowest + 1, c)
+
+    delta = [UNREACHABLE] * n
+    clock = 0
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        delta[v] = clock
+        clock += 1
+        stack.extend(reversed(placed_order[v]))
+    return delta
+
+
+def verify_low_high(
+    graph, idom: Sequence[int], delta: Sequence[int]
+) -> List[str]:
+    """Certify ``idom`` against ``graph`` using the order ``delta``.
+
+    Returns a list of violation messages — empty means **certified**:
+    the tree spans exactly the flow-reachable vertices, has the ancestor
+    property and ``delta`` is a low-high order, which together prove
+    ``idom`` is the dominator tree (Georgiadis–Tarjan verification
+    theorem).  One O(n + m) pass, independent of how the tree or the
+    order were produced.
+    """
+    n = graph.n
+    root = graph.root
+    violations: List[str] = []
+
+    def report(message: str) -> bool:
+        violations.append(message)
+        return len(violations) >= MAX_VIOLATIONS
+
+    if len(idom) != n or len(delta) != n:
+        return [
+            f"array sizes (idom {len(idom)}, order {len(delta)}) "
+            f"do not match graph size {n}"
+        ]
+    if idom[root] != root:
+        return [f"idom[root] = {idom[root]}, expected {root}"]
+    if delta[root] != 0:
+        return [f"order[root] = {delta[root]}, expected 0"]
+
+    # Reachable set: flow successors of v are graph.pred[v].
+    seen = [False] * n
+    seen[root] = True
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in graph.pred[v]:
+            if not seen[w]:
+                seen[w] = True
+                queue.append(w)
+    positions = set()
+    count = 0
+    for v in range(n):
+        in_tree = idom[v] != UNREACHABLE
+        if in_tree != seen[v]:
+            if report(
+                f"vertex {v}: {'in tree' if in_tree else 'missing'} but "
+                f"{'flow-reachable' if seen[v] else 'unreachable'}"
+            ):
+                return violations
+            continue
+        if (delta[v] != UNREACHABLE) != seen[v]:
+            if report(f"vertex {v}: order assigned iff reachable violated"):
+                return violations
+        if seen[v]:
+            count += 1
+            positions.add(delta[v])
+    if positions != set(range(count)):
+        return violations + [
+            f"order is not a bijection onto 0..{count - 1}"
+        ]
+
+    # Parent order: a preorder lists every parent before its children.
+    for v in range(n):
+        if v == root or not seen[v]:
+            continue
+        p = idom[v]
+        if not seen[p]:
+            if report(f"idom[{v}] = {p} is unreachable"):
+                return violations
+        elif delta[p] >= delta[v]:
+            if report(f"order[{p}] >= order[{v}] for child {v} of {p}"):
+                return violations
+    if violations:
+        return violations
+
+    # Subtree contiguity: fold sizes bottom-up in descending order —
+    # children always carry larger positions than parents, so each
+    # subtree is fully folded before its root is folded upward.  A
+    # preorder has every subtree on positions [delta(v), maxd(v)].
+    by_delta = sorted(
+        (v for v in range(n) if seen[v]), key=lambda v: delta[v]
+    )
+    size = [1] * n
+    maxd = [delta[v] if seen[v] else UNREACHABLE for v in range(n)]
+    for v in reversed(by_delta):
+        if v != root:
+            p = idom[v]
+            size[p] += size[v]
+            if maxd[v] > maxd[p]:
+                maxd[p] = maxd[v]
+    for v in by_delta:
+        if maxd[v] != delta[v] + size[v] - 1:
+            if report(
+                f"subtree of {v} is not contiguous in the order "
+                f"(positions {delta[v]}..{maxd[v]}, size {size[v]})"
+            ):
+                return violations
+    if violations:
+        return violations
+
+    # Ancestor property + low-high condition, one scan of the edges.
+    for v in by_delta:
+        if v == root:
+            continue
+        p = idom[v]
+        has_parent_edge = False
+        has_low = False
+        has_high = False
+        for u in graph.succ[v]:  # flow predecessors of v
+            if not seen[u]:
+                continue
+            if not (delta[p] <= delta[u] <= maxd[p]):
+                if report(
+                    f"edge ({u}, {v}): {u} does not descend from "
+                    f"idom[{v}] = {p} (ancestor property)"
+                ):
+                    return violations
+            if u == p:
+                has_parent_edge = True
+            if delta[u] < delta[v]:
+                has_low = True
+            if delta[u] > maxd[v]:  # above v and not a descendant
+                has_high = True
+        if not has_parent_edge and not (has_low and has_high):
+            if report(
+                f"vertex {v}: no parent edge and no low/high "
+                "predecessor pair (low-high order violated)"
+            ):
+                return violations
+    return violations
+
+
+def certify_tree(graph, idom: Sequence[int]) -> List[str]:
+    """Build and verify a low-high order for ``idom`` in one call.
+
+    The fourth :mod:`repro.check` oracle: an empty return certifies the
+    tree unconditionally; otherwise the messages name the violated
+    property (construction failures count as violations too).
+    """
+    try:
+        delta = compute_low_high(graph, idom)
+    except LowHighError as exc:
+        return [f"low-high construction failed: {exc}"]
+    return verify_low_high(graph, idom, delta)

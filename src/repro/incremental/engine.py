@@ -36,6 +36,15 @@ from typing import Dict, List, Optional, Set, Union
 from ..core.algorithm import ChainComputer
 from ..core.chain import DominatorChain
 from ..core.region_cache import CacheStats, RegionCache
+from ..dominators.dynamic import (
+    EDGE_ADD,
+    EDGE_REMOVE,
+    VERTEX_ADD,
+    VERTEX_REMOVE,
+    DynamicDominators,
+    certify_tree,
+    validate_engine,
+)
 from ..dominators.shared import validate_backend
 from ..dominators.single import circuit_dominator_tree
 from ..dominators.tree import DominatorTree
@@ -60,6 +69,9 @@ class EngineStats:
     flushes: int = 0  # dominator-state refreshes (one per dirty query)
     tree_patches: int = 0  # flushes served by the dirty-cone idom update
     tree_rebuilds: int = 0  # flushes that fell back to a full rebuild
+    dynamic_updates: int = 0  # flushes served by the dynamic maintainer
+    dynamic_fallbacks: int = 0  # dynamic flushes over the region threshold
+    certificate_checks: int = 0  # low-high certificate runs
     evictions: int = 0  # cache entries dropped by edit invalidation
     chain_hits: int = 0  # queries served by an already-assembled chain
     cache: CacheStats = field(default_factory=CacheStats)
@@ -71,6 +83,9 @@ class EngineStats:
             "flushes": self.flushes,
             "tree_patches": self.tree_patches,
             "tree_rebuilds": self.tree_rebuilds,
+            "dynamic_updates": self.dynamic_updates,
+            "dynamic_fallbacks": self.dynamic_fallbacks,
+            "certificate_checks": self.certificate_checks,
             "evictions": self.evictions,
             "chain_hits": self.chain_hits,
         }
@@ -96,6 +111,19 @@ class IncrementalEngine:
         Cached region entries are backend-agnostic — both backends
         produce identical member orderings — so a session's cache
         survives either choice.
+    engine:
+        Dominator-maintenance strategy for flushes.  ``"patch"``
+        (default) is the original dirty-cone idom patch with
+        full-rebuild fallback; ``"dynamic"`` keeps a
+        :class:`~repro.dominators.dynamic.DynamicDominators` maintainer
+        updated in place from the edit stream — no full-graph pass per
+        flush — with a static rebuild only when the affected region
+        exceeds its threshold.  Both engines serve bit-identical chains.
+    metrics:
+        Optional :class:`repro.service.metrics.MetricsRegistry`.  The
+        dynamic engine counts ``dynamic.updates``,
+        ``dynamic.fallback_rebuilds`` and ``dynamic.certificate_checks``
+        and observes ``dynamic.affected_region_size`` per batch.
 
     Examples
     --------
@@ -113,10 +141,14 @@ class IncrementalEngine:
         graph: IndexedGraph,
         algorithm: str = "lt",
         backend: str = "shared",
+        engine: str = "patch",
+        metrics=None,
     ):
         self.graph = graph
         self.algorithm = algorithm
         self.backend = validate_backend(backend)
+        self.engine = validate_engine(engine)
+        self.metrics = metrics
         self.cache = RegionCache()
         self.gate_types: Dict[str, str] = {}
         self.log: List[Edit] = []
@@ -129,7 +161,13 @@ class IncrementalEngine:
         self.stats = EngineStats(cache=self.cache.stats)
         self._dirty: Set[int] = set()
         self._computer: Optional[ChainComputer] = None
-        self._tree: Optional[DominatorTree] = None
+        self._tree = None  # DominatorTree (patch) or DynamicTree (dynamic)
+        # Dynamic engine state: the maintainer is built lazily on the
+        # first flush; elementary edge/vertex deltas queue up between
+        # flushes and are folded in as one coalesced batch per cone.
+        self._maintainer: Optional[DynamicDominators] = None
+        self._deltas: List[tuple] = []
+        self._record_deltas = self.engine == "dynamic"
         # assembled-chain cache: u -> (chain, its region cells at assembly
         # time).  A cell is (start, RegionEntry-identity); the chain is
         # valid while the tree chain visits the same cells and every cell
@@ -144,10 +182,12 @@ class IncrementalEngine:
         output: Optional[str] = None,
         algorithm: str = "lt",
         backend: str = "shared",
+        engine: str = "patch",
+        metrics=None,
     ) -> "IncrementalEngine":
         """Open a session on one output cone of a netlist."""
         graph = IndexedGraph.from_circuit(circuit, output)
-        engine = cls(graph, algorithm, backend=backend)
+        engine = cls(graph, algorithm, backend=backend, engine=engine, metrics=metrics)
         for name in graph.names:
             if name is not None and name in circuit:
                 engine.gate_types[name] = circuit.node(name).type.value
@@ -194,24 +234,43 @@ class IncrementalEngine:
 
     def _apply_one(self, edit: Edit, touched: Set[int]) -> None:
         graph = self.graph
+        record = self._deltas.append if self._record_deltas else None
         if isinstance(edit, AddGate):
             fanins = [graph.index_of(f) for f in edit.fanins]
             v = graph.add_vertex(edit.name)
+            if record is not None:
+                record((VERTEX_ADD, v))
             for f in fanins:
                 graph.add_edge(f, v)
+                if record is not None:
+                    record((EDGE_ADD, f, v))
             touched.add(v)
             touched.update(fanins)
             self.gate_types[edit.name] = edit.gate_type
             self.stats.operations += 1 + len(fanins)
         elif isinstance(edit, RemoveGate):
             v = graph.index_of(edit.name)
+            old_preds = list(graph.pred[v]) if record is not None else ()
+            old_succs = list(graph.succ[v]) if record is not None else ()
             touched.update(graph.kill_vertex(v))
+            if record is not None:  # only after the kill succeeded
+                for p in old_preds:
+                    record((EDGE_REMOVE, p, v))
+                for s in old_succs:
+                    record((EDGE_REMOVE, v, s))
+                record((VERTEX_REMOVE, v))
             self.gate_types.pop(edit.name, None)
             self.stats.operations += 1
         elif isinstance(edit, Rewire):
             v = graph.index_of(edit.name)
             fanins = [graph.index_of(f) for f in edit.fanins]
+            old_preds = list(graph.pred[v]) if record is not None else ()
             touched.update(graph.set_fanins(v, fanins))
+            if record is not None:  # only after the rewire succeeded
+                for p in old_preds:
+                    record((EDGE_REMOVE, p, v))
+                for f in fanins:
+                    record((EDGE_ADD, f, v))
             if edit.gate_type is not None:
                 self.gate_types[edit.name] = edit.gate_type
             self.stats.operations += 1
@@ -232,6 +291,9 @@ class IncrementalEngine:
     def flush(self) -> None:
         """Refresh dominator state now (queries do this automatically)."""
         if self._computer is not None and not self._dirty:
+            return
+        if self.engine == "dynamic":
+            self._flush_dynamic()
             return
         tree: Optional[DominatorTree] = None
         cone = downstream = None
@@ -263,9 +325,104 @@ class IncrementalEngine:
         )
         self.stats.flushes += 1
 
+    def _flush_dynamic(self) -> None:
+        """Dynamic-engine flush: fold queued deltas into the maintainer.
+
+        Unlike the patch path this never pays a full-graph pass when the
+        affected region is small: the maintainer updates its arrays in
+        place, the live :class:`~repro.dominators.dynamic.DynamicTree`
+        view is reused as-is, and the :class:`ChainComputer` is built
+        with ``shared_index=False`` so no per-version cone index is
+        rebuilt either.  The region the maintainer reports doubles as
+        the invalidation cone for the region cache.
+        """
+        deltas, self._deltas = self._deltas, []
+        cone = None
+        if self._maintainer is None:
+            # First flush: one static build over the current graph
+            # (any edits queued before it are already in the graph).
+            self._maintainer = DynamicDominators(self.graph)
+            self.stats.tree_rebuilds += 1
+        elif deltas:
+            cone = self._maintainer.apply_batch(deltas)
+            if cone is None:
+                self.stats.dynamic_fallbacks += 1
+                self.stats.tree_rebuilds += 1
+                if self.metrics is not None:
+                    self.metrics.inc("dynamic.fallback_rebuilds")
+            else:
+                self.stats.dynamic_updates += 1
+                if self.metrics is not None:
+                    self.metrics.inc("dynamic.updates")
+                    self.metrics.observe(
+                        "dynamic.affected_region_size", len(cone)
+                    )
+        elif self._dirty:
+            # Dirty vertices with no recorded deltas means the graph was
+            # mutated behind the engine's back; resync defensively.
+            self._maintainer.rebuild()
+            self.stats.dynamic_fallbacks += 1
+            self.stats.tree_rebuilds += 1
+        tree = self._maintainer.tree
+        if self._dirty:
+            downstream = downstream_of(self.graph, self._dirty)
+            self.stats.evictions += invalidate_dirty(
+                self.cache, self.graph, tree, self._dirty, cone, downstream
+            )
+            self._dirty.clear()
+        self._tree = tree
+        self._computer = ChainComputer(
+            self.graph,
+            self.algorithm,
+            tree=tree,
+            region_cache=self.cache,
+            backend=self.backend,
+            shared_index=False,
+        )
+        self.stats.flushes += 1
+
+    def check_certificate(self) -> List[str]:
+        """Run the O(n + m) low-high certificate on the current tree.
+
+        Builds a low-high order of the flushed dominator tree and
+        verifies the ancestor property, exact reachability span and the
+        low-high condition (:mod:`repro.dominators.dynamic.lowhigh`).
+        An empty list *proves* the tree is the dominator tree of the
+        live graph, regardless of which engine maintained it — this is
+        the fourth :mod:`repro.check` oracle, run after every edit
+        batch in the fuzzer's incremental cases and the daemon's edit
+        path.
+        """
+        self.flush()
+        assert self._computer is not None
+        if self._maintainer is not None:
+            violations = self._maintainer.certificate()
+        else:
+            violations = certify_tree(self.graph, self._computer.tree.idom)
+        self.stats.certificate_checks += 1
+        if self.metrics is not None:
+            self.metrics.inc("dynamic.certificate_checks")
+            if violations:
+                self.metrics.inc("dynamic.certificate_failures")
+        return violations
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Engine counters plus maintainer counters, one flat dict."""
+        data = self.stats.as_dict()
+        data["engine"] = self.engine
+        if self._maintainer is not None:
+            data.update(self._maintainer.stats.as_dict())
+        return data
+
     @property
-    def tree(self) -> DominatorTree:
-        """The current single-vertex dominator tree (flushes if stale)."""
+    def tree(self):
+        """The current dominator tree (flushes if stale).
+
+        A :class:`~repro.dominators.tree.DominatorTree` under
+        ``engine="patch"``; the live
+        :class:`~repro.dominators.dynamic.DynamicTree` view under
+        ``engine="dynamic"`` (same query surface).
+        """
         self.flush()
         assert self._computer is not None
         return self._computer.tree

@@ -35,7 +35,7 @@ class TestGenerateCase:
         kinds = {generate_case(0, i).kind.split("+")[0] for i in range(120)}
         assert "random" in kinds
         assert "single_output" in kinds
-        assert "incremental" in kinds
+        assert any(k.startswith("incremental[") for k in kinds)
         # At least one degenerate shape and one structured family.
         assert kinds & {
             "single_gate", "pi_only", "buffer_chain", "multi_fanout_root",
@@ -53,10 +53,20 @@ class TestGenerateCase:
 
     def test_incremental_cases_carry_edits(self):
         cases = [generate_case(0, i) for i in range(120)]
-        incremental = [c for c in cases if c.kind == "incremental"]
+        incremental = [
+            c for c in cases if c.kind.startswith("incremental[")
+        ]
         assert incremental
         assert all(c.edits for c in incremental)
-        assert all(not c.edits for c in cases if c.kind != "incremental")
+        assert all(
+            not c.edits
+            for c in cases
+            if not c.kind.startswith("incremental[")
+        )
+        # Streams alternate engines and draw every edit schedule.
+        assert {c.engine for c in incremental} == {"patch", "dynamic"}
+        schedules = {c.kind.split("[")[1].split(",")[0] for c in incremental}
+        assert schedules == {"mixed", "deletion_heavy", "interleaved"}
 
 
 class TestRunFuzz:
@@ -98,7 +108,7 @@ class TestApplicableEdits:
         case = next(
             generate_case(0, i)
             for i in range(200)
-            if generate_case(0, i).kind == "incremental"
+            if generate_case(0, i).kind.startswith("incremental[")
         )
         assert _applicable_edits(case.circuit, case.edits) == list(case.edits)
 

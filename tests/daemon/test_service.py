@@ -272,6 +272,116 @@ class TestSweepAndEdit:
         assert stats["circuits"][key]["version"] == 1
 
 
+class TestDynamicEngine:
+    """The daemon under ``engine="dynamic"``: same answers, certified."""
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ServiceConfig(engine="bogus")
+
+    def test_edits_serve_identical_chains(self, circuit):
+        config = ServiceConfig(engine="dynamic", use_shared_memory=False)
+        with DaemonService(config) as svc:
+            key = _load(svc, circuit)
+            out = circuit.outputs[0]
+            svc.handle(_request("chain", {"circuit": key, "output": out}))
+            edits = [
+                [
+                    {
+                        "op": "add-gate",
+                        "name": "dyn_a",
+                        "fanins": [circuit.inputs[0], circuit.inputs[1]],
+                        "type": "and",
+                    }
+                ],
+                [
+                    {
+                        "op": "rewire",
+                        "name": out,
+                        "fanins": ["dyn_a", circuit.inputs[2]],
+                    }
+                ],
+                [{"op": "remove-gate", "name": "dyn_a"}],
+            ]
+            # the third batch would orphan the rewired output's fanin;
+            # restore it first in the same batch
+            edits[2].insert(
+                0,
+                {
+                    "op": "rewire",
+                    "name": out,
+                    "fanins": [circuit.inputs[0], circuit.inputs[2]],
+                },
+            )
+            for batch in edits:
+                resp = svc.handle(
+                    _request(
+                        "edit",
+                        {"circuit": key, "output": out, "edits": batch},
+                    )
+                )
+                assert resp["ok"], resp
+                svc.handle(_request("chain", {"circuit": key, "output": out}))
+                # The engine edits its graph in place while a reference
+                # re-indexes the updated netlist, so vertex indices
+                # diverge — compare chains as name pair sets.
+                with svc._lock:
+                    updated = svc._circuits[key]
+                    engine = svc._engines[(key, out)]
+                graph = IndexedGraph.from_circuit(updated, out)
+                ref = ChainComputer(graph, backend=svc.config.backend)
+                tree = engine.tree
+                for u in graph.sources():
+                    name = graph.name_of(u)
+                    eu = engine.graph.index_of(name)
+                    if not tree.is_reachable(eu):
+                        continue
+                    got = {
+                        frozenset(engine.graph.name_of(x) for x in pair)
+                        for pair in engine.chain(eu).pair_set()
+                    }
+                    want = {
+                        frozenset(graph.name_of(x) for x in pair)
+                        for pair in ref.chain(u).pair_set()
+                    }
+                    assert got == want
+            stats = svc.handle(_request("stats"))["result"]
+            assert stats["engine"] == "dynamic"
+            assert stats["engine_stats"]["certificate_checks"] == len(edits)
+            counters = stats["metrics"]["counters"]
+            assert counters.get("dynamic.certificate_checks") == len(edits)
+            assert "dynamic.certificate_failures" not in counters
+
+    @needs_shm
+    def test_dynamic_edit_retires_shared_segment(self, circuit):
+        config = ServiceConfig(jobs=2, engine="dynamic")
+        with DaemonService(config) as svc:
+            key = _load(svc, circuit)
+            assert svc._pool.ref(key) is not None
+            out = circuit.outputs[0]
+            svc.handle(_request("chain", {"circuit": key, "output": out}))
+            resp = svc.handle(
+                _request(
+                    "edit",
+                    {
+                        "circuit": key,
+                        "output": out,
+                        "edits": [
+                            {
+                                "op": "add-gate",
+                                "name": "dyn_extra",
+                                "fanins": [circuit.inputs[0]],
+                                "type": "buf",
+                            }
+                        ],
+                    },
+                )
+            )
+            assert resp["ok"], resp
+            # Edit requests retire shm segments exactly as under patch.
+            assert svc._pool.ref(key) is None
+
+
 class TestAdmissionIntegration:
     def test_sheds_when_in_flight_full(self, service, circuit):
         key = _load(service, circuit)

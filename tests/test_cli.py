@@ -104,6 +104,37 @@ class TestEditSession:
         out = capsys.readouterr().out
         assert "speedup" in out
 
+    def test_dynamic_engine(self, bench_file, script_file, capsys):
+        assert (
+            main(
+                [
+                    "edit-session",
+                    bench_file,
+                    script_file,
+                    "--engine",
+                    "dynamic",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "dynamic_batches" in out
+
+    def test_unknown_engine_exits_2(self, bench_file, script_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "edit-session",
+                    bench_file,
+                    script_file,
+                    "--engine",
+                    "bogus",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "unknown engine" in capsys.readouterr().err
+
     def test_multi_output_requires_flag(self, tmp_path, script_file, capsys):
         from repro.circuits.generators import random_circuit
 
