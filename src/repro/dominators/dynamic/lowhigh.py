@@ -142,6 +142,12 @@ def compute_low_high(graph, idom: Sequence[int]) -> List[int]:
         raise LowHighError(f"idom[root] = {idom[root]}, expected {root}")
     children = _tree_children(idom, root, n)
     tin, size = _preorder_intervals(children, root, n)
+    for v in range(n):
+        if idom[v] != UNREACHABLE and tin[v] == UNREACHABLE:
+            raise LowHighError(
+                f"vertex {v}: parent chain does not reach the root "
+                "(cycle among tree links)"
+            )
     reachable = [tin[v] != UNREACHABLE for v in range(n)]
     topo_pos = {v: i for i, v in enumerate(_flow_topo_order(graph, reachable))}
     for v in range(n):
@@ -191,6 +197,16 @@ def compute_low_high(graph, idom: Sequence[int]) -> List[int]:
                     "(a dominator tree guarantees two)"
                 )
             else:
+                # On a corrupted tree a derived sibling can still be
+                # unplaced here (topological/dominance invariants broken);
+                # report that as a construction failure, not a ValueError.
+                unplaced = [s for s in derived if s not in placed]
+                if unplaced:
+                    raise LowHighError(
+                        f"vertex {c}: derived predecessor subtree "
+                        f"{unplaced[0]} is not placed before it "
+                        "(topological order of siblings violated)"
+                    )
                 lowest = min(placed.index(s) for s in derived)
                 placed.insert(lowest + 1, c)
 

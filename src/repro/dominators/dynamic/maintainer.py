@@ -12,11 +12,13 @@ predecessors of ``v`` are ``graph.succ[v]``, flow successors are
 * **Depth-based insertion search** — a batch that nets out to one
   inserted edge recomputes placements only along the propagation front
   below the edge's flow head: a vertex is re-examined only when a flow
-  predecessor moved in the tree, and each re-examination is a
-  depth-guided NCA fold.  Vertices whose predecessors all kept their
-  ``(idom, depth)`` pair are skipped outright — their ancestors cannot
-  have moved, because a re-parented ancestor strictly drops the depth
-  of its entire subtree.
+  predecessor is *dirty* (it, or a dominator-tree ancestor of it,
+  moved this sweep), and each re-examination is a depth-guided NCA
+  fold.  Vertices with only clean predecessors are skipped outright —
+  their folds' NCA climbs visit no vertex that moved, so the old
+  answer provably stands.  Dirtiness propagates along the maintained
+  ``idom`` links, which keeps the pruning sound for deletions too,
+  where a vertex can re-parent laterally at unchanged depth.
 * **Affected-region recomputation** — any batch (deletions, gate
   kills, multi-edge rewires) recomputes immediate dominators inside the
   *affected region*: the flow-reachable closure of the changed edges'
@@ -41,7 +43,7 @@ O(n + m) low-high order check after any batch.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..lengauer_tarjan import UNREACHABLE
@@ -78,7 +80,16 @@ class DynamicStats:
     region_updates: int = 0  # batches served by the local region sweep
     fallback_rebuilds: int = 0  # batches that exceeded the region threshold
     certificates: int = 0  # low-high certificate runs
-    region_sizes: List[int] = field(default_factory=list)
+    # Running aggregate of per-batch affected-region sizes — O(1) state,
+    # safe for long-lived daemon tenants (the full distribution lives in
+    # the ``dynamic.affected_region_size`` metrics histogram).
+    region_size_sum: int = 0
+    region_size_max: int = 0
+
+    def observe_region(self, size: int) -> None:
+        self.region_size_sum += size
+        if size > self.region_size_max:
+            self.region_size_max = size
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -87,6 +98,8 @@ class DynamicStats:
             "dynamic_region_updates": self.region_updates,
             "dynamic_fallback_rebuilds": self.fallback_rebuilds,
             "dynamic_certificates": self.certificates,
+            "dynamic_region_size_sum": self.region_size_sum,
+            "dynamic_region_size_max": self.region_size_max,
         }
 
 
@@ -308,7 +321,7 @@ class DynamicDominators:
         seeds.update(v for v, _ in added)
         seeds.update(v for v, _ in removed)
         region = self._flow_closure(seeds)
-        self.stats.region_sizes.append(len(region))
+        self.stats.observe_region(len(region))
 
         alive = n - len(graph.dead)
         if len(region) > max(self.MIN_REGION, self.max_region_fraction * alive):
@@ -357,15 +370,21 @@ class DynamicDominators:
         its reachable flow predecessors — only references state that is
         final by the time a local topological sweep reaches it.
 
-        The sweep is *pruned* exactly: a vertex is re-folded only when
-        its own predecessor list changed (it is a seed) or some flow
-        predecessor changed placement.  If every direct predecessor
-        kept its ``(idom, depth)`` pair, none of their tree ancestors
-        moved either — a re-parented ancestor strictly decreases the
-        depth of its whole subtree — so the fold's NCA climbs are
-        byte-identical and the old answer stands.  Insertions therefore
-        touch only the vertices the classic depth-based search would,
-        while staying correct for arbitrary DAG batches.
+        The sweep is *pruned* by ancestor-dirtiness: a vertex is
+        re-folded only when its own predecessor list changed (it is a
+        seed) or some flow predecessor is *dirty* — it, or any of its
+        dominator-tree ancestors, changed its ``(idom, depth)`` pair
+        this sweep.  The fold's NCA climbs only ever visit tree
+        ancestors of the flow predecessors, so when none of those moved
+        the climbs are byte-identical to the pre-batch state and the
+        old answer stands.  Dirtiness propagates along the (already
+        final) ``idom`` links in the same topological pass, which also
+        makes it reach vertices whose parent re-parented *laterally* at
+        unchanged depth — a deletion/rewire case where the subtree's
+        own ``(idom, depth)`` pairs stay intact while downstream NCA
+        folds change (direct-predecessor pruning alone is unsound
+        there).  Insertions still touch only the vertices the classic
+        depth-based search would.
         """
         graph = self.graph
         idom, depth, children = self.idom, self.depth, self.children
@@ -376,14 +395,20 @@ class DynamicDominators:
             v: sum(1 for u in graph.succ[v] if u in region) for v in region
         }
         queue = deque(v for v, d in indeg.items() if d == 0)
-        changed: Set[int] = set()
+        # dirty[v]: v or a dominator-tree ancestor of v changed placement.
+        # Vertices outside the region never change, and no tree ancestor
+        # of an outside vertex lies inside the region (the region is
+        # flow-closed, ancestors flow-precede their descendants), so a
+        # missing key soundly reads as clean.
+        dirty: Dict[int, bool] = {}
         processed = 0
         while queue:
             v = queue.popleft()
             processed += 1
+            pair_changed = False
             if v != root and (
                 v in seeds
-                or any(u in changed for u in graph.succ[v])
+                or any(dirty.get(u, False) for u in graph.succ[v])
             ):
                 acc: Optional[int] = None
                 for u in graph.succ[v]:  # flow predecessors
@@ -400,8 +425,14 @@ class DynamicDominators:
                         children[new].add(v)
                     idom[v] = new
                 depth[v] = depth[new] + 1 if new != UNREACHABLE else UNREACHABLE
-                if idom[v] != old or depth[v] != old_depth:
-                    changed.add(v)
+                pair_changed = idom[v] != old or depth[v] != old_depth
+            # idom[v] flow-precedes v, so its dirty flag is final here.
+            parent = idom[v]
+            dirty[v] = pair_changed or (
+                v != root
+                and parent != UNREACHABLE
+                and dirty.get(parent, False)
+            )
             for w in graph.pred[v]:  # flow successors
                 if w in region:
                     indeg[w] -= 1

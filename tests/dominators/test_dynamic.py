@@ -104,6 +104,54 @@ def test_maintainer_matches_static_over_edit_stream(seed):
     assert maintainer.stats.batches > 0
 
 
+def test_lateral_reparent_batch_updates_downstream_nca():
+    """Regression: same-depth re-parenting must reach dependent folds.
+
+    One batch rewires vertex 1 onto 5 and vertex 2 onto 3: vertex 3
+    re-parents *laterally* (idom 1 -> 2 at unchanged depth), leaving
+    its subtree's ``(idom, depth)`` pairs intact while the NCA of the
+    reconvergent sink 6 (flow preds 4 and 5) moves from 1 to the root.
+    Pruning on direct predecessor ``(idom, depth)`` changes alone
+    silently kept the stale ``idom[6] = 1`` here; the dirty-ancestor
+    propagation must re-fold 6.
+    """
+    graph = IndexedGraph([[], [0], [0], [1], [3], [1], [4, 5]], root=0)
+    maintainer = DynamicDominators(graph, max_region_fraction=1.0)
+    maintainer.MIN_REGION = graph.n + 1  # never fall back to a rebuild
+    assert maintainer.idom[6] == 1
+    deltas = []
+    for v, fanins in ((1, [5]), (2, [3])):
+        old = list(graph.pred[v])
+        graph.set_fanins(v, fanins)
+        deltas.extend((EDGE_REMOVE, p, v) for p in old)
+        deltas.extend((EDGE_ADD, f, v) for f in fanins)
+    assert maintainer.apply_batch(deltas) is not None  # swept, no rebuild
+    assert maintainer.idom[3] == 2  # the lateral re-parent itself
+    assert maintainer.idom[6] == 0  # the downstream fold it must reach
+    _assert_consistent(maintainer)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_maintainer_matches_static_without_fallback(seed):
+    """Deletion-heavy streams with the rebuild fallback disabled.
+
+    The random-stream test above can mask sweep bugs behind threshold
+    rebuilds; this variant forces every batch through the pruned region
+    sweep, so any unsound pruning shows up as an idom mismatch.
+    """
+    rng = random.Random(1000 + seed)
+    graph = _graph(seed, gates=30)
+    maintainer = DynamicDominators(graph, max_region_fraction=1.0)
+    maintainer.MIN_REGION = 10**9
+    for step in range(12):
+        deltas = []
+        for sub in range(rng.randint(1, 4)):
+            _random_mutation(rng, graph, deltas, f"nf_{seed}_{step}_{sub}")
+        maintainer.apply_batch(deltas)
+        _assert_consistent(maintainer)
+    assert maintainer.stats.fallback_rebuilds == 0
+
+
 def test_empty_batch_is_free():
     graph = _graph(1)
     maintainer = DynamicDominators(graph)
@@ -247,5 +295,29 @@ def test_low_high_construction_rejects_broken_parents():
     bad = list(idom)
     bad[graph.root] = UNREACHABLE
     with pytest.raises(LowHighError):
+        compute_low_high(graph, bad)
+    assert certify_tree(graph, bad) != []
+
+
+def test_low_high_construction_rejects_parent_cycle():
+    """Regression: idom links forming a cycle off the root must raise a
+    LowHighError, not leak a KeyError out of the placement pass."""
+    graph = IndexedGraph(
+        [[], [0], [1, 0], [1, 0], [3], [2], [3], [0, 5], [5]], root=0
+    )
+    bad = [0, 0, 0, 0, 3, 8, 8, 0, 5]  # 5 -> 8 -> 5 never reaches the root
+    with pytest.raises(LowHighError, match="does not reach the root"):
+        compute_low_high(graph, bad)
+    assert certify_tree(graph, bad) != []
+
+
+def test_low_high_construction_rejects_unplaced_derived_sibling():
+    """Regression: a corrupted tree can ask for a derived sibling that
+    is not placed yet; that must surface as a LowHighError (so
+    certify_tree reports a violation) instead of a raw ValueError from
+    ``placed.index``."""
+    graph = IndexedGraph([[], [0], [1, 0], [0], [1, 3], [0], [3, 0]], root=0)
+    bad = [0, 0, 0, 6, 0, 1, 0]  # true idom[3] is 0; 6 is topo-after 4
+    with pytest.raises(LowHighError, match="is not placed before it"):
         compute_low_high(graph, bad)
     assert certify_tree(graph, bad) != []

@@ -15,7 +15,8 @@ from hypothesis import strategies as st
 
 from repro.core import ChainComputer
 from repro.dominators.shared import BACKENDS
-from repro.incremental import IncrementalEngine
+from repro.graph.builder import CircuitBuilder
+from repro.incremental import IncrementalEngine, Rewire
 
 from .strategies import small_circuits
 from .test_incremental_engine import draw_edit
@@ -37,16 +38,52 @@ def assert_matches_recompute(engine, backend):
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+def test_lateral_reparent_rewire_batch_serves_true_chains(backend):
+    """Regression: a same-depth re-parent must reach reconvergent sinks.
+
+    One batch rewires ``b`` onto ``f`` alone and ``c`` onto ``d``:
+    gate ``d`` re-parents laterally (idom ``b`` -> ``c`` at unchanged
+    tree depth), so every ``(idom, depth)`` pair in its subtree stays
+    intact while the NCA of the reconvergent gate ``s`` — observed
+    through both the ``d`` and ``f`` subtrees — moves from ``b`` to the
+    output.  The dynamic engine's pruned sweep silently served the
+    stale ``idom[s] = b`` here (chains wrong, certificate only run on
+    check/daemon paths); dirty-ancestor propagation must catch it.
+    """
+    builder = CircuitBuilder("lateral")
+    i0, i1 = builder.inputs("i0", "i1")
+    s = builder.buf(i0, name="s")
+    e = builder.buf(s, name="e")
+    f = builder.buf(s, name="f")
+    d = builder.buf(e, name="d")
+    c = builder.buf(i1, name="c")
+    b = builder.and_(d, f, name="b")
+    builder.and_(b, c, name="out")
+    circuit = builder.finish(["out"])
+    engine = IncrementalEngine.from_circuit(
+        circuit, backend=backend, engine="dynamic"
+    )
+    engine.chains_for_sources()  # warm state so the edit takes the sweep
+    engine.apply(Rewire("b", ("f",)), Rewire("c", ("d",)))
+    tree = engine.tree
+    graph = engine.graph
+    assert tree.idom[graph.index_of("d")] == graph.index_of("c")
+    assert tree.idom[graph.index_of("s")] == graph.root
+    assert engine.check_certificate() == []
+    assert_matches_recompute(engine, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=60, deadline=None)
 @given(data=st.data())
 def test_dynamic_engine_matches_recompute(backend, data):
     """Bit-identical chains + passing certificate after every edit."""
-    circuit = data.draw(small_circuits(min_gates=2, max_gates=12))
+    circuit = data.draw(small_circuits(min_gates=4, max_gates=20))
     engine = IncrementalEngine.from_circuit(
         circuit, backend=backend, engine="dynamic"
     )
     engine.chains_for_sources()  # warm the cache pre-edit
-    for i in range(data.draw(st.integers(1, 4))):
+    for i in range(data.draw(st.integers(1, 6))):
         engine.apply(draw_edit(data.draw, engine, i))
         assert engine.check_certificate() == []
         assert_matches_recompute(engine, backend)
@@ -56,10 +93,10 @@ def test_dynamic_engine_matches_recompute(backend, data):
 @given(data=st.data())
 def test_dynamic_and_patch_engines_agree(data):
     """Both engines serve identical chains over the same edit stream."""
-    circuit = data.draw(small_circuits(min_gates=2, max_gates=12))
+    circuit = data.draw(small_circuits(min_gates=4, max_gates=18))
     dynamic = IncrementalEngine.from_circuit(circuit, engine="dynamic")
     patch = IncrementalEngine.from_circuit(circuit, engine="patch")
-    for i in range(data.draw(st.integers(1, 3))):
+    for i in range(data.draw(st.integers(1, 5))):
         edit = draw_edit(data.draw, dynamic, i)
         dynamic.apply(edit)
         patch.apply(edit)
