@@ -300,6 +300,7 @@ def run_fuzz(
     metrics=None,
     progress: Optional[Callable[[int, FuzzCase], None]] = None,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> FuzzResult:
     """Run ``cases`` differential checks; shrink and dump any failure.
 
@@ -316,6 +317,11 @@ def run_fuzz(
         Primary chain backend under test; the oracle additionally runs
         the counterpart backend on every target, so one fuzzing pass
         exercises both regardless of this choice.
+    kernels:
+        Primary hot-path implementation; whenever numpy is importable
+        the oracle also runs the opposite kernels per target (with the
+        kernel region threshold forced to 0), so fuzzing covers the
+        vectorized path by default.
     """
     result = FuzzResult(seed=seed)
     for index in range(cases):
@@ -327,7 +333,7 @@ def run_fuzz(
             metrics.inc("fuzz.cases")
 
         mismatches = _case_mismatches(
-            case, brute_limit, metrics, result, backend
+            case, brute_limit, metrics, result, backend, kernels
         )
         if inject_fault is not None and inject_fault(case.circuit):
             mismatches = mismatches + [
@@ -371,6 +377,7 @@ def _case_mismatches(
     metrics,
     result: FuzzResult,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> List[Mismatch]:
     if case.edits:
         result.incremental_sessions += 1
@@ -383,7 +390,7 @@ def _case_mismatches(
         )
     report: OracleReport = check_circuit(
         case.circuit, brute_limit=brute_limit, metrics=metrics,
-        backend=backend,
+        backend=backend, kernels=kernels,
     )
     result.targets += report.targets
     result.comparisons += report.comparisons

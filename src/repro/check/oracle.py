@@ -28,6 +28,7 @@ from ..core.algorithm import ChainComputer
 from ..core.baseline import baseline_double_dominators
 from ..core.bruteforce import all_double_dominators
 from ..core.chain import DominatorChain
+from ..dominators import kernels as kernels_mod
 from ..dominators.dynamic import certify_tree
 from ..dominators.shared import validate_backend
 from ..errors import ReproError
@@ -85,7 +86,8 @@ class Mismatch:
         Discriminator: ``chain-vs-brute``, ``baseline-vs-brute``,
         ``chain-vs-baseline``, ``lookup`` (the O(1) membership structure
         disagrees with the chain's own pair set), ``backend`` (the shared
-        and legacy chain backends disagree), ``incremental``,
+        and legacy chain backends disagree), ``kernels`` (the numpy and
+        python hot-path implementations disagree), ``incremental``,
         ``certificate`` (the dominator tree fails its low-high
         certificate) or ``crash`` (an implementation raised instead of
         answering).
@@ -297,6 +299,7 @@ def check_cone(
     report: Optional[OracleReport] = None,
     metrics=None,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> List[Mismatch]:
     """Differential check of one single-output cone.
 
@@ -320,6 +323,13 @@ def check_cone(
         Primary chain backend under test.  Every target is *also*
         computed with the counterpart backend and the two chains must be
         structurally identical (kind ``backend`` on divergence).
+    kernels:
+        Hot-path implementation of the primary computer.  Whenever
+        numpy is importable (and ``chain_fn`` is not overridden), every
+        target is additionally computed with the *opposite* kernels —
+        with the kernel region threshold forced to 0, so even
+        single-gate cones exercise the vectorized path — and compared
+        structurally (kind ``kernels`` on divergence).
     """
     if report is None:
         report = OracleReport(circuit or "cone")
@@ -330,12 +340,32 @@ def check_cone(
     started = time.perf_counter()
 
     cross_computer: Optional[ChainComputer] = None
+    kernel_computer: Optional[ChainComputer] = None
+    kernel_label = ""
     if chain_fn is None:
-        computer = ChainComputer(graph, algorithm, backend=backend)
+        computer = ChainComputer(
+            graph, algorithm, backend=backend, kernels=kernels
+        )
         chain_fn = lambda g, u: computer.chain(u)  # noqa: E731
         cross_computer = ChainComputer(
             graph, algorithm, backend=other_backend(backend)
         )
+        if kernels_mod.numpy_available():
+            # Kernels differential: identical chains from the opposite
+            # hot-path implementation, threshold forced to 0 so the
+            # kernels run even on tiny fuzz regions.
+            other_kernels = "python" if kernels == "numpy" else "numpy"
+            kernel_backend = (
+                backend if backend in ("shared", "linear") else "shared"
+            )
+            kernel_computer = ChainComputer(
+                graph,
+                algorithm,
+                backend=kernel_backend,
+                kernels=other_kernels,
+            )
+            kernel_label = f"{kernels} vs {other_kernels} kernels"
+
         # Fourth oracle: certify the cone's single-dominator tree once
         # per cone (the chain producers all consume this tree).
         report.comparisons += 1
@@ -425,6 +455,34 @@ def check_cone(
                             + divergence,
                         )
                     )
+        if chain is not None and kernel_computer is not None:
+            report.comparisons += 1
+            try:
+                with kernels_mod.forced_region_threshold(0):
+                    kernel_chain = kernel_computer.chain(u)
+            except ReproError as exc:
+                mismatches.append(
+                    Mismatch(
+                        "crash",
+                        circuit,
+                        output,
+                        _name(graph, u),
+                        f"{kernel_computer.kernels} kernels raised: "
+                        f"{exc!r}",
+                    )
+                )
+            else:
+                divergence = diff_chains(chain, kernel_chain)
+                if divergence is not None:
+                    mismatches.append(
+                        Mismatch(
+                            "kernels",
+                            circuit,
+                            output,
+                            _name(graph, u),
+                            f"{kernel_label}: " + divergence,
+                        )
+                    )
 
     if metrics is not None:
         metrics.inc("check.cones")
@@ -444,6 +502,7 @@ def check_circuit(
     brute_limit: int = DEFAULT_BRUTE_LIMIT,
     metrics=None,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> OracleReport:
     """Differential check of every requested output cone of a netlist."""
     report = OracleReport(circuit.name)
@@ -458,6 +517,7 @@ def check_circuit(
             report=report,
             metrics=metrics,
             backend=backend,
+            kernels=kernels,
         )
     return report
 

@@ -14,6 +14,7 @@ from .encoders import decoder, interrupt_controller, priority_encoder
 from .multipliers import array_multiplier
 from .muxtree import barrel_shifter, mux_tree
 from .parity import dual_rail_parity, parity_tree
+from .pipeline import mixing_pipeline
 from .prefix import kogge_stone_adder, prefix_or_network
 from .sorter import batcher_sorter, majority_network
 from .random_dag import (
@@ -39,6 +40,7 @@ __all__ = [
     "kogge_stone_adder",
     "magnitude_comparator",
     "majority_network",
+    "mixing_pipeline",
     "mux_tree",
     "parity_tree",
     "prefix_or_network",

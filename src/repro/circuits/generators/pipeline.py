@@ -1,0 +1,78 @@
+"""Wide mixing pipelines — the kernel-scaling stress family.
+
+The cascade family is deep and narrow: millions of tiny regions, each a
+handful of vertices.  This family is the opposite axis — a bus of
+``width`` signals is repeatedly collapsed through **two** parallel
+reduction trees (the stage's double-vertex dominator pair) into a single
+join gate (its single dominator), then fanned back out against fresh
+primary inputs.  Every consecutive pair of joins therefore bounds a
+search region of roughly ``3 * width`` vertices: the whole bus plus both
+rails sits strictly between them.  Chains over such a circuit spend all
+their time in per-region work — region extraction, the size-two cut,
+matching vectors — which is exactly the path the numpy kernels
+(:mod:`repro.dominators.kernels`) vectorize, making this the scaling
+benchmark's workload.
+
+Fresh inputs per stage matter: reusing the primary bus would let early
+inputs bypass later joins, dissolving the single-dominator chain (and
+with it the per-stage regions) into one giant region.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ...graph.builder import CircuitBuilder
+from ...graph.circuit import Circuit
+from ...graph.node import NodeType
+
+_OPS = (NodeType.AND, NodeType.OR, NodeType.XOR, NodeType.NAND)
+
+
+def _reduce_tree(b: CircuitBuilder, rng: random.Random, layer):
+    """Pairwise reduction of ``layer`` to a single signal."""
+    layer = list(layer)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(b.gate(rng.choice(_OPS), [layer[i], layer[i + 1]]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def mixing_pipeline(
+    stages: int,
+    width: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Circuit:
+    """``stages`` wide reconvergent stages over a ``width``-signal bus.
+
+    Each stage reduces the bus through two independent trees (one
+    double-dominator pair), joins the rails (one single dominator), and
+    rebuilds the bus from the join and ``width - 1`` fresh inputs.
+    Gate count is roughly ``stages * (3 * width - 2)``; region size per
+    stage is ``3 * width - 1`` vertices, independent of depth — size
+    the bus, not the stage count, to control region width.
+    """
+    if stages < 1 or width < 2:
+        raise ValueError("stages >= 1, width >= 2")
+    rng = random.Random(seed)
+    b = CircuitBuilder(name or f"pipe{stages}x{width}")
+    bus = list(b.input_bus("x", width))
+    for s in range(stages):
+        rails = [_reduce_tree(b, rng, bus) for _ in range(2)]
+        join = b.gate(NodeType.OR, rails)
+        fresh = [b.input(f"x{s + 1}_{j}") for j in range(width - 1)]
+        bus = [join] + [
+            b.gate(rng.choice(_OPS), [join, fresh[j]])
+            for j in range(width - 1)
+        ]
+    # Final reduction keeps the last stage's whole bus inside the cone.
+    return b.finish([b.buf(_reduce_tree(b, rng, bus), name="y0")])
+
+
+__all__ = ["mixing_pipeline"]

@@ -353,3 +353,99 @@ QUICK_SUBSET = [
     "C6288",
     "too_large",
 ]
+
+
+# ----------------------------------------------------------------------
+# scaling tiers (kernel benchmarks, far beyond Table 1's sizes)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScalingEntry:
+    """One scaling-tier benchmark: a named million-ish-gate build.
+
+    ``tier`` groups entries by cost: ``"mid"`` circuits (tens of
+    thousands of gates) are CI material, ``"mega"`` circuits (about a
+    million gates each) are the checked-in ``BENCH_scaling.json``
+    workload and take minutes per backend on the python path.
+    """
+
+    name: str
+    tier: str
+    build: Callable[[], Circuit]
+    approx_gates: int
+
+    def circuit(self) -> Circuit:
+        built = self.build()
+        built.name = self.name
+        return built
+
+
+_SCALING: Optional[Dict[str, ScalingEntry]] = None
+
+
+def scaling_suite() -> Dict[str, ScalingEntry]:
+    """The scaling-tier registry, keyed by entry name.
+
+    Two families cover the two scaling axes: ``cascade`` is deep and
+    narrow (a million tiny regions — tree-pass bound), the
+    ``mixing_pipeline`` entries are shallow and wide (regions of
+    thousands of vertices — region-work bound, where the numpy kernels
+    engage).
+    """
+    global _SCALING
+    if _SCALING is None:
+        from .generators.pipeline import mixing_pipeline
+
+        entries = [
+            ScalingEntry(
+                "pipe_mid",
+                "mid",
+                lambda: mixing_pipeline(44, 512, seed=7),
+                91_000,
+            ),
+            ScalingEntry(
+                "cascade_mega",
+                "mega",
+                lambda: cascade(250_000, seed=7),
+                1_000_000,
+            ),
+            ScalingEntry(
+                "pipe_mega_2k",
+                "mega",
+                lambda: mixing_pipeline(122, 2048, seed=7),
+                1_003_000,
+            ),
+            ScalingEntry(
+                "pipe_mega_4k",
+                "mega",
+                lambda: mixing_pipeline(61, 4096, seed=7),
+                1_007_000,
+            ),
+            ScalingEntry(
+                "pipe_mega_8k",
+                "mega",
+                lambda: mixing_pipeline(30, 8192, seed=7),
+                999_000,
+            ),
+        ]
+        _SCALING = {e.name: e for e in entries}
+    return _SCALING
+
+
+def scaling_names(tier: Optional[str] = None) -> List[str]:
+    """Scaling-entry names, optionally restricted to one tier."""
+    return [
+        name
+        for name, entry in scaling_suite().items()
+        if tier is None or entry.tier == tier
+    ]
+
+
+def get_scaling_circuit(name: str) -> Circuit:
+    """Build one scaling-tier circuit by name."""
+    suite = scaling_suite()
+    if name not in suite:
+        raise KeyError(
+            f"unknown scaling benchmark {name!r}; "
+            f"choose from {sorted(suite)}"
+        )
+    return suite[name].circuit()

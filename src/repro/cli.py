@@ -62,6 +62,7 @@ from typing import Optional, Sequence
 from .core.algorithm import ChainComputer
 from .core.api import count_double_dominators, count_single_dominators
 from .dominators.dynamic import ENGINES, validate_engine
+from .dominators.kernels import KERNELS, validate_kernels
 from .dominators.shared import BACKENDS, validate_backend
 from .errors import ReproError
 from .graph.circuit import Circuit
@@ -97,7 +98,9 @@ def _cmd_chains(args: argparse.Namespace) -> int:
         )
         return 2
     graph = IndexedGraph.from_circuit(circuit, output)
-    computer = ChainComputer(graph, backend=args.backend)
+    computer = ChainComputer(
+        graph, backend=args.backend, kernels=args.kernels
+    )
     targets = (
         [graph.index_of(args.target)]
         if args.target
@@ -122,7 +125,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_counts(args: argparse.Namespace) -> int:
     circuit = load_netlist(args.netlist)
     singles = count_single_dominators(circuit)
-    doubles = count_double_dominators(circuit, backend=args.backend)
+    doubles = count_double_dominators(
+        circuit, backend=args.backend, kernels=args.kernels
+    )
     print(f"single-vertex dominators of >=1 PI (per cone, summed): {singles}")
     print(f"double-vertex dominators of >=1 PI (per cone, summed): {doubles}")
     return 0
@@ -234,6 +239,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         brute_limit=args.brute_limit,
         metrics=metrics,
         backend=args.backend,
+        kernels=args.kernels,
     )
     print(report.summary())
     for mismatch in report.mismatches:
@@ -272,6 +278,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         metrics=metrics,
         progress=progress,
         backend=args.backend,
+        kernels=args.kernels,
     )
     print(result.summary())
     for failure in result.failures:
@@ -325,6 +332,7 @@ def _make_executor(args: argparse.Namespace):
             jobs=args.jobs,
             timeout=args.timeout,
             backend=getattr(args, "backend", "shared"),
+            kernels=getattr(args, "kernels", "python"),
         ),
         metrics=metrics,
         store=store,
@@ -509,6 +517,7 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
         ServiceConfig(
             jobs=args.jobs,
             backend=getattr(args, "backend", "shared"),
+            kernels=getattr(args, "kernels", "python"),
             engine=getattr(args, "engine", "patch"),
             use_shared_memory=not args.no_shared_memory,
             max_in_flight=args.max_in_flight,
@@ -620,6 +629,31 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def kernels_arg(value: str) -> str:
+    """Shared ``argparse`` validator for every ``--kernels`` flag.
+
+    Mirrors :func:`backend_arg`: an unknown kernels name exits 2 with
+    the canonical one-line message listing the registered
+    implementations (:data:`repro.dominators.kernels.KERNELS`).
+    """
+    try:
+        return validate_kernels(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_kernels_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernels",
+        default="python",
+        type=kernels_arg,
+        metavar="{%s}" % ",".join(KERNELS),
+        help="hot-path implementation: pure python (default, always "
+        "available) or numpy flat-array kernels for the tree pass and "
+        "wide shared-backend regions (identical chains)",
+    )
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
@@ -643,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chains.add_argument("--output", help="output cone to analyze")
     p_chains.add_argument("--target", help="single target vertex (default: all PIs)")
     _add_backend_flag(p_chains)
+    _add_kernels_flag(p_chains)
     p_chains.set_defaults(func=_cmd_chains)
 
     p_stats = sub.add_parser("stats", help="circuit statistics")
@@ -652,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_counts = sub.add_parser("counts", help="Table-1 dominator counts")
     p_counts.add_argument("netlist")
     _add_backend_flag(p_counts)
+    _add_kernels_flag(p_counts)
     p_counts.set_defaults(func=_cmd_counts)
 
     p_edit = sub.add_parser(
@@ -693,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", help="write metrics snapshot JSON"
     )
     _add_backend_flag(p_check)
+    _add_kernels_flag(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_fuzz = sub.add_parser(
@@ -723,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="log each case to stderr"
     )
     _add_backend_flag(p_fuzz)
+    _add_kernels_flag(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_t1 = sub.add_parser("table1", help="run the Table-1 harness")
@@ -766,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_true", help="suppress progress lines"
     )
     _add_backend_flag(p_sweep)
+    _add_kernels_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_serve = sub.add_parser(
@@ -781,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", help="write metrics snapshot JSON"
     )
     _add_backend_flag(p_serve)
+    _add_kernels_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve_batch)
 
     p_daemon = sub.add_parser(
@@ -827,6 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", help="write metrics snapshot JSON on exit"
     )
     _add_backend_flag(p_daemon)
+    _add_kernels_flag(p_daemon)
     _add_engine_flag(p_daemon)
     p_daemon.set_defaults(func=_cmd_daemon)
     return parser

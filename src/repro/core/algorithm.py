@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..dominators import kernels as _kernels
 from ..dominators.linear import LinearScratch, region_chain_pairs
 from ..dominators.shared import (
     RegionMatcher,
@@ -173,6 +174,15 @@ class ChainComputer:
         the mode the dynamic incremental engine runs in, where the
         graph version changes every flush.  Requires ``tree`` to be
         supplied for the shared/linear backends to stay O(1) to build.
+    kernels:
+        ``"python"`` (default) keeps every pass on the pure-python hot
+        path; ``"numpy"`` switches the cone tree pass to the metered
+        sweep and shared-backend regions at least
+        :data:`repro.dominators.kernels.MIN_KERNEL_REGION` wide to the
+        flat-array kernels (:mod:`repro.dominators.kernels`) — region
+        extraction, min cut and matching vectors all vectorized.
+        Chains are bit-identical either way; the differential oracle
+        cross-checks them.  Requires the shared index (and numpy).
     """
 
     def __init__(
@@ -185,12 +195,22 @@ class ChainComputer:
         metrics=None,
         backend: str = "shared",
         shared_index: bool = True,
+        kernels: str = "python",
     ):
         self.graph = graph
         self.algorithm = algorithm
         self.cache_regions = cache_regions
         self.metrics = metrics
         self.backend = validate_backend(backend)
+        self.kernels = _kernels.validate_kernels(kernels)
+        if kernels == "numpy":
+            _kernels.require_numpy()
+            if not shared_index or backend not in ("shared", "linear"):
+                raise ValueError(
+                    "kernels='numpy' needs the shared cone index "
+                    "(shared_index=True and backend 'shared' or "
+                    "'linear')"
+                )
         # The linear backend reuses the shared index for region
         # extraction and the cone dominator tree; only the per-region
         # pair construction differs.  ``shared_index=False`` skips the
@@ -200,7 +220,7 @@ class ChainComputer:
         # once per flush.  Both extractions assign region-local ids in
         # ascending original-id order, so chains stay bit-identical.
         self._index = (
-            SharedConeIndex.for_graph(graph, algorithm)
+            SharedConeIndex.for_graph(graph, algorithm, kernels)
             if shared_index and backend in ("shared", "linear")
             else None
         )
@@ -258,6 +278,21 @@ class ChainComputer:
                 if cached is not None:
                     region_lists.append(cached)
                     continue
+            if (
+                self.kernels == "numpy"
+                and self.backend == "shared"
+                and self._index is not None
+            ):
+                expanded = self._kernel_region(start, sink)
+                if expanded is not None:
+                    members, pairs = expanded
+                    if self.metrics is not None:
+                        self.metrics.inc("core.region_expansions")
+                        self.metrics.inc("core.kernel_regions")
+                    if self.region_cache is not None:
+                        self.region_cache.store(start, sink, members, pairs)
+                    region_lists.append(pairs)
+                    continue
             if self._index is not None:
                 view, orig_of, local_start = self._index.extract_region(
                     start, sink
@@ -288,6 +323,47 @@ class ChainComputer:
                 self.region_cache.store(start, sink, orig_of, expanded)
             region_lists.append(expanded)
         return _assemble(u, region_lists)
+
+    def _kernel_region(self, start: int, sink: int):
+        """Expand one region on the numpy kernels, or ``None`` to punt.
+
+        The cheap pre-check uses the original-id window: ids are
+        topological, so the region is confined to ``[start, sink]`` and
+        a window below ``MIN_KERNEL_REGION`` cannot contain a region
+        worth vectorizing — crucially, deciding this needs *no* kernel
+        index, so cones whose chain regions are all narrow never build
+        one.  Past it, the precise level-order window gates the
+        expensive path, and a mean level width below
+        ``MIN_KERNEL_LEVEL_WIDTH`` punts deep-and-narrow regions back
+        to the interpreter (the bitset byte cap, by contrast, is the
+        matcher's own concern — it degrades to its sweep engine, not
+        to python).
+        Returned pairs are in cone ids and bit-identical to the python
+        expansion.
+        """
+        if sink - start + 1 < _kernels.MIN_KERNEL_REGION:
+            return None
+        index = self._index.kernel_index()
+        window = index.window(start, sink)
+        if window < _kernels.MIN_KERNEL_REGION:
+            return None
+        if _kernels.MIN_KERNEL_REGION and (
+            window
+            < _kernels.MIN_KERNEL_LEVEL_WIDTH * index.level_span(start, sink)
+        ):
+            # Deep and narrow: the level sweeps would pay one numpy
+            # call per level for a handful of vertices each — the
+            # interpreter path is faster on this shape.  Disabled
+            # together with the size floor under
+            # ``forced_region_threshold(0)`` so tests still force
+            # kernel coverage on tiny regions.
+            return None
+        region = index.region(start, sink)
+        if region is None:
+            return None
+        return region.members_sorted(), _kernels.kernel_expand_region(
+            region, start
+        )
 
     def chains_for_sources(self) -> Dict[int, DominatorChain]:
         """Chains of every primary input of the cone (Table 1 workload)."""
@@ -321,6 +397,7 @@ def dominator_chain(
     algorithm: str = "lt",
     tree: Optional[DominatorTree] = None,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> DominatorChain:
     """Compute ``D(u)`` for a single target — the paper's entry point.
 
@@ -333,4 +410,6 @@ def dominator_chain(
     >>> chain.dominates(g.index_of("d"), g.index_of("h"))
     True
     """
-    return ChainComputer(graph, algorithm, tree=tree, backend=backend).chain(u)
+    return ChainComputer(
+        graph, algorithm, tree=tree, backend=backend, kernels=kernels
+    ).chain(u)

@@ -117,6 +117,7 @@ def count_double_dominators(
     algorithm: str = "lt",
     cache_regions: bool = True,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> int:
     """Table 1, Column 5 with the paper's algorithm.
 
@@ -127,7 +128,11 @@ def count_double_dominators(
     for out in circuit.outputs:
         graph = IndexedGraph.from_circuit(circuit, out)
         computer = ChainComputer(
-            graph, algorithm, cache_regions=cache_regions, backend=backend
+            graph,
+            algorithm,
+            cache_regions=cache_regions,
+            backend=backend,
+            kernels=kernels,
         )
         pairs: Set[FrozenSet[int]] = set()
         for u in graph.sources():

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..dominators.dynamic import validate_engine
+from ..dominators.kernels import validate_kernels
 from ..errors import ReproError
 from ..graph.circuit import Circuit, Node
 from ..graph.node import NodeType
@@ -71,6 +72,7 @@ class ServiceConfig:
 
     jobs: int = 1
     backend: str = "shared"
+    kernels: str = "python"
     engine: str = "patch"
     use_shared_memory: bool = True
     max_in_flight: int = 16
@@ -86,6 +88,7 @@ class ServiceConfig:
                 f"chunk_size must be a positive integer, got {self.chunk_size}"
             )
         validate_engine(self.engine)
+        validate_kernels(self.kernels)
 
 
 def _circuit_from_inline(definition: Dict[str, Any]) -> Circuit:
@@ -485,7 +488,7 @@ class DaemonService:
         workers = self._worker_pool()
         if workers is None or len(cone_jobs) <= 1:
             results, snapshot = _chunk_entry(
-                (circuit, cone_jobs, self.config.backend)
+                (circuit, cone_jobs, self.config.backend, self.config.kernels)
             )
             self.metrics.merge_snapshot(snapshot)
             return results, "inline"
@@ -504,7 +507,8 @@ class DaemonService:
         ]
         futures = [
             workers.submit(
-                _chunk_entry, (payload_circuit, chunk, self.config.backend)
+                _chunk_entry,
+                (payload_circuit, chunk, self.config.backend, self.config.kernels),
             )
             for chunk in chunks
         ]
@@ -517,7 +521,7 @@ class DaemonService:
                 # chunk inline.
                 self.metrics.inc("daemon.worker_failures")
                 chunk_results, snapshot = _chunk_entry(
-                    (circuit, chunk, self.config.backend)
+                    (circuit, chunk, self.config.backend, self.config.kernels)
                 )
             self.metrics.merge_snapshot(snapshot)
             results.extend(chunk_results)

@@ -1,0 +1,882 @@
+"""Numpy/packed-bitset kernels for the shared-index hot path.
+
+The shared backend's per-region work — extracting the search region,
+finding the source-nearest size-two cut, and expanding each pair's
+matching vectors — is pointer-chasing python over list-of-list
+adjacency.  On wide regions (thousands of vertices per level) that
+interpreter overhead dominates; this module re-implements the hot path
+over flat arrays, selected via ``kernels="numpy"`` on
+:class:`~repro.core.algorithm.ChainComputer` and everything above it.
+
+The kernels operate in **level-order position space**: ``IndexedGraph``
+vertex ids come out of a LIFO-Kahn topological sort and are therefore
+DFS-flavored, which shreds a wide circuit into thousands of tiny
+contiguous runs.  :class:`KernelConeIndex` computes longest-path levels
+once (one python O(E) pass) and a stable permutation ``P`` sorting
+vertices by level; in P-space every level is one contiguous chunk with
+no intra-chunk edges, so the reach/coreach region sweeps and the
+matcher's dominator recurrence become a handful of
+``np.logical_or.reduceat`` / ``np.bitwise_and.reduceat`` calls per
+level instead of a python loop per vertex.  Dominator chains and cut
+sets sort identically under any topological numbering, so results map
+back to cone ids bit-identically to the pure-python path (the
+differential oracle and the hypothesis property suite assert this).
+
+Four kernels:
+
+* **region extraction** — dense chunked reach/coreach over CSR
+  adjacency inside the ``[P(start), P(sink)]`` window
+  (:meth:`KernelConeIndex.extract`);
+* **cut solver** — frontier BFS over the implicit split network
+  (:func:`kernel_min_cut`), with the handful of flowed arcs kept in a
+  sparse residual overlay; the residually-reachable side after any
+  max flow is the unique source-nearest cut, so path selection cannot
+  change the answer;
+* **matcher** — adaptive: ADDVECTOR excludes a *different* vertex on
+  almost every call, so per-exclusion precomputation amortizes
+  nothing; each call is answered by the vectorized counting engine
+  (:func:`counting_vector`) — two path-counting sweeps modulo a prime
+  nominate candidate dominators, one exact reach sweep per candidate
+  confirms them — and an exclusion that keeps being re-queried
+  graduates to a packed-uint64 postdominator table
+  (:class:`KernelBitsetMatcher`): one AND-fold per level computes
+  every vertex's full chain at 64 vertices per machine word, after
+  which a vector is one row decode;
+* **tree pass** — :func:`guarded_cone_idoms` meters the topological
+  CHK sweep's NCA walks and falls back to the flat-array SNCA pass
+  when a deep circuit degenerates the recurrence toward O(E·depth)
+  (pure python, no numpy needed — idoms are unique so the output is
+  unchanged, only the worst case is).
+
+Everything degrades gracefully: the module imports without numpy
+(``kernels="numpy"`` then raises a clear error), small regions are
+served by the existing python path below :data:`MIN_KERNEL_REGION`, and
+a region whose bitset table would exceed :data:`BITSET_BYTE_CAP` simply
+keeps the matcher's sweep engine and never allocates the table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+try:  # pragma: no cover - exercised via the numpy-less CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in dev envs
+    _np = None
+
+from ..errors import ChainConstructionError, CircuitError, FlowError
+
+#: Valid values of the public ``kernels=`` parameter.
+#:
+#: * ``python`` — the existing pure-python hot path (always available);
+#: * ``numpy`` — flat-array kernels from this module for the cone tree
+#:   pass and for shared-backend regions at least
+#:   :data:`MIN_KERNEL_REGION` wide, python elsewhere.  Bit-identical
+#:   chains either way.
+KERNELS = ("python", "numpy")
+
+#: Regions narrower than this (by topological-id window) stay on the
+#: python path: below a few hundred vertices the numpy call overhead
+#: costs more than the interpreter loop it replaces.  Tests pin this to
+#: 0 to force kernel coverage on small circuits.
+MIN_KERNEL_REGION = 512
+
+#: Minimum mean vertices per level for a region to take the kernel
+#: path.  The kernels sweep one numpy call per level chunk, so a deep
+#: and narrow region (a cascade's merge region runs ~1.6 vertices per
+#: level over tens of thousands of levels) pays call overhead per
+#: *level* while the interpreter pays per *vertex* — the python path
+#: wins there.  Gated on the cheap window/span estimate before any
+#: extraction work.
+MIN_KERNEL_LEVEL_WIDTH = 8
+
+#: Upper bound on one region's packed dominator table
+#: (``(r + 1) * ceil(r / 64) * 8`` bytes).  Regions above it never
+#: graduate an exclusion to the bitset engine and answer every query
+#: with the sweep — the table is quadratic in region size, and a
+#: single degenerate region must not allocate gigabytes.
+BITSET_BYTE_CAP = 64 << 20
+
+
+def validate_kernels(kernels: str) -> str:
+    if kernels not in KERNELS:
+        raise ValueError(
+            f"unknown kernels {kernels!r}; choose from {list(KERNELS)}"
+        )
+    return kernels
+
+
+@contextmanager
+def forced_region_threshold(value: int) -> Iterator[None]:
+    """Temporarily override :data:`MIN_KERNEL_REGION`.
+
+    The differential oracle and the property tests force the threshold
+    to 0 so that *every* region — including the few-vertex regions of
+    fuzzed circuits — exercises the kernel path; production dispatch
+    reads the module attribute per region, so the override takes effect
+    immediately and is restored on exit.
+    """
+    global MIN_KERNEL_REGION
+    previous = MIN_KERNEL_REGION
+    MIN_KERNEL_REGION = value
+    try:
+        yield
+    finally:
+        MIN_KERNEL_REGION = previous
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernels can actually run in this process."""
+    return _np is not None
+
+
+def require_numpy() -> None:
+    """Raise the canonical error when ``kernels='numpy'`` cannot run."""
+    if _np is None:
+        raise CircuitError(
+            "kernels='numpy' requested but numpy is not installed; "
+            "use kernels='python' (the always-available fallback)"
+        )
+
+
+# ----------------------------------------------------------------------
+# tree pass: metered CHK with SNCA fallback
+# ----------------------------------------------------------------------
+def guarded_cone_idoms(graph, budget_factor: int = 8) -> Optional[List[int]]:
+    """Cone idoms with a step budget on the CHK sweep's NCA walks.
+
+    Historical alias: the metered sweep started here, then the
+    million-gate cascade tier showed the unguarded python sweep hitting
+    the same O(E·depth) pathology, so the budget moved into
+    :func:`repro.dominators.shared.topo_cone_idoms` itself — one
+    implementation, same contract (``None`` when vertex ids are not
+    topological or some vertex misses the root; on a budget blow-out,
+    the flat-array SNCA of :func:`repro.dominators.dsu.compute_idoms`,
+    which is near-linear regardless of depth).
+    """
+    from .shared import topo_cone_idoms
+
+    return topo_cone_idoms(graph, budget_factor)
+
+
+# ----------------------------------------------------------------------
+# level-order cone index
+# ----------------------------------------------------------------------
+class KernelConeIndex:
+    """Flat CSR adjacency of one cone in level-order position space.
+
+    ``P[pos]`` is the cone id at position ``pos``; positions ascend by
+    longest-path level (stable within a level, so equal-level vertices
+    keep ascending cone ids).  ``bounds[k]`` is the first position of
+    level ``k`` — every edge crosses at least one bound, which is what
+    lets the region sweeps process a whole level per numpy call.
+    """
+
+    __slots__ = (
+        "graph",
+        "n",
+        "P",
+        "Pinv",
+        "bounds",
+        "indptr",
+        "indices",
+        "rindptr",
+        "rindices",
+    )
+
+    def __init__(self, graph):
+        require_numpy()
+        np = _np
+        self.graph = graph
+        n = graph.n
+        self.n = n
+        gsucc = graph.succ
+        level = [0] * n
+        for v in range(n):
+            lv1 = level[v] + 1
+            for w in gsucc[v]:
+                if level[w] < lv1:
+                    level[w] = lv1
+        lv = np.asarray(level, dtype=np.int64)
+        P = np.argsort(lv, kind="stable")
+        self.P = P
+        Pinv = np.empty(n, dtype=np.int64)
+        Pinv[P] = np.arange(n)
+        self.Pinv = Pinv
+        lv_sorted = lv[P]
+        nlev = int(lv_sorted[-1]) + 1 if n else 0
+        self.bounds = np.searchsorted(lv_sorted, np.arange(nlev + 1))
+        adj_in_order = list(map(gsucc.__getitem__, P.tolist()))
+        counts = np.fromiter(
+            map(len, adj_in_order), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = np.fromiter(
+            itertools.chain.from_iterable(adj_in_order),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        self.indptr, self.indices = indptr, Pinv[flat]
+        rcounts = np.bincount(self.indices, minlength=n)
+        rindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(rcounts, out=rindptr[1:])
+        order = np.argsort(self.indices, kind="stable")
+        tails = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self.rindptr, self.rindices = rindptr, tails[order]
+
+    def window(self, start: int, sink: int) -> int:
+        """Width of the P-space window the region is confined to."""
+        return int(self.Pinv[sink]) - int(self.Pinv[start]) + 1
+
+    def level_span(self, start: int, sink: int) -> int:
+        """Number of level chunks the region's P-window crosses.
+
+        ``window / level_span`` estimates the region's mean level width
+        — the per-numpy-call batch size of every kernel sweep — without
+        extracting anything: two binary searches on the level bounds.
+        """
+        np = _np
+        ps, pk = int(self.Pinv[start]), int(self.Pinv[sink])
+        lo = int(np.searchsorted(self.bounds, ps, side="right"))
+        hi = int(np.searchsorted(self.bounds, pk + 1, side="left"))
+        return hi - lo + 1
+
+    def extract(self, start: int, sink: int):
+        """Region members as ascending P positions (``None``: no path).
+
+        A start→sink path ascends levels, so every member position lies
+        in ``[P(start), P(sink)]``; the reach pass sweeps that window
+        level chunk by level chunk (predecessor gathers never look
+        outside earlier chunks), the coreach pass sweeps it back down
+        with the sink's own successors excluded — the same pruning as
+        ``SharedConeIndex.extract_region``.
+        """
+        np = _np
+        ps, pk = int(self.Pinv[start]), int(self.Pinv[sink])
+        width = pk - ps + 1
+        bounds = self.bounds
+        lo_i = int(np.searchsorted(bounds, ps, side="right"))
+        hi_i = int(np.searchsorted(bounds, pk + 1, side="left"))
+        cuts = [ps] + [int(x) for x in bounds[lo_i:hi_i]] + [pk + 1]
+        rindptr, rindices = self.rindptr, self.rindices
+        reach = np.zeros(width, dtype=bool)
+        reach[0] = True
+        for ci in range(1, len(cuts) - 1):
+            a, b = cuts[ci], cuts[ci + 1]
+            base = rindptr[a]
+            seg = rindices[base : rindptr[b]]
+            offs = rindptr[a:b] - base
+            degs = rindptr[a + 1 : b + 1] - rindptr[a:b]
+            vals = (seg >= ps) & reach[np.maximum(seg - ps, 0)]
+            nzi = np.nonzero(degs > 0)[0]
+            if nzi.size:
+                reach[a - ps + nzi] = np.logical_or.reduceat(
+                    vals, offs[nzi]
+                )
+        if not reach[width - 1]:
+            return None
+        indptr, indices = self.indptr, self.indices
+        co = np.zeros(width, dtype=bool)
+        co[width - 1] = True
+        for ci in range(len(cuts) - 2, -1, -1):
+            a, b = cuts[ci], cuts[ci + 1]
+            if b == pk + 1:
+                b = pk  # the sink is seeded, not expanded
+                if a >= b:
+                    continue
+            base = indptr[a]
+            seg = indices[base : indptr[b]]
+            offs = indptr[a:b] - base
+            degs = indptr[a + 1 : b + 1] - indptr[a:b]
+            vals = (seg <= pk) & co[np.minimum(seg - ps, width - 1)]
+            nzi = np.nonzero(degs > 0)[0]
+            if nzi.size:
+                co[a - ps + nzi] = np.logical_or.reduceat(vals, offs[nzi])
+        return np.nonzero(reach & co)[0] + ps
+
+    def region(self, start: int, sink: int) -> Optional["KernelRegion"]:
+        pmem = self.extract(start, sink)
+        if pmem is None:
+            return None
+        return KernelRegion(self, pmem)
+
+
+class KernelRegion:
+    """One search region as local CSR arrays plus cone-id mappings.
+
+    Local ids ascend by P position (level order).  ``cone_ids[x]`` maps
+    a local id back to the cone; ``local_of`` inverts it.  ``lbounds``
+    are the region-local level-chunk boundaries the matcher and the
+    flow BFS reuse.
+    """
+
+    __slots__ = (
+        "index",
+        "pmem",
+        "r",
+        "lptr",
+        "lind",
+        "rlptr",
+        "rlind",
+        "lbounds",
+        "cone_ids",
+        "local_of",
+    )
+
+    def __init__(self, index: KernelConeIndex, pmem):
+        np = _np
+        self.index = index
+        self.pmem = pmem
+        r = int(pmem.size)
+        self.r = r
+        ps, pk = int(pmem[0]), int(pmem[-1])
+        in_reg = np.zeros(pk - ps + 1, dtype=bool)
+        in_reg[pmem - ps] = True
+        indptr, indices = index.indptr, index.indices
+        base = indptr[pmem]
+        cnts = indptr[pmem + 1] - base
+        ends = np.cumsum(cnts)
+        total = int(ends[-1]) if r else 0
+        offs = np.repeat(base - ends + cnts, cnts)
+        tgt = indices[offs + np.arange(total)]
+        ok = (tgt >= ps) & (tgt <= pk)
+        okk = ok.copy()
+        okk[ok] = in_reg[tgt[ok] - ps]
+        seg_ids = np.repeat(np.arange(r), cnts)
+        keep_per = np.bincount(seg_ids[okk], minlength=r)
+        lptr = np.zeros(r + 1, dtype=np.int64)
+        np.cumsum(keep_per, out=lptr[1:])
+        self.lptr, self.lind = lptr, np.searchsorted(pmem, tgt[okk])
+        rcounts = np.bincount(self.lind, minlength=r)
+        rlptr = np.zeros(r + 1, dtype=np.int64)
+        np.cumsum(rcounts, out=rlptr[1:])
+        order = np.argsort(self.lind, kind="stable")
+        tails = np.repeat(np.arange(r, dtype=np.int64), keep_per)
+        self.rlptr, self.rlind = rlptr, tails[order]
+        gb = index.bounds
+        li = int(np.searchsorted(gb, ps, side="right"))
+        hi = int(np.searchsorted(gb, pk + 1, side="left"))
+        inner = np.searchsorted(pmem, gb[li:hi])
+        self.lbounds = sorted({0, r, *(int(x) for x in inner)})
+        self.cone_ids = index.P[pmem]
+        self.local_of = dict(zip(self.cone_ids.tolist(), range(r)))
+
+    def members_sorted(self) -> List[int]:
+        """Region members as ascending cone ids (the cache contract)."""
+        return sorted(self.cone_ids.tolist())
+
+    def bitset_bytes(self) -> int:
+        """Size of this region's packed dominator table per ``excl``."""
+        words = (self.r + 63) >> 6
+        return (self.r + 1) * words * 8
+
+
+# ----------------------------------------------------------------------
+# cut solver
+# ----------------------------------------------------------------------
+def kernel_min_cut(region: KernelRegion, sources: List[int], limit: int = 3):
+    """Source-nearest min vertex cut of one region, frontier-BFS style.
+
+    The split network is implicit: a boolean pair of frontiers walks
+    in-nodes and out-nodes separately, ``split_flow`` counts units
+    through each vertex, and the few arcs carrying flow live in python
+    dict overlays (``arc_flow``/``rev_over``) since an augmenting path
+    touches O(depth) arcs out of millions.  Interior vertices cap at 1
+    and sources/sink at ``limit``, exactly like
+    :func:`repro.flow.vertex_cut.build_split_network`.  Returns
+    ``(flow, cut_local_ids)`` with ``cut`` ``None`` once ``flow``
+    reaches ``limit``; the cut is the residually-reachable in-node set,
+    which is the unique source-nearest minimum cut for *any* maximum
+    flow, so BFS path order cannot diverge from the python solver.
+    """
+    np = _np
+    lptr, lind = region.lptr, region.lind
+    r = region.r
+    root = r - 1
+    if not sources:
+        raise FlowError("min_cut needs at least one source")
+    if root in sources:
+        raise FlowError("region sink cannot be a flow source")
+    srcs = np.asarray(sorted(set(sources)), dtype=np.int64)
+    uncapped = np.zeros(r, dtype=bool)
+    uncapped[srcs] = True
+    uncapped[root] = True
+    split_flow = np.zeros(r, dtype=np.int8)
+    arc_flow = {}
+    rev_over = {}
+    flow = 0
+
+    in_layer = np.zeros(r, dtype=bool)
+
+    def bfs():
+        seen_in = np.zeros(r, dtype=bool)
+        seen_out = np.zeros(r, dtype=bool)
+        par_in = np.full(r, -1, dtype=np.int64)
+        par_out = np.full(r, -1, dtype=np.int64)
+        stamp = np.empty(r, dtype=np.int64)
+        f_out = srcs.copy()
+        seen_out[f_out] = True
+        par_out[f_out] = -3
+        f_in = np.empty(0, dtype=np.int64)
+        while f_out.size or f_in.size:
+            new_in = np.empty(0, dtype=np.int64)
+            if f_out.size:
+                base = lptr[f_out]
+                cnts = lptr[f_out + 1] - base
+                ends = np.cumsum(cnts)
+                total = int(ends[-1])
+                if total:
+                    offs = np.repeat(base - ends + cnts, cnts)
+                    tails = np.repeat(f_out, cnts)
+                    heads = lind[offs + np.arange(total)]
+                    fresh = ~seen_in[heads]
+                    heads = heads[fresh]
+                    tails = tails[fresh]
+                    if heads.size:
+                        # Duplicate heads keep the last tail: any
+                        # in-region edge is a valid residual parent,
+                        # and the cut itself is path-independent.
+                        par_in[heads] = tails
+                        seen_in[heads] = True
+                        # Frontier-sized dedup: stale stamps can never
+                        # be read, every head was just stamped.
+                        idx = np.arange(heads.size)
+                        stamp[heads] = idx
+                        new_in = heads[stamp[heads] == idx]
+                    if seen_in[root]:
+                        break
+                # Reverse split arcs: out_v -> in_v wherever v carries
+                # flow (the only backward residual inside a split pair).
+                cand = f_out[(split_flow[f_out] > 0) & ~seen_in[f_out]]
+                if cand.size:
+                    seen_in[cand] = True
+                    par_in[cand] = -4
+                    new_in = (
+                        np.concatenate((new_in, cand))
+                        if new_in.size
+                        else cand
+                    )
+            new_out = np.empty(0, dtype=np.int64)
+            if f_in.size:
+                capv = np.where(uncapped[f_in], limit, 1)
+                open_ = (split_flow[f_in] < capv) & ~seen_out[f_in]
+                cand = f_in[open_]
+                if cand.size:
+                    seen_out[cand] = True
+                    par_out[cand] = -2
+                    new_out = cand
+                # The reverse-arc overlay holds O(flow · depth) entries,
+                # so scan it — not the frontier, which is O(region).
+                extra = []
+                if rev_over:
+                    in_layer[f_in] = True
+                    for v, us in rev_over.items():
+                        if in_layer[v]:
+                            for u in us:
+                                if not seen_out[u]:
+                                    seen_out[u] = True
+                                    par_out[u] = v
+                                    extra.append(u)
+                    in_layer[f_in] = False
+                if extra:
+                    new_out = np.concatenate(
+                        (new_out, np.asarray(extra, dtype=np.int64))
+                    )
+            f_out, f_in = new_out, new_in
+        return seen_in, seen_out, par_in, par_out
+
+    residual = None
+    while flow < limit:
+        seen_in, seen_out, par_in, par_out = bfs()
+        if not seen_in[root]:
+            # A failed search never early-breaks, so it has already
+            # computed the full residual reachability — exactly what
+            # the cut readback needs, no extra sweep required.
+            residual = (seen_in, seen_out)
+            break
+        # Read the augmenting path back through the alternating parents.
+        steps = []
+        kind = "in"
+        v = root
+        while True:
+            if kind == "in":
+                p = int(par_in[v])
+                if p == -4:
+                    steps.append(("unsplit", v))
+                    kind = "out"
+                else:
+                    steps.append(("edge", p, v))
+                    v = p
+                    kind = "out"
+            else:
+                p = int(par_out[v])
+                if p == -3:
+                    break
+                if p == -2:
+                    steps.append(("split", v))
+                    kind = "in"
+                else:
+                    steps.append(("unedge", v, p))
+                    v = p
+                    kind = "in"
+        # A purely forward path through uncapped splits bottlenecks on
+        # the source/sink cap only, so the whole remaining limit goes at
+        # once; any reverse step may carry as little as one unit.
+        clean = all(
+            s[0] == "edge" or (s[0] == "split" and uncapped[s[1]])
+            for s in steps
+        )
+        push = limit - flow if clean else 1
+        for s in steps:
+            if s[0] == "split":
+                split_flow[s[1]] += push
+            elif s[0] == "unsplit":
+                split_flow[s[1]] -= push
+            elif s[0] == "edge":
+                u, w = s[1], s[2]
+                carried = arc_flow.get((u, w), 0)
+                if carried == 0:
+                    rev_over.setdefault(w, []).append(u)
+                arc_flow[(u, w)] = carried + push
+            else:
+                u, w = s[1], s[2]  # cancelling flow on arc u -> w
+                carried = arc_flow[(u, w)] - push
+                if carried == 0:
+                    del arc_flow[(u, w)]
+                    rev_over[w].remove(u)
+                else:
+                    arc_flow[(u, w)] = carried
+        flow += push
+    if flow >= limit:
+        return flow, None
+    seen_in, seen_out = residual
+    cut = np.nonzero(seen_in & ~seen_out)[0]
+    if cut.size != flow:  # pragma: no cover - max-flow/min-cut invariant
+        raise FlowError(
+            f"residual cut size {cut.size} != flow {flow} (kernel bug)"
+        )
+    return flow, cut.tolist()
+
+
+# ----------------------------------------------------------------------
+# counting matcher
+# ----------------------------------------------------------------------
+#: Modulus for the counting matcher's path counts.  Any prime below
+#: 2**31 keeps every reduceat partial sum and every ``f*g`` product
+#: inside int64.  The choice cannot affect correctness: a collision can
+#: only let a *false* candidate through to the exact verification
+#: sweep, never hide a true dominator — the divisibility identity
+#: ``N(w→root) = N(w→d) · N(d→root)`` for a dominator ``d`` holds over
+#: the integers and therefore under any modulus.
+_COUNT_PRIME = (1 << 31) - 1
+
+
+def _reach_to_root(region, excl, excl2=-1, down_to=0):
+    """Bool array (length ``r + 1``): reaches the root avoiding ``excl``
+    (and ``excl2``), swept down to level chunk ``down_to`` only — lower
+    chunks keep their zero initialisation.  The extra slot keeps the
+    array usable against sentinel-padded index templates."""
+    np = _np
+    r = region.r
+    root = r - 1
+    lptr, lind = region.lptr, region.lind
+    reach = np.zeros(r + 1, dtype=bool)
+    reach[root] = True
+    lb = region.lbounds
+    for ci in range(len(lb) - 2, down_to - 1, -1):
+        a, b = lb[ci], min(lb[ci + 1], root)
+        if a >= b:
+            continue
+        base = lptr[a]
+        seg = lind[base : lptr[b]]
+        offs = lptr[a:b] - base
+        degs = lptr[a + 1 : b + 1] - lptr[a:b]
+        vals = reach[seg] & (seg != excl) & (seg != excl2)
+        nzi = np.nonzero(degs > 0)[0]
+        if nzi.size:
+            reach[a + nzi] = np.logical_or.reduceat(vals, offs[nzi])
+    reach[excl] = False
+    if excl2 >= 0:
+        reach[excl2] = False
+    return reach
+
+
+def counting_vector(
+    region: KernelRegion, excl: int, w_start: int
+) -> Optional[List[int]]:
+    """Dominator chain of ``w_start`` in the region minus ``excl``, in
+    ascending local ids, or ``None`` when ``w_start`` no longer reaches
+    the root.  All vectorized, no per-region precomputation.
+
+    ``d`` dominates ``w_start`` exactly when every path runs through
+    it, i.e. ``N(w_start→root) = N(w_start→d) · N(d→root)``.  Two
+    level-order ``np.add.reduceat`` sweeps count paths modulo
+    :data:`_COUNT_PRIME` — candidates are every vertex satisfying the
+    identity mod p (a superset of the true chain for *any* modulus) —
+    and one boolean reach sweep per candidate then decides exactly:
+    ``d`` is kept iff removing ``{excl, d}`` disconnects ``w_start``
+    from the root.  True chains are short, so the verification loop
+    runs a handful of times.
+    """
+    np = _np
+    r = region.r
+    root = r - 1
+    lptr, lind = region.lptr, region.lind
+    rlptr, rlind = region.rlptr, region.rlind
+    lb = region.lbounds
+    k = bisect_right(lb, w_start) - 1
+    reach = _reach_to_root(region, excl, down_to=k)
+    if not reach[w_start]:
+        return None
+    P = _COUNT_PRIME
+    # f[v] = #paths w_start→v, swept upward from w_start's chunk.
+    f = np.zeros(r, dtype=np.int64)
+    f[w_start] = 1
+    for ci in range(k + 1, len(lb) - 1):
+        a, b = lb[ci], lb[ci + 1]
+        base = rlptr[a]
+        seg = rlind[base : rlptr[b]]
+        offs = rlptr[a:b] - base
+        degs = rlptr[a + 1 : b + 1] - rlptr[a:b]
+        nzi = np.nonzero(degs > 0)[0]
+        if nzi.size:
+            f[a + nzi] = np.add.reduceat(f[seg], offs[nzi]) % P
+        if a <= excl < b:
+            f[excl] = 0
+    # g[v] = #paths v→root, swept downward to just above w_start's
+    # chunk — lower vertices cannot be dominators of w_start.
+    g = np.zeros(r, dtype=np.int64)
+    g[root] = 1
+    for ci in range(len(lb) - 2, k, -1):
+        a, b = lb[ci], min(lb[ci + 1], root)
+        if a >= b:
+            continue
+        base = lptr[a]
+        seg = lind[base : lptr[b]]
+        offs = lptr[a:b] - base
+        degs = lptr[a + 1 : b + 1] - lptr[a:b]
+        nzi = np.nonzero(degs > 0)[0]
+        if nzi.size:
+            g[a + nzi] = np.add.reduceat(g[seg], offs[nzi]) % P
+        if a <= excl < b:
+            g[excl] = 0
+    total = int(f[root])
+    mask = (f * g) % P == total
+    mask[: w_start + 1] = False
+    mask[root] = False
+    if 0 <= excl < r:
+        mask[excl] = False
+    out = [w_start]
+    for d in np.nonzero(mask)[0].tolist():
+        if not _reach_to_root(region, excl, d, down_to=k)[w_start]:
+            out.append(d)
+    return out
+
+
+# ----------------------------------------------------------------------
+# packed-bitset matcher
+# ----------------------------------------------------------------------
+class KernelBitsetMatcher:
+    """Packed-uint64 postdominator sets of one region, per exclusion.
+
+    ``dombits(excl)[v]`` is the bitset of vertices on every v→root path
+    in the region minus ``excl`` — computed for *all* vertices in one
+    descending level sweep of ``np.bitwise_and.reduceat`` folds (AND
+    over successors' sets, OR in the self bit).  A matching vector is
+    then one row decode.  The table is O(r²/64) per ``excl``, so it
+    only pays off under dense reuse — many ``matching_vector(excl, ·)``
+    calls against the *same* exclusion; :class:`KernelRegionMatcher`
+    routes an exclusion here once its query count shows that reuse.
+
+    The per-vertex AND segments are built over ``[sentinel, succs...]``
+    templates — the sentinel row is all-ones, so segments are never
+    empty and out-of-region/excluded successors fold away as identity.
+    """
+
+    __slots__ = ("region", "r", "words", "tmpl", "tstarts", "selfw", "selfb", "_cache")
+
+    def __init__(self, region: KernelRegion):
+        np = _np
+        self.region = region
+        r = region.r
+        self.r = r
+        self.words = (r + 63) >> 6
+        self._cache = {}
+        lptr, lind = region.lptr, region.lind
+        degs = np.diff(lptr)
+        cnts = degs + 1
+        tot = int(cnts.sum())
+        tmpl = np.empty(tot, dtype=np.int64)
+        starts = np.zeros(r + 1, dtype=np.int64)
+        np.cumsum(cnts, out=starts[1:])
+        tmpl[starts[:-1]] = r  # sentinel leads every segment
+        body = np.ones(tot, dtype=bool)
+        body[starts[:-1]] = False
+        tmpl[body] = lind
+        self.tmpl = tmpl
+        self.tstarts = starts
+        ids = np.arange(r, dtype=np.uint64)
+        self.selfw = (ids >> np.uint64(6)).astype(np.int64)
+        self.selfb = np.uint64(1) << (ids & np.uint64(63))
+
+    def dombits(self, excl: int):
+        table = self._cache.get(excl)
+        if table is not None:
+            return table
+        np = _np
+        region = self.region
+        r, words = self.r, self.words
+        root = r - 1
+        lb = region.lbounds
+        # Which vertices still reach the root with ``excl`` removed —
+        # unreachable rows must read all-ones so they AND away.
+        reach = _reach_to_root(region, excl)
+        dom = np.empty((r + 1, words), dtype=np.uint64)
+        dom[r] = ~np.uint64(0)  # sentinel: identity under AND
+        dom[root] = 0
+        dom[root, root >> 6] = np.uint64(1) << np.uint64(root & 63)
+        tmpl, tstarts = self.tmpl, self.tstarts
+        usable = reach[tmpl] & (tmpl != excl) & (tmpl != r)
+        eff = np.where(usable, tmpl, r)
+        selfw, selfb = self.selfw, self.selfb
+        for ci in range(len(lb) - 2, -1, -1):
+            a, b = lb[ci], min(lb[ci + 1], root)
+            if a >= b:
+                continue
+            rows = dom[eff[tstarts[a] : tstarts[b]]]
+            out = np.bitwise_and.reduceat(
+                rows, tstarts[a:b] - tstarts[a], axis=0
+            )
+            dom[a:b] = out
+            sl = slice(a, b)
+            dom[np.arange(a, b), selfw[sl]] |= selfb[sl]
+            unreachable = ~reach[a:b]
+            if unreachable.any():
+                dom[a:b][unreachable] = ~np.uint64(0)
+        self._cache[excl] = dom
+        return dom
+
+    def matching_vector_local(self, excl: int, w_start: int) -> List[int]:
+        np = _np
+        row = self.dombits(excl)[w_start]
+        bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+        doms = np.nonzero(bits[: self.r])[0].tolist()
+        return doms[:-1]  # drop the region root
+
+
+class KernelRegionMatcher:
+    """Cone-id FINDMATCHINGVECTOR adapter with an adaptive engine.
+
+    Drop-in for :class:`repro.dominators.shared.RegionMatcher` from
+    :func:`repro.core.matching.expand_pair`'s point of view, except ids
+    are cone ids — which is exactly what the kernel expansion loop
+    passes in and what lets its pairs go into the shared
+    :class:`~repro.core.region_cache.RegionCache` unmapped.
+
+    ADDVECTOR queries a *different* excluded vertex on almost every
+    call (each processed chain element is its own exclusion), so a
+    per-``excl`` table would be built once per query and amortize
+    nothing.  Each call therefore defaults to the counting engine
+    (:func:`counting_vector`) — a few vectorized level sweeps, no
+    per-region precomputation.  Only an exclusion re-queried at least
+    ``max(4, r/128)`` times (dense reuse where one shared table beats
+    repeated sweeps) graduates to the packed-bitset table — and never
+    when the region's table would exceed :data:`BITSET_BYTE_CAP`,
+    which keeps degenerate regions on the counting engine instead of
+    allocating gigabytes.  Both engines return the identical dominator
+    chain, so the switch is invisible in results.
+    """
+
+    __slots__ = ("region", "_bits", "_queries", "_switch")
+
+    def __init__(self, region: KernelRegion):
+        self.region = region
+        self._bits: Optional[KernelBitsetMatcher] = None
+        self._queries: Dict[int, int] = {}
+        self._switch = max(4, region.r >> 7)
+
+    def matching_vector(self, excl: int, w_start: int) -> List[int]:
+        region = self.region
+        local_excl = region.local_of[excl]
+        local_w = region.local_of[w_start]
+        seen = self._queries.get(local_excl, 0) + 1
+        self._queries[local_excl] = seen
+        if seen < self._switch or (
+            self._bits is None
+            and region.bitset_bytes() > BITSET_BYTE_CAP
+        ):
+            local = counting_vector(region, local_excl, local_w) or []
+        else:
+            if self._bits is None:
+                self._bits = KernelBitsetMatcher(region)
+            local = self._bits.matching_vector_local(
+                local_excl, local_w
+            )
+        out = sorted(int(region.cone_ids[x]) for x in local)
+        if not out or out[0] != w_start:
+            raise ChainConstructionError(
+                f"partner {w_start} vanished from the region after "
+                f"removing {excl}"
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# region expansion (the shared-backend loop, kernel edition)
+# ----------------------------------------------------------------------
+def kernel_expand_region(region: KernelRegion, start: int):
+    """All chain pairs of one region, in chain order, in **cone ids**.
+
+    Mirrors ``ChainComputer._expand_region``'s shared path: repeated
+    source-nearest cuts, each expanded via ADDVECTOR and re-seeded from
+    the pair's last elements.  The matching vectors sort ascending by
+    cone id exactly like the python path's region-local ids do, so the
+    returned :data:`~repro.core.region_cache.RegionPair` records are
+    bit-identical to the python expansion mapped through ``orig_of``.
+    """
+    from ..core.matching import expand_pair
+
+    if region.r <= 3:
+        return []  # no two interior vertices: no pair can exist
+    matcher = KernelRegionMatcher(region)
+    pairs = []
+    sources = [start]
+    while True:
+        local_sources = [region.local_of[s] for s in sources]
+        flow, cut = kernel_min_cut(region, local_sources)
+        if cut is None or flow != 2:
+            break
+        w1, w2 = sorted(int(region.cone_ids[x]) for x in cut)
+        expanded = expand_pair(None, w1, w2, matcher=matcher)
+        pairs.append(
+            (
+                list(expanded.side1),
+                list(expanded.side2),
+                dict(expanded.intervals),
+            )
+        )
+        sources = [expanded.side1[-1], expanded.side2[-1]]
+    return pairs
+
+
+__all__ = [
+    "BITSET_BYTE_CAP",
+    "KERNELS",
+    "KernelBitsetMatcher",
+    "KernelConeIndex",
+    "KernelRegion",
+    "KernelRegionMatcher",
+    "MIN_KERNEL_REGION",
+    "counting_vector",
+    "forced_region_threshold",
+    "guarded_cone_idoms",
+    "kernel_expand_region",
+    "kernel_min_cut",
+    "numpy_available",
+    "require_numpy",
+    "validate_kernels",
+]

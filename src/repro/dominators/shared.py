@@ -140,7 +140,7 @@ def matching_compute(algorithm: str) -> Callable:
     return dsu.compute_idoms
 
 
-def topo_cone_idoms(graph) -> Optional[List[int]]:
+def topo_cone_idoms(graph, budget_factor: int = 8) -> Optional[List[int]]:
     """Cone idoms (paper orientation) by one topological sweep.
 
     Works when vertex ids are a topological order of the cone and every
@@ -152,19 +152,37 @@ def topo_cone_idoms(graph) -> Optional[List[int]]:
     each vertex's idom is the NCA of its successors' already-final
     idoms.  Idoms are unique, so the result equals any other
     algorithm's.
+
+    The sweep's worst case is a deep chain of reconvergent blocks: every
+    NCA intersection can walk the whole idom chain below it, and the
+    pass degenerates toward O(E·depth) — two minutes at a quarter
+    million cascade stages.  The walks are therefore metered against a
+    ``budget_factor * edges`` step budget; past it the pass switches to
+    the flat-array SNCA of :func:`repro.dominators.dsu.compute_idoms`,
+    which is near-linear regardless of depth.
     """
     n = graph.n
     succ = graph.succ
     root = graph.root
-    if root != n - 1:
+    if n == 0 or root != n - 1:
         return None
+    # Cheap invariant pre-pass: topological ids + nonempty out-degree
+    # below the root together guarantee every vertex reaches the root
+    # (induction from high ids down), so the SNCA fallback can start
+    # without re-discovering a violation mid-sweep.  ``min(adj) <= v``
+    # is one C call per vertex instead of a python loop per edge.
+    edges = 0
+    for v in range(n - 1):
+        adj = succ[v]
+        if not adj or min(adj) <= v:
+            return None
+        edges += len(adj)
+    budget = budget_factor * max(edges, 1)
     idom = [0] * n
     idom[root] = root
     for v in range(n - 2, -1, -1):
         a = -1
         for w in succ[v]:
-            if w <= v:
-                return None  # ids are not topological
             if a == -1:
                 a = w
             elif a != w:
@@ -174,8 +192,15 @@ def topo_cone_idoms(graph) -> Optional[List[int]]:
                         a = idom[a]
                     else:
                         b = idom[b]
-        if a == -1:
-            return None  # v does not reach the root: not a cone
+                    budget -= 1
+                if budget < 0:
+                    # Reversed orientation, exactly as circuit_idoms:
+                    # forward reach to the root (verified above) equals
+                    # backward reach from it, so no vertex comes back
+                    # unreachable and the idoms match the sweep's.
+                    return dsu.compute_idoms(
+                        n, graph.pred, root, pred=succ
+                    )
         idom[v] = a
     return idom
 
@@ -405,18 +430,32 @@ class SharedConeIndex:
         "graph",
         "version",
         "algorithm",
+        "kernels",
         "_tree",
+        "_kernel_index",
         "_epoch",
         "_reach",
         "_coreach",
         "_local",
     )
 
-    def __init__(self, graph: IndexedGraph, algorithm: str = "lt"):
+    def __init__(
+        self,
+        graph: IndexedGraph,
+        algorithm: str = "lt",
+        kernels: str = "python",
+    ):
+        from .kernels import require_numpy, validate_kernels
+
+        validate_kernels(kernels)
+        if kernels == "numpy":
+            require_numpy()
         self.graph = graph
         self.version = graph.version
         self.algorithm = algorithm
+        self.kernels = kernels
         self._tree: Optional[DominatorTree] = None
+        self._kernel_index = None
         self._epoch = 0
         self._reach = [0] * graph.n
         self._coreach = [0] * graph.n
@@ -424,16 +463,28 @@ class SharedConeIndex:
 
     @classmethod
     def for_graph(
-        cls, graph: IndexedGraph, algorithm: str = "lt"
+        cls,
+        graph: IndexedGraph,
+        algorithm: str = "lt",
+        kernels: str = "python",
     ) -> "SharedConeIndex":
-        """The cached index of ``graph`` at its current version."""
+        """The cached index of ``graph`` at its current version.
+
+        Indexes are cached per ``(algorithm, kernels)`` key, so
+        alternating configurations on the same graph version (the
+        oracle's cross-checks, interleaved service queries) reuse both
+        indexes instead of rebuilding on every switch.  An edit bumps
+        ``graph.version`` and drops the whole cache at once.
+        """
         cached = graph._shared_index
-        if cached is not None:
-            version, algo, index = cached
-            if version == graph.version and algo == algorithm:
-                return index
-        index = cls(graph, algorithm)
-        graph._shared_index = (graph.version, algorithm, index)
+        if not isinstance(cached, dict) or cached.get("version") != graph.version:
+            cached = {"version": graph.version}
+            graph._shared_index = cached
+        key = (algorithm, kernels)
+        index = cached.get(key)
+        if index is None:
+            index = cls(graph, algorithm, kernels)
+            cached[key] = index
         return index
 
     @property
@@ -443,7 +494,9 @@ class SharedConeIndex:
         Uses the single-pass topological sweep when the graph's ids are
         topological (idoms are unique, so the tree is identical to what
         ``self.algorithm`` would build); otherwise defers to the
-        configured algorithm.
+        configured algorithm.  The sweep meters its NCA walks and
+        escapes to SNCA on deep chains (same idoms, bounded worst
+        case), so both kernels settings share one tree pass.
         """
         if self._tree is None:
             idoms = topo_cone_idoms(self.graph)
@@ -454,6 +507,21 @@ class SharedConeIndex:
                     self.graph, self.algorithm
                 )
         return self._tree
+
+    def kernel_index(self):
+        """The cone's :class:`~repro.dominators.kernels.KernelConeIndex`.
+
+        Built lazily on the first region wide enough to clear
+        ``MIN_KERNEL_REGION`` — a cone whose chain regions are all
+        narrow (the common case for deep, skinny circuits) never pays
+        for the level sort or the CSR build.
+        """
+        self._check_fresh()
+        if self._kernel_index is None:
+            from .kernels import KernelConeIndex
+
+            self._kernel_index = KernelConeIndex(self.graph)
+        return self._kernel_index
 
     def _check_fresh(self) -> None:
         if self.graph.version != self.version:
@@ -471,6 +539,13 @@ class SharedConeIndex:
         (and the same ordering) as ``region_between`` + ``subgraph``.
         """
         self._check_fresh()
+        if start == sink:
+            # A vertex trivially reaches itself, but a region needs a
+            # path of length >= 1 — report this precisely instead of
+            # pretending the sink is unreachable.
+            raise CircuitError(
+                "region start and sink are the same vertex"
+            )
         graph = self.graph
         succ, pred = graph.succ, graph.pred
         self._epoch += 1
@@ -491,7 +566,7 @@ class SharedConeIndex:
                     reach[w] = epoch
                     if w != sink:
                         stack.append(w)
-        if reach[sink] != epoch or start == sink:
+        if reach[sink] != epoch:
             raise CircuitError("sink is not reachable from start")
 
         # Backward walk restricted to reach-marked vertices: any vertex

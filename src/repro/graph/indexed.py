@@ -85,7 +85,7 @@ class IndexedGraph:
         self._name_index: Optional[Dict[str, int]] = None
         #: Cache slot for :class:`repro.dominators.shared.SharedConeIndex`
         #: — ``(version, algorithm) -> index``; managed by that module.
-        self._shared_index: Optional[tuple] = None
+        self._shared_index: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # lookup

@@ -4,7 +4,7 @@ Layout (under one root directory)::
 
     root/
       index.json                      # {"versions": {circuit_key: int}}
-      <key[:2]>/<key>/v<version>/<backend>/<safe_output>.json
+      <key[:2]>/<key>/v<version>/<backend>/<kernels>/<safe_output>.json
 
 One artifact file holds every target chain of one output cone —
 ``{"targets": {target_name: chain.to_dict()}, "meta": {...}}`` — because
@@ -51,6 +51,7 @@ try:  # pragma: no cover - platform probe
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from ..dominators.kernels import validate_kernels
 from ..dominators.shared import validate_backend
 from .hashing import safe_key
 from .metrics import MetricsRegistry
@@ -63,7 +64,11 @@ _LOCK_DIR = "locks"
 #: (one ``<backend>/`` path segment and a ``meta["backend"]`` field), so
 #: differential runs never serve one backend's cached result to the
 #: other.
-FORMAT_VERSION = 2
+#: v3: a ``<kernels>/`` path segment and ``meta["kernels"]`` field key
+#: artifacts by hot-path implementation too — chains are bit-identical
+#: across kernels, but a scaling comparison must never time a cache hit
+#: produced by the other implementation.
+FORMAT_VERSION = 3
 
 
 class ArtifactStore:
@@ -228,13 +233,18 @@ class ArtifactStore:
         return self.root / circuit_key[:2] / circuit_key
 
     def _artifact_path(
-        self, circuit_key: str, output: str, backend: str = "shared"
+        self,
+        circuit_key: str,
+        output: str,
+        backend: str = "shared",
+        kernels: str = "python",
     ) -> Path:
         version = self.version(circuit_key)
         return (
             self._circuit_dir(circuit_key)
             / f"v{version}"
             / validate_backend(backend)
+            / validate_kernels(kernels)
             / f"{safe_key(output)}.json"
         )
 
@@ -242,14 +252,19 @@ class ArtifactStore:
     # get / put
     # ------------------------------------------------------------------
     def get(
-        self, circuit_key: str, output: str, backend: str = "shared"
+        self,
+        circuit_key: str,
+        output: str,
+        backend: str = "shared",
+        kernels: str = "python",
     ) -> Optional[Dict[str, Dict[str, object]]]:
         """Stored ``{target_name: chain_dict}`` for a cone, if current.
 
         Only artifacts written under the circuit's *current* version by
-        the same backend are served; anything else is a miss.
+        the same backend and kernels are served; anything else is a
+        miss.
         """
-        path = self._artifact_path(circuit_key, output, backend)
+        path = self._artifact_path(circuit_key, output, backend, kernels)
         if not path.exists():
             self._count("artifacts.misses")
             return None
@@ -264,6 +279,7 @@ class ArtifactStore:
         if (
             meta.get("format") != FORMAT_VERSION
             or meta.get("backend", "shared") != backend
+            or meta.get("kernels", "python") != kernels
         ):
             self._count("artifacts.misses")
             return None
@@ -276,6 +292,7 @@ class ArtifactStore:
         output: str,
         targets: Dict[str, Dict[str, object]],
         backend: str = "shared",
+        kernels: str = "python",
     ) -> Path:
         """Persist one cone's chains (atomic). Returns the file path.
 
@@ -285,7 +302,7 @@ class ArtifactStore:
         delete the directory between ``mkdir`` and ``os.replace``).
         """
         with self._circuit_locked(circuit_key):
-            path = self._artifact_path(circuit_key, output, backend)
+            path = self._artifact_path(circuit_key, output, backend, kernels)
             path.parent.mkdir(parents=True, exist_ok=True)
             payload = {
                 "meta": {
@@ -294,6 +311,7 @@ class ArtifactStore:
                     "output": output,
                     "version": self.version(circuit_key),
                     "backend": backend,
+                    "kernels": kernels,
                 },
                 "targets": targets,
             }

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import ChainComputer
+from ..dominators.kernels import validate_kernels
 from ..dominators.shared import cone_graph, validate_backend
 from ..graph.circuit import Circuit
 from ..graph.indexed import IndexedGraph
@@ -52,6 +53,7 @@ def sequential_cone_chains(
     targets: Optional[Sequence[str]] = None,
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "shared",
+    kernels: str = "python",
 ) -> Dict[str, Dict[str, object]]:
     """Chains of one output cone, serialized — the unit of all execution.
 
@@ -68,7 +70,9 @@ def sequential_cone_chains(
         graph = cone_graph(circuit, output)
     else:
         graph = IndexedGraph.from_circuit(circuit, output)
-    computer = ChainComputer(graph, metrics=metrics, backend=backend)
+    computer = ChainComputer(
+        graph, metrics=metrics, backend=backend, kernels=kernels
+    )
     if targets is None:
         indices = graph.sources()
     else:
@@ -96,7 +100,8 @@ def pairs_in_chain_dict(chain_dict: Dict[str, object]) -> int:
 def _process_chunk(payload):
     """Worker entry: compute every cone job of one chunk.
 
-    ``payload`` is ``(circuit, cone_jobs, backend)`` where the circuit
+    ``payload`` is ``(circuit, cone_jobs, backend[, kernels])`` — the
+    kernels slot may be omitted by older callers — where the circuit
     slot is either a pickled :class:`Circuit` or a
     :class:`~repro.daemon.shm.CircuitRef` into a published
     shared-memory segment (resolved through the worker-local attach
@@ -104,7 +109,8 @@ def _process_chunk(payload):
     The return value is
     ``([(output, chains, wall_seconds), ...], metrics_snapshot)``.
     """
-    circuit, cone_jobs, backend = payload
+    circuit, cone_jobs, backend, *rest = payload
+    kernels = rest[0] if rest else "python"
     registry = MetricsRegistry()
     if not isinstance(circuit, Circuit):
         from ..daemon.shm import attach_circuit
@@ -115,7 +121,12 @@ def _process_chunk(payload):
     for output, targets in cone_jobs:
         start = time.perf_counter()
         chains = sequential_cone_chains(
-            circuit, output, targets, metrics=registry, backend=backend
+            circuit,
+            output,
+            targets,
+            metrics=registry,
+            backend=backend,
+            kernels=kernels,
         )
         wall = time.perf_counter() - start
         registry.observe("executor.job_seconds", wall)
@@ -157,6 +168,12 @@ class ExecutorConfig:
     backend:
         Chain-construction backend used by every cone job
         (``"shared"`` default, ``"legacy"`` for the reference path).
+    kernels:
+        Hot-path implementation selector forwarded to every
+        :class:`~repro.core.algorithm.ChainComputer`: ``"python"``
+        (default) or ``"numpy"`` (flat-array kernels from
+        :mod:`repro.dominators.kernels`; identical chains).  Part of
+        the artifact-store key — cached sweeps never mix kernels.
     shared_circuits:
         Publish each circuit to a :mod:`multiprocessing.shared_memory`
         segment once (via :class:`repro.daemon.shm.SharedCircuitPool`)
@@ -173,9 +190,11 @@ class ExecutorConfig:
     start_method: Optional[str] = None
     backend: str = "shared"
     shared_circuits: bool = False
+    kernels: str = "python"
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_kernels(self.kernels)
         if self.jobs <= 0:
             raise ValueError(
                 f"jobs must be a positive integer, got {self.jobs}"
@@ -336,7 +355,12 @@ class ParallelExecutor:
             # Only all-target artifacts are stored/served: partial target
             # sets would poison later all-target reads.
             if self.store is not None and targets is None:
-                cached = self.store.get(key, output, self.config.backend)
+                cached = self.store.get(
+                    key,
+                    output,
+                    self.config.backend,
+                    self.config.kernels,
+                )
             if cached is not None:
                 results[output] = ConeResult(output, cached, 0.0, "artifact")
             else:
@@ -347,7 +371,13 @@ class ParallelExecutor:
             results[output] = ConeResult(output, chains, wall, source)
             targets = targets_by_output.get(output)
             if self.store is not None and targets is None:
-                self.store.put(key, output, chains, self.config.backend)
+                self.store.put(
+                    key,
+                    output,
+                    chains,
+                    self.config.backend,
+                    self.config.kernels,
+                )
         self.metrics.inc("executor.jobs_completed", len(pending))
         return [results[output] for output in cone_names]
 
@@ -402,7 +432,14 @@ class ParallelExecutor:
             handles = [
                 pool.apply_async(
                     _chunk_entry,
-                    ((payload_circuit, chunk, self.config.backend),),
+                    (
+                        (
+                            payload_circuit,
+                            chunk,
+                            self.config.backend,
+                            self.config.kernels,
+                        ),
+                    ),
                 )
                 for chunk in chunks
             ]
@@ -440,6 +477,7 @@ class ParallelExecutor:
                 targets,
                 metrics=self.metrics,
                 backend=self.config.backend,
+                kernels=self.config.kernels,
             )
             wall = time.perf_counter() - start
             self.metrics.observe("executor.job_seconds", wall)

@@ -113,10 +113,14 @@ class Histogram:
         mapped to a value by interpolating between the bucket's lower
         and upper bound (Prometheus ``histogram_quantile`` style), so
         p50/p99 latencies come out as smooth seconds instead of bucket
-        edges.  The first bucket interpolates up from 0; the overflow
-        bucket interpolates between the last bound and the maximum
-        observation ever seen (never reporting ``inf`` for real data).
-        Returns ``0.0`` when the histogram is empty.
+        edges.  The first bucket interpolates up from 0.  The last
+        *non-empty* bucket (overflow included) caps its upper bound at
+        the maximum observation ever seen, so ``quantile(1.0)`` returns
+        exactly that maximum — not the bucket's nominal bound, which no
+        observation may have reached — and the overflow bucket never
+        reports ``inf`` for real data.  ``quantile(0.0)`` returns the
+        lower bound of the first non-empty bucket.  Returns ``0.0``
+        when the histogram is empty.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
@@ -125,6 +129,7 @@ class Histogram:
                 return 0.0
             rank = q * self._count
             running = 0
+            last_nonempty = max(i for i, c in enumerate(self._counts) if c)
             for idx, count in enumerate(self._counts):
                 if not count:
                     continue
@@ -133,8 +138,15 @@ class Histogram:
                     hi = (
                         self.buckets[idx]
                         if idx < len(self.buckets)
-                        else max(self._max, lo)
+                        else self._max
                     )
+                    if idx == last_nonempty:
+                        # No observation exceeds _max, so ranks at the
+                        # top of this bucket must map to _max, not to a
+                        # nominal bound nothing reached (off-by-one at
+                        # q=1).  The outer max() keeps hi >= lo when
+                        # every resident equals the lower bound.
+                        hi = max(min(hi, self._max), lo)
                     fraction = (rank - running) / count
                     return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
                 running += count

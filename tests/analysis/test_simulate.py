@@ -2,8 +2,9 @@
 
 import itertools
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import VectorSimulator, evaluate
 from repro.circuits.generators import random_single_output

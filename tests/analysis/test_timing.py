@@ -1,7 +1,8 @@
 """Tests for (statistical) timing analysis."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import (
     DelayModel,

@@ -238,6 +238,7 @@ class TestParityAndEcc:
     def test_dual_rail_parity_constant(self):
         """even-parity XNOR odd-parity of inverted inputs is an invariant
         of the input width's parity — check it simulates consistently."""
+        pytest.importorskip("numpy")
         circuit = dual_rail_parity(6)
         sim = VectorSimulator(circuit)
         out = sim.monte_carlo_probabilities(256, seed=0)["check"]

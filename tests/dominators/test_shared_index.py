@@ -22,8 +22,9 @@ from repro.dominators.shared import (
     validate_backend,
 )
 from repro.dominators.single import circuit_dominator_tree
-from repro.errors import ChainConstructionError
-from repro.graph import IndexedGraph
+from repro.errors import ChainConstructionError, CircuitError
+from repro.graph import IndexedGraph, NodeType
+from repro.graph.circuit import Circuit
 from repro.graph.transform import region_between
 
 
@@ -144,6 +145,82 @@ class TestRegionMatcher:
                 else:
                     got = matcher.matching_vector(excl, w_start)
                     assert got == expected, (excl, w_start)
+
+
+class TestForGraphCache:
+    """Regression: the per-graph index cache used to hold a single slot
+    keyed only by version, so interleaving two configurations — exactly
+    what the differential oracle and mixed service queries do — rebuilt
+    the index (tree, scratch arrays and all) on every call."""
+
+    def test_identity_across_interleaved_configs(self):
+        graph = _graph(0)
+        first_lt = SharedConeIndex.for_graph(graph, "lt")
+        first_it = SharedConeIndex.for_graph(graph, "iterative")
+        # Interleave the two configurations; both must keep returning
+        # the exact same object, not a rebuild.
+        for _ in range(3):
+            assert SharedConeIndex.for_graph(graph, "lt") is first_lt
+            assert (
+                SharedConeIndex.for_graph(graph, "iterative") is first_it
+            )
+        assert first_lt is not first_it
+
+    def test_interleaved_kernels_keys(self):
+        pytest.importorskip("numpy")
+        graph = _graph(1)
+        py = SharedConeIndex.for_graph(graph, "lt", kernels="python")
+        np_ = SharedConeIndex.for_graph(graph, "lt", kernels="numpy")
+        assert py is not np_
+        for _ in range(3):
+            assert (
+                SharedConeIndex.for_graph(graph, "lt", kernels="python")
+                is py
+            )
+            assert (
+                SharedConeIndex.for_graph(graph, "lt", kernels="numpy")
+                is np_
+            )
+
+    def test_version_bump_drops_whole_cache(self):
+        graph = _graph(2)
+        stale = SharedConeIndex.for_graph(graph, "lt")
+        graph.version += 1
+        fresh = SharedConeIndex.for_graph(graph, "lt")
+        assert fresh is not stale
+        assert SharedConeIndex.for_graph(graph, "lt") is fresh
+
+    def test_tolerates_external_reset(self):
+        # bench harnesses cold-start by assigning the legacy None.
+        graph = _graph(3)
+        first = SharedConeIndex.for_graph(graph, "lt")
+        graph._shared_index = None
+        second = SharedConeIndex.for_graph(graph, "lt")
+        assert second is not first
+        assert SharedConeIndex.for_graph(graph, "lt") is second
+
+
+class TestExtractRegionErrors:
+    def test_same_vertex_is_a_distinct_error(self):
+        graph = _graph(0)
+        index = SharedConeIndex.for_graph(graph, "lt")
+        with pytest.raises(CircuitError, match="same vertex"):
+            index.extract_region(graph.root, graph.root)
+
+    def test_unreachable_sink_keeps_its_message(self):
+        # Two parallel branches: ``g1`` never reaches ``g2``.
+        c = Circuit("parallel")
+        a, b = c.add_input("a"), c.add_input("b")
+        c.add_gate("g1", NodeType.AND, [a, b])
+        c.add_gate("g2", NodeType.OR, [b, a])
+        c.add_gate("root", NodeType.XOR, ["g1", "g2"])
+        c.set_outputs(["root"])
+        graph = IndexedGraph.from_circuit(c)
+        index = SharedConeIndex.for_graph(graph)
+        g1, g2 = graph.index_of("g1"), graph.index_of("g2")
+        lo, hi = min(g1, g2), max(g1, g2)
+        with pytest.raises(CircuitError, match="not reachable"):
+            index.extract_region(lo, hi)
 
 
 class TestExtractRegion:

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.circuits.figures import figure2_circuit
 from repro.incremental import AddGate, IncrementalEngine
 from repro.service import (
@@ -53,6 +55,36 @@ class TestRoundTrip:
         path = store.put(key, "f", chains)
         path.write_text("{not json")
         assert store.get(key, "f") is None
+
+    def test_kernels_key_separates_artifacts(self, tmp_path):
+        # Same cone, same backend, different kernels: distinct paths,
+        # distinct metadata, no cross-reads between the two.
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        py_path = store.put(key, "f", chains, kernels="python")
+        np_path = store.put(key, "f", chains, kernels="numpy")
+        assert py_path != np_path
+        assert store.get(key, "f", kernels="python") == chains
+        assert store.get(key, "f", kernels="numpy") == chains
+        meta = json.loads(np_path.read_text())["meta"]
+        assert meta["kernels"] == "numpy"
+
+    def test_kernels_mismatch_is_a_miss(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        store.put(key, "f", chains, kernels="numpy")
+        assert store.get(key, "f", kernels="python") is None
+
+    def test_unknown_kernels_rejected(self, tmp_path):
+        circuit, chains = _chains()
+        key = circuit_fingerprint(circuit)
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.put(key, "f", chains, kernels="turbo")
+        with pytest.raises(ValueError):
+            store.get(key, "f", kernels="turbo")
 
 
 class TestInvalidation:

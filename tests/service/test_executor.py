@@ -264,6 +264,14 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             ExecutorConfig(chunk_size=0)
 
+    def test_unknown_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(kernels="turbo")
+
+    def test_python_kernels_default(self):
+        assert ExecutorConfig().kernels == "python"
+        assert ExecutorConfig(kernels="python").kernels == "python"
+
 
 class TestSharedCircuits:
     """``shared_circuits=True`` ships a shm ref instead of a pickled netlist."""

@@ -51,7 +51,9 @@ class TestHistogram:
         for value in (0.5, 0.5, 1.5, 3.0):
             h.observe(value)
         assert h.quantile(0.5) == 1.0
-        assert h.quantile(1.0) == 4.0
+        # q=1 is the maximum observation (3.0), not the 4.0 bucket bound
+        # that nothing reached.
+        assert h.quantile(1.0) == pytest.approx(3.0)
         h.observe(100.0)
         # The overflow bucket interpolates toward the observed maximum,
         # never reporting inf for real data.
@@ -61,9 +63,11 @@ class TestHistogram:
         h = Histogram("lat", buckets=(1.0, 2.0))
         for _ in range(10):
             h.observe(0.5)  # all ten land in the first bucket
-        # rank q*10 sits q of the way through [0, 1.0].
-        assert h.quantile(0.25) == pytest.approx(0.25)
-        assert h.quantile(0.99) == pytest.approx(0.99)
+        # rank q*10 sits q of the way through [0, 0.5]: the bucket is
+        # the last non-empty one, so its upper bound clamps to the
+        # observed maximum rather than the nominal 1.0 bound.
+        assert h.quantile(0.25) == pytest.approx(0.125)
+        assert h.quantile(0.99) == pytest.approx(0.495)
 
     def test_quantile_p50_p99_spread(self):
         h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
@@ -80,14 +84,47 @@ class TestHistogram:
         h.observe(1.5)
         h.observe(1.5)
         # Both observations sit in (1.0, 2.0]; every quantile must
-        # interpolate inside that bucket, not in the empty ones below.
+        # interpolate inside that bucket, not in the empty ones below,
+        # and q=1 lands on the 1.5 maximum rather than the 2.0 bound.
         assert 1.0 <= h.quantile(0.01) <= 2.0
-        assert h.quantile(1.0) == pytest.approx(2.0)
+        assert h.quantile(1.0) == pytest.approx(1.5)
 
     def test_empty_quantile_and_mean(self):
         h = Histogram("lat")
         assert h.quantile(0.5) == 0.0
         assert h.mean == 0.0
+
+    @pytest.mark.parametrize(
+        "values,q,expected",
+        [
+            # q=0 is the lower bound of the first non-empty bucket.
+            ((0.5, 0.5, 3.0), 0.0, 0.0),
+            ((1.5, 1.5), 0.0, 1.0),
+            # q=1 is always the exact maximum, wherever it lands.
+            ((0.5,), 1.0, 0.5),
+            ((0.5, 1.5, 3.5), 1.0, 3.5),
+            ((9.0,), 1.0, 9.0),  # single overflow observation
+            # Exact rank on a bucket boundary: rank q*n == cumulative
+            # count of a bucket maps to that bucket's upper bound.
+            ((0.5, 0.5, 1.5, 1.5), 0.5, 1.0),
+            ((0.5, 1.5, 1.5, 1.5), 0.25, 1.0),
+        ],
+    )
+    def test_quantile_edge_cases(self, values, q, expected):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in values:
+            h.observe(value)
+        assert h.quantile(q) == pytest.approx(expected)
+
+    def test_quantile_one_equals_max_even_mid_bucket(self):
+        # Regression: q=1 used to report the nominal bucket bound, an
+        # off-by-one against the true maximum when the last non-empty
+        # bucket was only part-filled.
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.5)
+        assert h.quantile(1.0) == pytest.approx(2.5)
+        h.observe(3.9)
+        assert h.quantile(1.0) == pytest.approx(3.9)
 
     def test_quantile_out_of_range_rejected(self):
         h = Histogram("lat")

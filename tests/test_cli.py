@@ -486,3 +486,31 @@ class TestBatchErrorContract:
         err = capsys.readouterr().err
         assert "cannot read" in err
         assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+class TestKernelsFlag:
+    def test_kernels_arg_validates(self):
+        from argparse import ArgumentTypeError
+
+        from repro.cli import kernels_arg
+
+        assert kernels_arg("python") == "python"
+        assert kernels_arg("numpy") == "numpy"
+        with pytest.raises(ArgumentTypeError, match="unknown kernels"):
+            kernels_arg("turbo")
+
+    def test_unknown_kernels_exits_2(self, bench_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chains", bench_file, "--kernels", "turbo"])
+        assert exc.value.code == 2
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_chains_with_numpy_kernels(self, bench_file, capsys):
+        pytest.importorskip("numpy")
+        assert main(["chains", bench_file, "--kernels", "numpy"]) == 0
+        assert "u: 12 pairs" in capsys.readouterr().out
+
+    def test_counts_and_check_accept_kernels(self, bench_file, capsys):
+        assert main(["counts", bench_file, "--kernels", "python"]) == 0
+        capsys.readouterr()
+        assert main(["check", bench_file, "--kernels", "python"]) == 0

@@ -49,6 +49,7 @@ def test_pipeline_blif_roundtrip_preserves_counts(tmp_path):
 
 def test_pipeline_probability_vs_simulation():
     """Exact signal probability on a suite circuit vs Monte Carlo."""
+    pytest.importorskip("numpy")
     circuit = get_benchmark("alu2", scale=1.0)
     out = circuit.outputs[0]
     exact = exact_signal_probabilities(circuit, out)
