@@ -1,0 +1,236 @@
+"""Schmidt chain decomposition and the double-dominator pre-filter.
+
+Schmidt's test ("A Simple Test on 2-Vertex- and 2-Edge-Connectivity",
+arXiv:1209.0700) decomposes an undirected graph into an ear-like set of
+*chains* in O(n + m): do a DFS, then for every back edge — taken from the
+ancestor endpoint, in DFS preorder — walk the tree path back up from the
+descendant endpoint until the first already-visited vertex.  The
+decomposition answers both connectivity questions at once:
+
+* the graph is 2-edge-connected iff it is connected and every edge lies
+  in some chain (the uncovered tree edges are exactly the bridges);
+* it is 2-vertex-connected iff additionally exactly one chain — the
+  first — is a cycle.
+
+This module runs the test on the **undirected skeleton** of a dominator
+cone (:class:`~repro.graph.indexed.IndexedGraph` with ``succ`` and
+``pred`` merged, parallel edges collapsed) and derives from it the sweep
+pre-filter :func:`has_no_double_dominator`.
+
+Why skeleton structure bounds double-dominator existence
+--------------------------------------------------------
+
+For a cone with root *r* (single-vertex dominators first): *v* strictly
+dominates *u* iff *v* is an undirected cut vertex separating *u* from
+*r*.  The forward direction is immediate; for the converse, an
+undirected *u*–*r* path avoiding *v* could only use "backward" edges,
+and rerouting a directed escape through them would close a directed
+cycle through *v* — impossible in a DAG.
+
+Two consequences give the filter:
+
+1. Any double dominator ``{v, w}`` of *u* lies inside **one**
+   biconnected block of the skeleton.  If a cut vertex *c* separated *v*
+   from *w*, splicing a ``u -> c`` path avoiding *v* with a ``c -> r``
+   path avoiding *w* would produce a ``u -> r`` path avoiding both.
+2. A bridge block (a single edge) cannot host an irredundant pair:
+   every undirected *u*–*r* walk crosses the bridge, so each endpoint
+   already single-dominates *u* and the pair is redundant.
+
+Hence an irredundant double dominator needs a block with at least three
+vertices — i.e. a **cycle in the skeleton** (reconvergent fanout).  If
+the skeleton is acyclic (every edge a bridge; equivalently, Schmidt's
+decomposition is empty), *no* vertex of the cone has a double-vertex
+dominator, and a sweep may skip the cone wholesale.  The converse does
+not hold — a cyclic, even 3-connected, skeleton may or may not yield
+pairs — so the filter is sound but deliberately one-sided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+from ..graph.indexed import IndexedGraph
+
+__all__ = [
+    "ChainDecomposition",
+    "VALID_PREFILTERS",
+    "chain_decomposition",
+    "has_no_double_dominator",
+    "is_biconnected",
+    "is_two_edge_connected",
+    "skeleton_bridges",
+    "validate_prefilter",
+]
+
+#: Sweep pre-filter settings understood across the stack
+#: (:class:`~repro.core.algorithm.ChainComputer`, ``ExecutorConfig``,
+#: the CLI): ``"none"`` computes every cone; ``"biconn"`` skips cones
+#: certified by :func:`has_no_double_dominator`.
+VALID_PREFILTERS = ("none", "biconn")
+
+
+def validate_prefilter(value: str) -> str:
+    """Validate a prefilter setting, returning it unchanged."""
+    if value not in VALID_PREFILTERS:
+        raise ValueError(
+            f"unknown prefilter {value!r}; expected one of "
+            f"{', '.join(VALID_PREFILTERS)}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class ChainDecomposition:
+    """Result of Schmidt's chain decomposition on a cone skeleton.
+
+    Attributes
+    ----------
+    n:
+        Vertex count of the underlying graph.
+    edge_count:
+        Distinct undirected skeleton edges.
+    chains:
+        Vertex sequences; ``chains[i][0]`` is the chain's start and every
+        consecutive pair is a skeleton edge.  A chain is a *cycle* when
+        it ends where it started.
+    bridges:
+        Tree edges covered by no chain — exactly the graph's bridges
+        when the skeleton is connected.
+    is_connected:
+        Whether the DFS from the root reached every vertex.
+    """
+
+    n: int
+    edge_count: int
+    chains: List[List[int]]
+    bridges: List[Tuple[int, int]]
+    is_connected: bool
+
+    @property
+    def is_acyclic(self) -> bool:
+        """True iff the skeleton is a forest (no chain exists)."""
+        return not self.chains
+
+    @property
+    def is_two_edge_connected(self) -> bool:
+        return self.n >= 2 and self.is_connected and not self.bridges
+
+    @property
+    def is_biconnected(self) -> bool:
+        """2-vertex-connectivity per Schmidt: one cycle, and it is first."""
+        if self.n < 3 or not self.is_two_edge_connected:
+            return False
+        cycles = sum(
+            1 for chain in self.chains if chain[0] == chain[-1]
+        )
+        return cycles == 1 and self.chains[0][0] == self.chains[0][-1]
+
+
+def _skeleton(graph: IndexedGraph) -> List[List[int]]:
+    """Undirected adjacency of the cone, parallel edges collapsed."""
+    adj: List[Set[int]] = [set() for _ in range(graph.n)]
+    for v in range(graph.n):
+        for w in graph.succ[v]:
+            if v != w:
+                adj[v].add(w)
+                adj[w].add(v)
+    return [sorted(s) for s in adj]
+
+
+def chain_decomposition(graph: IndexedGraph) -> ChainDecomposition:
+    """Schmidt's chain decomposition of the cone's undirected skeleton.
+
+    O(n + m).  The DFS starts at ``graph.root``; vertices outside the
+    root's undirected component (possible after tombstoning edits) are
+    reported through ``is_connected=False`` and carry no chains.
+    """
+    n = graph.n
+    adj = _skeleton(graph)
+    edge_count = sum(len(a) for a in adj) // 2
+
+    parent = [-1] * n
+    pre = [-1] * n
+    order: List[int] = []
+    # Iterative DFS from the root with explicit neighbour cursors.
+    if n:
+        pre[graph.root] = 0
+        order.append(graph.root)
+        stack: List[Tuple[int, int]] = [(graph.root, 0)]
+        while stack:
+            v, i = stack.pop()
+            if i < len(adj[v]):
+                stack.append((v, i + 1))
+                w = adj[v][i]
+                if pre[w] < 0:
+                    parent[w] = v
+                    pre[w] = len(order)
+                    order.append(w)
+                    stack.append((w, 0))
+
+    visited = [False] * n
+    chains: List[List[int]] = []
+    covered: Set[FrozenSet[int]] = set()
+    for v in order:
+        for w in adj[v]:
+            # Back edges only, taken from the ancestor endpoint.
+            if pre[w] <= pre[v] or parent[w] == v:
+                continue
+            visited[v] = True
+            chain = [v, w]
+            covered.add(frozenset((v, w)))
+            x = w
+            while not visited[x]:
+                visited[x] = True
+                covered.add(frozenset((x, parent[x])))
+                x = parent[x]
+                chain.append(x)
+            chains.append(chain)
+
+    bridges = [
+        (v, parent[v])
+        for v in order
+        if parent[v] >= 0 and frozenset((v, parent[v])) not in covered
+    ]
+    return ChainDecomposition(
+        n=n,
+        edge_count=edge_count,
+        chains=chains,
+        bridges=bridges,
+        is_connected=len(order) == n,
+    )
+
+
+def skeleton_bridges(graph: IndexedGraph) -> List[Tuple[int, int]]:
+    """The skeleton's bridge edges (child, parent) in DFS-tree direction."""
+    return chain_decomposition(graph).bridges
+
+
+def is_two_edge_connected(graph: IndexedGraph) -> bool:
+    return chain_decomposition(graph).is_two_edge_connected
+
+
+def is_biconnected(graph: IndexedGraph) -> bool:
+    return chain_decomposition(graph).is_biconnected
+
+
+def has_no_double_dominator(graph: IndexedGraph) -> bool:
+    """Certify that *no* vertex of this cone has a double dominator.
+
+    True iff the cone's undirected skeleton is a connected forest — i.e.
+    a tree: every edge is a bridge, Schmidt's decomposition is empty,
+    and therefore every block is a single edge, which (see the module
+    docstring) cannot host an irredundant pair.  A ``False`` answer is
+    *not* a claim that pairs exist, only that the cheap certificate does
+    not apply; disconnected skeletons are conservatively refused.
+    """
+    n = graph.n
+    if n == 0:
+        return True
+    # Quick reject: a connected skeleton with >= n edges has a cycle.
+    adj = _skeleton(graph)
+    if sum(len(a) for a in adj) // 2 > n - 1:
+        return False
+    decomposition = chain_decomposition(graph)
+    return decomposition.is_connected and decomposition.is_acyclic

@@ -12,7 +12,13 @@ harnesses used to validate dynamic dominator algorithms:
   ``(flag, index, min, max)`` look-up structure at its interval
   boundaries, and certifies the shared single-dominator tree with a
   low-high order (:func:`~repro.check.oracle.check_low_high`) — the
-  fourth, non-differential oracle;
+  fourth, non-differential oracle — and audits the biconnectivity
+  pre-filter's pair-free certificates against those filter-free
+  implementations (kind ``prefilter``);
+* :func:`~repro.check.oracle.check_sequential` compares every
+  combinational-core cone of a :class:`~repro.graph.sequential
+  .SequentialCircuit` against the frame-0 cone of its time-frame
+  unrolling (kind ``sequential``);
 * :mod:`repro.check.fuzzer` draws seeded random circuits from
   :mod:`repro.circuits.generators`, applies structured mutations
   (:func:`repro.graph.rewrite.expand_xors`, random incremental edit
@@ -32,6 +38,7 @@ from .oracle import (
     check_cone,
     check_incremental,
     check_low_high,
+    check_sequential,
     diff_chains,
     other_backend,
 )
@@ -47,6 +54,7 @@ __all__ = [
     "check_cone",
     "check_incremental",
     "check_low_high",
+    "check_sequential",
     "diff_chains",
     "dump_repro",
     "generate_case",

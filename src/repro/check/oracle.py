@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
+from ..analysis.biconnectivity import has_no_double_dominator
 from ..core.algorithm import ChainComputer
 from ..core.baseline import baseline_double_dominators
 from ..core.bruteforce import all_double_dominators
@@ -34,6 +35,13 @@ from ..dominators.shared import validate_backend
 from ..errors import ReproError
 from ..graph.circuit import Circuit
 from ..graph.indexed import IndexedGraph
+from ..graph.sequential import (
+    PSEUDO_INPUT_PREFIX,
+    PSEUDO_OUTPUT_PREFIX,
+    SequentialCircuit,
+    extract_combinational_core,
+    unrolled,
+)
 
 #: Largest cone (vertex count) the O(n³)-ish brute-force enumeration is
 #: asked to confirm; beyond it the oracle still cross-checks the chain
@@ -89,8 +97,11 @@ class Mismatch:
         and legacy chain backends disagree), ``kernels`` (the numpy and
         python hot-path implementations disagree), ``incremental``,
         ``certificate`` (the dominator tree fails its low-high
-        certificate) or ``crash`` (an implementation raised instead of
-        answering).
+        certificate), ``prefilter`` (the biconnectivity pre-filter
+        certified a cone pair-free but pairs exist), ``sequential``
+        (a combinational-core chain disagrees with the frame-0 chain of
+        the time-frame unrolling) or ``crash`` (an implementation raised
+        instead of answering).
     circuit / output / target:
         Where it happened, by name where names exist.
     detail:
@@ -330,6 +341,15 @@ def check_cone(
         with the kernel region threshold forced to 0, so even
         single-gate cones exercise the vectorized path — and compared
         structurally (kind ``kernels`` on divergence).
+
+    Every cone is additionally run through the biconnectivity
+    pre-filter (:func:`~repro.analysis.biconnectivity
+    .has_no_double_dominator`): when the filter certifies the cone
+    pair-free, every target's reference pair set (brute force where
+    available, otherwise the computed chain) must indeed be empty —
+    kind ``prefilter`` on violation.  This is the soundness guard for
+    ``prefilter="biconn"`` sweeps: a cone the filter would skip is
+    proven here, against filter-free implementations, to lose nothing.
     """
     if report is None:
         report = OracleReport(circuit or "cone")
@@ -338,6 +358,7 @@ def check_cone(
         targets = graph.sources()
     target_list = list(targets)
     started = time.perf_counter()
+    prefilter_certified = has_no_double_dominator(graph)
 
     cross_computer: Optional[ChainComputer] = None
     kernel_computer: Optional[ChainComputer] = None
@@ -407,6 +428,24 @@ def check_cone(
             brute_pairs = all_double_dominators(graph, u)
             report.brute_confirmed += 1
 
+        if prefilter_certified:
+            reference = brute_pairs if brute_pairs is not None else chain_pairs
+            report.comparisons += 1
+            if reference:
+                reference_label = (
+                    "brute force" if brute_pairs is not None else "the chain"
+                )
+                mismatches.append(
+                    Mismatch(
+                        "prefilter",
+                        circuit,
+                        output,
+                        _name(graph, u),
+                        f"biconn pre-filter certified the cone pair-free "
+                        f"but {reference_label} finds "
+                        f"{_format_pairs(graph, reference)}",
+                    )
+                )
         if chain_pairs is not None and brute_pairs is not None:
             report.comparisons += 1
             mismatches += _diff_pairs(
@@ -610,3 +649,170 @@ def check_incremental(
         if mismatches:
             metrics.inc("check.mismatches", len(mismatches))
     return mismatches
+
+
+def _frame0_name(sequential: SequentialCircuit, core_net: str) -> str:
+    """Frame-0 time-frame name of a combinational-core net.
+
+    Flop outputs become frame-0 pseudo-inputs (``q`` → ``ppi_q@0``);
+    every other net — primary inputs and gates alike — is simply stamped
+    with the frame suffix (``n`` → ``n@0``).
+    """
+    if core_net in sequential.flops:
+        return f"{PSEUDO_INPUT_PREFIX}{core_net}@0"
+    return f"{core_net}@0"
+
+
+def _core_net_name(unrolled_net: str) -> str:
+    """Inverse of :func:`_frame0_name` for frame-0 nets."""
+    base = unrolled_net[:-2] if unrolled_net.endswith("@0") else unrolled_net
+    if base.startswith(PSEUDO_INPUT_PREFIX):
+        return base[len(PSEUDO_INPUT_PREFIX):]
+    return base
+
+
+def check_sequential(
+    sequential: SequentialCircuit,
+    frames: int = 2,
+    algorithm: str = "lt",
+    metrics=None,
+    backend: str = "shared",
+    kernels: str = "python",
+) -> OracleReport:
+    """Kind ``sequential``: core vs. unrolled-frame-0 chain agreement.
+
+    The flop-cut combinational core and the ``frames``-deep time-frame
+    unrolling describe the same frame-0 logic under two name spaces:
+    core net ``n`` is unrolled net ``n@0``, except flop outputs ``q``
+    which become the frame-0 pseudo-inputs ``ppi_q@0``.  Because frame 0
+    reads only frame-0 nets, the frame-0 cone of every core output is
+    isomorphic to the core's own cone — so for every cone source the
+    two dominator chains must carry the *same pair set* once both sides
+    are mapped back to core net names.  Any divergence means the
+    unroller rewired a frame (the historical flop-to-flop bug) or the
+    chain construction is sensitive to graph relabelling; either is
+    reported as kind ``sequential``.
+
+    One cone pair is checked per core output: original primary outputs
+    are compared root-to-root, and each next-state output ``ppo_q``
+    (a buffer the core adds over the flop's data input) is compared
+    against the frame-0 cone of that data input — the buffer only
+    prepends a single-dominator, never a pair, so pair sets still agree.
+
+    Returns an :class:`OracleReport`; ``report.ok`` is the pass signal.
+    """
+    core = extract_combinational_core(sequential)
+    expanded = unrolled(sequential, frames)
+    report = OracleReport(f"{sequential.name}[core-vs-unroll:{frames}]")
+    started = time.perf_counter()
+    for out in core.outputs:
+        if out.startswith(PSEUDO_OUTPUT_PREFIX):
+            seed = sequential.flops[out[len(PSEUDO_OUTPUT_PREFIX):]]
+        else:
+            seed = out
+        core_graph = IndexedGraph.from_circuit(core, out)
+        frame_graph = IndexedGraph.from_circuit(
+            expanded, _frame0_name(sequential, seed)
+        )
+        core_chains = ChainComputer(
+            core_graph, algorithm, backend=backend, kernels=kernels
+        )
+        frame_chains = ChainComputer(
+            frame_graph, algorithm, backend=backend, kernels=kernels
+        )
+        report.cones += 1
+
+        # Root-as-source entries stay in (a cone whose root is itself an
+        # input — e.g. the frame-0 cone of a flop that latches a bare
+        # input): their chains are trivially empty on both sides, but
+        # excluding them would make the source sets diverge because the
+        # core wraps every next-state net in a ppo_* buffer while the
+        # unrolling exposes the net directly.
+        core_sources = {
+            core_graph.name_of(u): u for u in core_graph.sources()
+        }
+        frame_sources = {
+            _core_net_name(frame_graph.name_of(u)): u
+            for u in frame_graph.sources()
+        }
+        report.comparisons += 1
+        if set(core_sources) != set(frame_sources):
+            report.mismatches.append(
+                Mismatch(
+                    "sequential",
+                    sequential.name,
+                    out,
+                    "",
+                    f"cone sources differ: core has "
+                    f"{sorted(set(core_sources) - set(frame_sources))} "
+                    f"missing from frame 0, frame 0 has "
+                    f"{sorted(set(frame_sources) - set(core_sources))} "
+                    f"missing from the core",
+                )
+            )
+
+        for name in sorted(set(core_sources) & set(frame_sources)):
+            report.targets += 1
+            report.comparisons += 1
+            try:
+                core_pairs = {
+                    frozenset(core_graph.name_of(v) for v in pair)
+                    for pair in core_chains.chain(core_sources[name]).pair_set()
+                }
+                frame_pairs = {
+                    frozenset(
+                        _core_net_name(frame_graph.name_of(v)) for v in pair
+                    )
+                    for pair in frame_chains.chain(
+                        frame_sources[name]
+                    ).pair_set()
+                }
+            except ReproError as exc:
+                report.mismatches.append(
+                    Mismatch(
+                        "crash",
+                        sequential.name,
+                        out,
+                        name,
+                        f"sequential chain raised: {exc!r}",
+                    )
+                )
+                continue
+            if core_pairs != frame_pairs:
+                extra = core_pairs - frame_pairs
+                missing = frame_pairs - core_pairs
+                parts = []
+                if extra:
+                    parts.append(
+                        f"core-only pairs: "
+                        + ", ".join(
+                            sorted("{%s}" % ",".join(sorted(p)) for p in extra)
+                        )
+                    )
+                if missing:
+                    parts.append(
+                        f"frame-0-only pairs: "
+                        + ", ".join(
+                            sorted(
+                                "{%s}" % ",".join(sorted(p)) for p in missing
+                            )
+                        )
+                    )
+                report.mismatches.append(
+                    Mismatch(
+                        "sequential",
+                        sequential.name,
+                        out,
+                        name,
+                        "; ".join(parts),
+                    )
+                )
+    if metrics is not None:
+        metrics.inc("check.sequential_circuits")
+        metrics.inc("check.targets", report.targets)
+        if report.mismatches:
+            metrics.inc("check.mismatches", len(report.mismatches))
+        metrics.observe(
+            "check.sequential_seconds", time.perf_counter() - started
+        )
+    return report

@@ -5,9 +5,13 @@ from .figures import FIGURE2_PAIRS, figure1_circuit, figure2_circuit
 from .suite import (
     QUICK_SUBSET,
     PaperRow,
+    SequentialEntry,
     SuiteEntry,
     benchmark_names,
     get_benchmark,
+    get_sequential,
+    sequential_names,
+    sequential_suite,
     table1_suite,
 )
 
@@ -15,11 +19,15 @@ __all__ = [
     "FIGURE2_PAIRS",
     "PaperRow",
     "QUICK_SUBSET",
+    "SequentialEntry",
     "SuiteEntry",
     "benchmark_names",
     "figure1_circuit",
     "figure2_circuit",
     "generators",
     "get_benchmark",
+    "get_sequential",
+    "sequential_names",
+    "sequential_suite",
     "table1_suite",
 ]

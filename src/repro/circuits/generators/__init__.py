@@ -16,6 +16,7 @@ from .muxtree import barrel_shifter, mux_tree
 from .parity import dual_rail_parity, parity_tree
 from .pipeline import mixing_pipeline
 from .prefix import kogge_stone_adder, prefix_or_network
+from .sequential import lfsr, pipelined_alu, shift_register
 from .sorter import batcher_sorter, majority_network
 from .random_dag import (
     random_circuit,
@@ -38,11 +39,13 @@ __all__ = [
     "feistel_network",
     "interrupt_controller",
     "kogge_stone_adder",
+    "lfsr",
     "magnitude_comparator",
     "majority_network",
     "mixing_pipeline",
     "mux_tree",
     "parity_tree",
+    "pipelined_alu",
     "prefix_or_network",
     "POLYNOMIALS",
     "priority_encoder",
@@ -50,5 +53,6 @@ __all__ = [
     "random_series_parallel",
     "random_single_output",
     "ripple_carry_adder",
+    "shift_register",
     "simple_alu",
 ]

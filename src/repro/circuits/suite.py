@@ -431,6 +431,85 @@ def scaling_suite() -> Dict[str, ScalingEntry]:
     return _SCALING
 
 
+# ----------------------------------------------------------------------
+# sequential tier (flip-flop netlists for core/unrolled sweeps)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SequentialEntry:
+    """One sequential benchmark: a named parametric state machine.
+
+    ``build(scale)`` returns a
+    :class:`~repro.graph.sequential.SequentialCircuit`; sweeps analyze
+    either its combinational core or a time-frame unrolling
+    (``repro ... --sequential {core,unroll:N}``).
+    """
+
+    name: str
+    build: Callable[[float], "object"]
+    family: str
+
+    def sequential(self, scale: float = 1.0):
+        built = self.build(scale)
+        built.name = self.name
+        built.combinational.name = self.name
+        return built
+
+
+_SEQUENTIAL: Optional[Dict[str, SequentialEntry]] = None
+
+
+def sequential_suite() -> Dict[str, SequentialEntry]:
+    """The sequential registry, keyed by entry name.
+
+    The three families span the pre-filter spectrum: ``s_shift``'s
+    flop-cut cones are all certified pair-free by the biconnectivity
+    pre-filter, ``s_lfsr`` adds fanout-free XOR feedback (still
+    certified), and ``s_alu`` pipelines reconvergent adder stages whose
+    cones carry real pairs (never certified).
+    """
+    global _SEQUENTIAL
+    if _SEQUENTIAL is None:
+        from .generators.sequential import lfsr, pipelined_alu, shift_register
+
+        entries = [
+            SequentialEntry(
+                "s_shift",
+                lambda s: shift_register(_dim(16, s, 2)),
+                "register-chain",
+            ),
+            SequentialEntry(
+                "s_lfsr",
+                lambda s: lfsr(_dim(16, s, 4)),
+                "lfsr",
+            ),
+            SequentialEntry(
+                "s_alu",
+                lambda s: pipelined_alu(
+                    width=_dim(8, s, 2), stages=_dim(3, s, 1)
+                ),
+                "pipeline",
+            ),
+        ]
+        _SEQUENTIAL = {e.name: e for e in entries}
+    return _SEQUENTIAL
+
+
+def sequential_names() -> List[str]:
+    """All sequential-suite entry names."""
+    return list(sequential_suite())
+
+
+def get_sequential(name: str, scale: float = 1.0):
+    """Build one sequential-suite machine by name."""
+    suite = sequential_suite()
+    if name not in suite:
+        raise KeyError(
+            f"unknown sequential benchmark {name!r}; "
+            f"choose from {sorted(suite)}"
+        )
+    return suite[name].sequential(scale)
+
+
 def scaling_names(tier: Optional[str] = None) -> List[str]:
     """Scaling-entry names, optionally restricted to one tier."""
     return [

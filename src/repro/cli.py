@@ -29,6 +29,18 @@ metrics snapshot)::
 
     python -m repro sweep --jobs 4 --quick --metrics metrics.json
 
+With ``--sequential {core,unroll:N}`` the sweep runs the built-in
+*sequential* suite (shift register, LFSR, pipelined ALU) in the chosen
+view; ``--prefilter biconn`` skips chain construction on cones whose
+undirected skeleton certifies them pair-free::
+
+    python -m repro sweep --sequential core --prefilter biconn
+
+``chains`` and ``check`` accept the same ``--sequential`` flag for
+``.bench`` netlists with ``DFF`` lines; ``check --sequential`` also
+cross-checks the combinational core against the frame-0 slice of the
+time-frame unrolling (mismatch kind ``sequential``).
+
 ``serve-batch`` — answer a JSON file of chain requests (deduplicated,
 batched per cone, optionally parallel and artifact-backed)::
 
@@ -64,9 +76,11 @@ from .core.api import count_double_dominators, count_single_dominators
 from .dominators.dynamic import ENGINES, validate_engine
 from .dominators.kernels import KERNELS, validate_kernels
 from .dominators.shared import BACKENDS, validate_backend
+from .analysis.biconnectivity import VALID_PREFILTERS, validate_prefilter
 from .errors import ReproError
 from .graph.circuit import Circuit
 from .graph.indexed import IndexedGraph
+from .graph.sequential import extract_combinational_core, unrolled
 from .graph.stats import circuit_stats
 from .parsers import bench, blif, verilog
 
@@ -86,8 +100,36 @@ def load_netlist(path: str) -> Circuit:
     )
 
 
+def load_analysis_netlist(path: str, sequential):
+    """Load a netlist, optionally through the sequential front end.
+
+    ``sequential`` is ``None`` (combinational, any format) or a parsed
+    ``--sequential`` view — ``("core", 0)`` or ``("unroll", N)``.  In a
+    sequential view the netlist must be a ``.bench`` file with ``DFF``
+    lines (:func:`repro.parsers.bench.load_sequential`); it is lowered
+    to the flop-cut combinational core or the ``N``-frame unrolling.
+
+    Returns ``(circuit, sequential_circuit_or_None)`` so callers that
+    need the original state machine (the ``check`` command's
+    core-vs-unrolling differential) still have it.
+    """
+    if sequential is None:
+        return load_netlist(path), None
+    suffix = Path(path).suffix.lower()
+    if suffix != ".bench":
+        raise SystemExit(
+            f"--sequential requires a .bench netlist with DFF lines, "
+            f"got {suffix!r}"
+        )
+    machine = bench.load_sequential(path)
+    mode, frames = sequential
+    if mode == "core":
+        return extract_combinational_core(machine), machine
+    return unrolled(machine, frames), machine
+
+
 def _cmd_chains(args: argparse.Namespace) -> int:
-    circuit = load_netlist(args.netlist)
+    circuit, _ = load_analysis_netlist(args.netlist, args.sequential)
     output = args.output or (
         circuit.outputs[0] if len(circuit.outputs) == 1 else None
     )
@@ -99,8 +141,17 @@ def _cmd_chains(args: argparse.Namespace) -> int:
         return 2
     graph = IndexedGraph.from_circuit(circuit, output)
     computer = ChainComputer(
-        graph, backend=args.backend, kernels=args.kernels
+        graph,
+        backend=args.backend,
+        kernels=args.kernels,
+        prefilter=args.prefilter,
     )
+    if computer.certified_empty:
+        print(
+            f"prefilter: cone {output} certified pair-free "
+            "(chain construction skipped)",
+            file=sys.stderr,
+        )
     targets = (
         [graph.index_of(args.target)]
         if args.target
@@ -218,10 +269,10 @@ def _cmd_edit_session(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .check import check_circuit
+    from .check import check_circuit, check_sequential
     from .service import MetricsRegistry
 
-    circuit = load_netlist(args.netlist)
+    circuit, machine = load_analysis_netlist(args.netlist, args.sequential)
     outputs = None
     if args.output:
         if args.output not in circuit:
@@ -244,8 +295,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
     print(report.summary())
     for mismatch in report.mismatches:
         print(f"MISMATCH {mismatch}")
+    ok = report.ok
+    if machine is not None:
+        # The sequential differential rides along: the combinational
+        # core and the frame-0 slice of the unrolling must serve
+        # identical chains for every cone (2 frames unless the user
+        # asked for a deeper unrolling).
+        frames = max(args.sequential[1], 2)
+        seq_report = check_sequential(
+            machine,
+            frames=frames,
+            algorithm=args.algorithm,
+            metrics=metrics,
+            backend=args.backend,
+            kernels=args.kernels,
+        )
+        print(seq_report.summary())
+        for mismatch in seq_report.mismatches:
+            print(f"MISMATCH {mismatch}")
+        ok = ok and seq_report.ok
     _export_metrics(metrics, args.metrics)
-    return 0 if report.ok else 1
+    return 0 if ok else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -333,6 +403,7 @@ def _make_executor(args: argparse.Namespace):
             timeout=args.timeout,
             backend=getattr(args, "backend", "shared"),
             kernels=getattr(args, "kernels", "python"),
+            prefilter=getattr(args, "prefilter", "none"),
         ),
         metrics=metrics,
         store=store,
@@ -347,19 +418,44 @@ def _export_metrics(metrics, path: Optional[str]) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .circuits.suite import QUICK_SUBSET, table1_suite
-    from .service import sweep_suite
+    from .circuits.suite import QUICK_SUBSET, sequential_suite, table1_suite
+    from .service import sweep_sequential_suite, sweep_suite
 
-    suite = table1_suite()
-    names = args.names or (QUICK_SUBSET if args.quick else None)
-    unknown = [n for n in (names or []) if n not in suite]
-    if unknown:
-        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
-    executor, metrics = _make_executor(args)
-    report = sweep_suite(
-        executor, names=names, scale=args.scale, verbose=not args.no_progress
-    )
+    if args.sequential:
+        suite = sequential_suite()
+        names = args.names or None
+        unknown = [n for n in (names or []) if n not in suite]
+        if unknown:
+            print(
+                f"unknown sequential benchmark(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(sorted(suite))})",
+                file=sys.stderr,
+            )
+            return 2
+        executor, metrics = _make_executor(args)
+        report = sweep_sequential_suite(
+            executor,
+            names=names,
+            scale=args.scale,
+            view=args.sequential,
+            verbose=not args.no_progress,
+        )
+    else:
+        suite = table1_suite()
+        names = args.names or (QUICK_SUBSET if args.quick else None)
+        unknown = [n for n in (names or []) if n not in suite]
+        if unknown:
+            print(
+                f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr
+            )
+            return 2
+        executor, metrics = _make_executor(args)
+        report = sweep_suite(
+            executor,
+            names=names,
+            scale=args.scale,
+            verbose=not args.no_progress,
+        )
     header = (
         f"{'name':10s} {'cones':>6s} {'chains':>7s} {'pairs':>8s} "
         f"{'wall [s]':>9s} {'art.hits':>8s}"
@@ -376,6 +472,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{len(report.circuits)} circuits in {report.total_wall:.3f} s "
         f"(jobs={report.jobs})"
     )
+    if args.prefilter != "none":
+        counters = metrics.snapshot()["counters"]
+        print(
+            f"prefilter={args.prefilter}: "
+            f"{counters.get('core.prefilter_certified', 0)} cone(s) "
+            f"certified pair-free, "
+            f"{counters.get('core.prefilter_skipped', 0)} chain "
+            "construction(s) skipped"
+        )
     _export_metrics(metrics, args.metrics)
     return 0
 
@@ -589,6 +694,74 @@ def positive_float_arg(value: str) -> float:
     return number
 
 
+def sequential_arg(value: str):
+    """Shared ``argparse`` validator for every ``--sequential`` flag.
+
+    Accepts ``core`` (flop-cut combinational core) or ``unroll:N``
+    (``N``-frame time-frame unrolling, ``N`` >= 1); anything else exits
+    2 with a one-line message.  Returns the parsed ``(mode, frames)``
+    view tuple consumed by :func:`load_analysis_netlist`.
+    """
+    if value == "core":
+        return ("core", 0)
+    if value.startswith("unroll:"):
+        raw = value.split(":", 1)[1]
+        try:
+            frames = int(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer frame count after 'unroll:', "
+                f"got {raw!r}"
+            ) from None
+        if frames < 1:
+            raise argparse.ArgumentTypeError(
+                f"frame count must be positive, got {frames}"
+            )
+        return ("unroll", frames)
+    raise argparse.ArgumentTypeError(
+        f"expected 'core' or 'unroll:N', got {value!r}"
+    )
+
+
+def _add_sequential_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sequential",
+        default=None,
+        type=sequential_arg,
+        metavar="{core,unroll:N}",
+        help="sequential view: the flop-cut combinational core or an "
+        "N-frame time-frame unrolling (chains/check: the netlist must "
+        "be a .bench with DFF lines; sweep: runs the built-in "
+        "sequential suite instead of Table 1)",
+    )
+
+
+def prefilter_arg(value: str) -> str:
+    """Shared ``argparse`` validator for every ``--prefilter`` flag.
+
+    Mirrors :func:`backend_arg`: an unknown pre-filter name exits 2
+    with the canonical one-line message listing the registered filters
+    (:data:`repro.analysis.biconnectivity.VALID_PREFILTERS`).
+    """
+    try:
+        return validate_prefilter(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_prefilter_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prefilter",
+        default="none",
+        type=prefilter_arg,
+        metavar="{%s}" % ",".join(VALID_PREFILTERS),
+        help="cone pre-filter: 'biconn' certifies pair-free cones by "
+        "chain decomposition of the undirected skeleton and skips chain "
+        "construction there (identical results, empty chains served "
+        "in O(1))",
+    )
+
+
 def backend_arg(value: str) -> str:
     """Shared ``argparse`` validator for every ``--backend`` flag.
 
@@ -678,6 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_chains.add_argument("--target", help="single target vertex (default: all PIs)")
     _add_backend_flag(p_chains)
     _add_kernels_flag(p_chains)
+    _add_sequential_flag(p_chains)
+    _add_prefilter_flag(p_chains)
     p_chains.set_defaults(func=_cmd_chains)
 
     p_stats = sub.add_parser("stats", help="circuit statistics")
@@ -730,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(p_check)
     _add_kernels_flag(p_check)
+    _add_sequential_flag(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_fuzz = sub.add_parser(
@@ -805,6 +981,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(p_sweep)
     _add_kernels_flag(p_sweep)
+    _add_sequential_flag(p_sweep)
+    _add_prefilter_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_serve = sub.add_parser(

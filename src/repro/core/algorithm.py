@@ -183,6 +183,17 @@ class ChainComputer:
         extraction, min cut and matching vectors all vectorized.
         Chains are bit-identical either way; the differential oracle
         cross-checks them.  Requires the shared index (and numpy).
+    prefilter:
+        ``"none"`` (default) computes every chain; ``"biconn"`` runs
+        Schmidt's chain-decomposition test
+        (:func:`repro.analysis.biconnectivity.has_no_double_dominator`)
+        on the cone once, and — when the undirected skeleton is a tree,
+        which certifies that *no* vertex has a double dominator — skips
+        the shared-index build entirely and answers every :meth:`chain`
+        call with an empty chain in O(1).  Sound but one-sided: an
+        uncertified cone is computed exactly as with ``"none"``, and
+        certified answers are bit-identical to the computed ones (the
+        differential oracle cross-checks this).
     """
 
     def __init__(
@@ -196,13 +207,26 @@ class ChainComputer:
         backend: str = "shared",
         shared_index: bool = True,
         kernels: str = "python",
+        prefilter: str = "none",
     ):
+        from ..analysis.biconnectivity import (
+            has_no_double_dominator,
+            validate_prefilter,
+        )
+
         self.graph = graph
         self.algorithm = algorithm
         self.cache_regions = cache_regions
         self.metrics = metrics
         self.backend = validate_backend(backend)
         self.kernels = _kernels.validate_kernels(kernels)
+        self.prefilter = validate_prefilter(prefilter)
+        #: True when the pre-filter certified the whole cone pair-free.
+        self.certified_empty = (
+            self.prefilter == "biconn" and has_no_double_dominator(graph)
+        )
+        if self.certified_empty and self.metrics is not None:
+            self.metrics.inc("core.prefilter_certified")
         if kernels == "numpy":
             _kernels.require_numpy()
             if not shared_index or backend not in ("shared", "linear"):
@@ -221,7 +245,9 @@ class ChainComputer:
         # ascending original-id order, so chains stay bit-identical.
         self._index = (
             SharedConeIndex.for_graph(graph, algorithm, kernels)
-            if shared_index and backend in ("shared", "linear")
+            if shared_index
+            and backend in ("shared", "linear")
+            and not self.certified_empty
             else None
         )
         # One epoch-stamped scratch shared by every linear-backend
@@ -229,16 +255,25 @@ class ChainComputer:
         # region, never cleared — see LinearScratch).
         self._scratch = LinearScratch() if backend == "linear" else None
         if tree is not None:
-            self.tree = tree
+            self._tree: Optional[DominatorTree] = tree
         elif self._index is not None:
-            self.tree = self._index.tree
+            self._tree = self._index.tree
         else:
-            self.tree = circuit_dominator_tree(graph, algorithm)
+            # Built on first access; a pre-filter-certified cone never
+            # needs it, so the skip saves the whole O(n alpha) pass.
+            self._tree = None
         self.region_cache: Optional[RegionCache] = (
             (region_cache if region_cache is not None else RegionCache())
             if cache_regions
             else None
         )
+
+    @property
+    def tree(self) -> DominatorTree:
+        """The cone's dominator tree (built lazily when pre-filtered)."""
+        if self._tree is None:
+            self._tree = circuit_dominator_tree(self.graph, self.algorithm)
+        return self._tree
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -259,6 +294,11 @@ class ChainComputer:
 
     def chain(self, u: int) -> DominatorChain:
         """The dominator chain ``D(u)`` (empty for the root)."""
+        if self.certified_empty:
+            if self.metrics is not None:
+                self.metrics.inc("core.chains_computed")
+                self.metrics.inc("core.prefilter_skipped")
+            return DominatorChain(u, [], {})
         if self.metrics is None:
             return self._chain(u)
         import time

@@ -66,10 +66,12 @@ def multi_vertex_dominators(
 ) -> Set[FrozenSet[int]]:
     """All k-vertex dominators of *u* via recursive restriction ([11]).
 
-    ``k = 1`` returns the strict single dominators as singletons (the
-    root included, per the flow-graph convention); for ``k >= 2`` the
-    root is filtered out by condition 2 — no path through a partner can
-    avoid it.
+    The root is excluded uniformly for every k: ``k = 1`` returns the
+    strict single dominators as singletons *without* the root, matching
+    the ``k >= 2`` behaviour where condition 2 filters the root out (no
+    path through a partner can avoid it).  This keeps
+    :func:`immediate_multi_dominators` comparing the same universe of
+    candidate vertices at every k.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -77,7 +79,11 @@ def multi_vertex_dominators(
         tree = circuit_dominator_tree(graph, algorithm)
         if not tree.is_reachable(u):
             return set()
-        return {frozenset((d,)) for d in tree.strict_dominators(u)}
+        return {
+            frozenset((d,))
+            for d in tree.strict_dominators(u)
+            if d != graph.root
+        }
 
     candidates: Set[FrozenSet[int]] = set()
     for v in range(graph.n):

@@ -60,8 +60,10 @@ def extract_combinational_core(sequential: SequentialCircuit) -> Circuit:
     """The combinational core: flip-flops cut into pseudo PIs / POs.
 
     Returns a purely combinational :class:`Circuit` whose inputs are the
-    original primary inputs plus one ``ppi_<ff>`` per flip-flop, and
-    whose outputs are the original primary outputs plus one
+    original primary inputs plus one input per flip-flop output (same
+    net name, since the flop output already names an INPUT node of the
+    combinational netlist), and whose outputs are the original primary
+    outputs plus one
     ``ppo_<ff>`` buffer per flip-flop data input.  Dominator analysis on
     the core treats each state bit as an independent cut point — exactly
     how incremental synthesis tools scope combinational optimizations.
@@ -94,6 +96,15 @@ def unrolled(
     """
     if frames < 1:
         raise ValueError("frames must be positive")
+    comb = sequential.combinational
+    for flop_out, data_in in sequential.flops.items():
+        if data_in not in comb:
+            raise CircuitError(
+                f"flip-flop {flop_out!r} reads undefined net {data_in!r}"
+            )
+    for po in sequential.primary_outputs:
+        if po not in comb:
+            raise CircuitError(f"primary output {po!r} is not a net")
     result = Circuit(name or f"{sequential.name}_u{frames}")
 
     def frame_name(net: str, t: int) -> str:
@@ -106,7 +117,12 @@ def unrolled(
         )
 
     outputs: List[str] = []
-    comb = sequential.combinational
+    # The rename map of the frame just emitted.  A flop's data input may
+    # itself be an INPUT node of the core (another flop's output, or a
+    # primary input latched directly), so frame t's state must resolve
+    # through frame t-1's map rather than assume a ``<net>@{t-1}`` gate
+    # exists.
+    prev_rename: Dict[str, str] = {}
     for t in range(frames):
         rename: Dict[str, str] = {}
         for node in comb.nodes():
@@ -115,7 +131,7 @@ def unrolled(
                     rename[node.name] = (
                         state_in[node.name]
                         if t == 0
-                        else frame_name(sequential.flops[node.name], t - 1)
+                        else prev_rename[sequential.flops[node.name]]
                     )
                 else:
                     rename[node.name] = result.add_input(
@@ -134,13 +150,11 @@ def unrolled(
                 )
             else:
                 result.add_gate(new_name, node.type, fanins)
-        outputs.extend(
-            frame_name(po, t) for po in sequential.primary_outputs
-        )
+        outputs.extend(rename[po] for po in sequential.primary_outputs)
+        prev_rename = rename
     # Final-frame next-state nets are also observable.
     outputs.extend(
-        frame_name(data_in, frames - 1)
-        for data_in in sequential.flops.values()
+        prev_rename[data_in] for data_in in sequential.flops.values()
     )
     result.set_outputs(outputs)
     result.validate()

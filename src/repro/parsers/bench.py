@@ -9,9 +9,10 @@ format::
     G10 = NAND(G1, G3)
     G17 = NOT(G10)
 
-Only the combinational subset is supported (``DFF`` raises: dominator
-analysis is defined on the combinational core; unroll or cut sequential
-loops first).
+:func:`loads` handles the combinational subset (``DFF`` raises there);
+:func:`loads_sequential` additionally accepts ``q = DFF(d)`` lines and
+returns a :class:`~repro.graph.sequential.SequentialCircuit`.  Both
+directions round-trip via :func:`dumps` / :func:`dumps_sequential`.
 """
 
 from __future__ import annotations
@@ -55,12 +56,12 @@ def loads(text: str, name: str = "bench") -> Circuit:
 def loads_sequential(text: str, name: str = "bench"):
     """Parse a (possibly sequential) ``.bench`` netlist.
 
-    Flip-flops (``q = DFF(d)``) are cut: *q* becomes the pseudo input
-    ``ppi_q`` of the embedded combinational netlist, and the mapping
-    ``q -> d`` is recorded.  Returns a
+    Flip-flops (``q = DFF(d)``) are cut: *q* becomes an INPUT node of
+    the embedded combinational netlist (keeping its name), and the
+    mapping ``q -> d`` is recorded in ``flops``.  Returns a
     :class:`~repro.graph.sequential.SequentialCircuit`.
     """
-    from ..graph.sequential import PSEUDO_INPUT_PREFIX, SequentialCircuit
+    from ..graph.sequential import SequentialCircuit
 
     circuit, flops, primary_inputs = _parse(text, name, allow_dff=True)
     return SequentialCircuit(
@@ -73,8 +74,6 @@ def loads_sequential(text: str, name: str = "bench"):
 
 
 def _parse(text: str, name: str, allow_dff: bool):
-    from ..graph.sequential import PSEUDO_INPUT_PREFIX
-
     circuit = Circuit(name)
     outputs: List[str] = []
     primary_inputs: List[str] = []
@@ -197,3 +196,32 @@ def dumps(circuit: Circuit) -> str:
 def dump(circuit: Circuit, path: Union[str, Path]) -> None:
     """Write a circuit to a ``.bench`` file."""
     Path(path).write_text(dumps(circuit))
+
+
+def dumps_sequential(sequential) -> str:
+    """Serialize a :class:`SequentialCircuit` to ``.bench`` text.
+
+    Round-trips with :func:`loads_sequential`: flip-flops are re-emitted
+    as ``q = DFF(d)`` lines and only the original primary inputs get
+    ``INPUT`` declarations (flop outputs are INPUT nodes of the embedded
+    combinational netlist, but the DFF line defines them in the file).
+    """
+    lines: List[str] = [f"# {sequential.name}"]
+    for pi in sequential.primary_inputs:
+        lines.append(f"INPUT({pi})")
+    for out in sequential.primary_outputs:
+        lines.append(f"OUTPUT({out})")
+    for flop_out, data_in in sequential.flops.items():
+        lines.append(f"{flop_out} = DFF({data_in})")
+    for node in sequential.combinational.nodes():
+        if node.type is NodeType.INPUT:
+            continue
+        token = _TYPE_TOKENS[node.type]
+        args = ", ".join(node.fanins)
+        lines.append(f"{node.name} = {token}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump_sequential(sequential, path: Union[str, Path]) -> None:
+    """Write a :class:`SequentialCircuit` to a ``.bench`` file."""
+    Path(path).write_text(dumps_sequential(sequential))

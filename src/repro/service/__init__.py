@@ -30,6 +30,7 @@ from .executor import (
     SweepReport,
     pairs_in_chain_dict,
     sequential_cone_chains,
+    sweep_sequential_suite,
     sweep_suite,
 )
 from .hashing import circuit_fingerprint, cone_fingerprint
@@ -53,5 +54,6 @@ __all__ = [
     "cone_fingerprint",
     "pairs_in_chain_dict",
     "sequential_cone_chains",
+    "sweep_sequential_suite",
     "sweep_suite",
 ]

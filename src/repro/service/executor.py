@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.biconnectivity import validate_prefilter
 from ..core.algorithm import ChainComputer
 from ..dominators.kernels import validate_kernels
 from ..dominators.shared import cone_graph, validate_backend
@@ -54,6 +55,7 @@ def sequential_cone_chains(
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "shared",
     kernels: str = "python",
+    prefilter: str = "none",
 ) -> Dict[str, Dict[str, object]]:
     """Chains of one output cone, serialized — the unit of all execution.
 
@@ -65,13 +67,22 @@ def sequential_cone_chains(
     :class:`~repro.dominators.shared.SharedCircuitIndex`, so a sweep over
     *k* outputs converts the string-keyed netlist to int adjacency once
     instead of *k* times.
+
+    ``prefilter="biconn"`` lets the :class:`ChainComputer` certify
+    tree-skeleton cones empty before any region work; the answers are
+    bit-identical to the computed ones (the filter is sound), so the
+    setting does not enter artifact-store keys.
     """
     if backend == "shared":
         graph = cone_graph(circuit, output)
     else:
         graph = IndexedGraph.from_circuit(circuit, output)
     computer = ChainComputer(
-        graph, metrics=metrics, backend=backend, kernels=kernels
+        graph,
+        metrics=metrics,
+        backend=backend,
+        kernels=kernels,
+        prefilter=prefilter,
     )
     if targets is None:
         indices = graph.sources()
@@ -100,9 +111,9 @@ def pairs_in_chain_dict(chain_dict: Dict[str, object]) -> int:
 def _process_chunk(payload):
     """Worker entry: compute every cone job of one chunk.
 
-    ``payload`` is ``(circuit, cone_jobs, backend[, kernels])`` — the
-    kernels slot may be omitted by older callers — where the circuit
-    slot is either a pickled :class:`Circuit` or a
+    ``payload`` is ``(circuit, cone_jobs, backend[, kernels[, prefilter]])``
+    — the trailing slots may be omitted by older callers — where the
+    circuit slot is either a pickled :class:`Circuit` or a
     :class:`~repro.daemon.shm.CircuitRef` into a published
     shared-memory segment (resolved through the worker-local attach
     cache, so repeated chunks for one circuit version decode it once).
@@ -111,6 +122,7 @@ def _process_chunk(payload):
     """
     circuit, cone_jobs, backend, *rest = payload
     kernels = rest[0] if rest else "python"
+    prefilter = rest[1] if len(rest) > 1 else "none"
     registry = MetricsRegistry()
     if not isinstance(circuit, Circuit):
         from ..daemon.shm import attach_circuit
@@ -127,6 +139,7 @@ def _process_chunk(payload):
             metrics=registry,
             backend=backend,
             kernels=kernels,
+            prefilter=prefilter,
         )
         wall = time.perf_counter() - start
         registry.observe("executor.job_seconds", wall)
@@ -182,6 +195,13 @@ class ExecutorConfig:
         dispatch when shared memory is unavailable.  Call
         :meth:`ParallelExecutor.close` (or use the executor as a
         context manager) to unlink the segments.
+    prefilter:
+        ``"none"`` (default) or ``"biconn"`` — the Schmidt
+        chain-decomposition pre-filter
+        (:mod:`repro.analysis.biconnectivity`) forwarded to every cone
+        job; certified cones answer empty chains without region work.
+        Results are bit-identical either way, so the artifact-store
+        keys are unaffected.
     """
 
     jobs: int = 1
@@ -191,10 +211,12 @@ class ExecutorConfig:
     backend: str = "shared"
     shared_circuits: bool = False
     kernels: str = "python"
+    prefilter: str = "none"
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
         validate_kernels(self.kernels)
+        validate_prefilter(self.prefilter)
         if self.jobs <= 0:
             raise ValueError(
                 f"jobs must be a positive integer, got {self.jobs}"
@@ -438,6 +460,7 @@ class ParallelExecutor:
                             chunk,
                             self.config.backend,
                             self.config.kernels,
+                            self.config.prefilter,
                         ),
                     ),
                 )
@@ -478,6 +501,7 @@ class ParallelExecutor:
                 metrics=self.metrics,
                 backend=self.config.backend,
                 kernels=self.config.kernels,
+                prefilter=self.config.prefilter,
             )
             wall = time.perf_counter() - start
             self.metrics.observe("executor.job_seconds", wall)
@@ -528,6 +552,65 @@ def sweep_suite(
         report.circuits.append(
             CircuitSweep(
                 name=name,
+                circuit_key=key,
+                cones=len(cone_results),
+                chains=sum(len(r.chains) for r in cone_results),
+                pairs=sum(r.num_pairs for r in cone_results),
+                wall=wall,
+                artifact_hits=sum(
+                    1 for r in cone_results if r.source == "artifact"
+                ),
+            )
+        )
+    report.total_wall = time.perf_counter() - sweep_start
+    return report
+
+
+def sweep_sequential_suite(
+    executor: ParallelExecutor,
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    view: Tuple[str, int] = ("core", 0),
+    verbose: bool = False,
+) -> SweepReport:
+    """Run the executor over the built-in sequential circuit suite.
+
+    Each :class:`~repro.circuits.suite.SequentialEntry` is lowered to a
+    plain netlist first: ``view=("core", 0)`` analyzes the flop-cut
+    combinational core (one cone per primary output and per next-state
+    function), ``view=("unroll", N)`` analyzes the ``N``-frame
+    time-frame unrolling (per-frame primary outputs plus the final
+    next-state cut).  Row names carry the view suffix so reports from
+    different views never collide.
+    """
+    import sys
+
+    from ..circuits.suite import sequential_suite
+    from ..graph.sequential import extract_combinational_core, unrolled
+
+    mode, frames = view
+    if mode not in ("core", "unroll"):
+        raise ValueError(f"unknown sequential view {mode!r}")
+    suite = sequential_suite()
+    selected = list(names) if names else list(suite)
+    report = SweepReport(jobs=executor.config.jobs)
+    sweep_start = time.perf_counter()
+    for name in selected:
+        label = name if mode == "core" else f"{name}:u{frames}"
+        if verbose:
+            print(f"  sweeping {label} ...", file=sys.stderr, flush=True)
+        sequential = suite[name].sequential(scale)
+        if mode == "core":
+            circuit = extract_combinational_core(sequential)
+        else:
+            circuit = unrolled(sequential, frames)
+        key = circuit_fingerprint(circuit)
+        start = time.perf_counter()
+        cone_results = executor.sweep_circuit(circuit, circuit_key=key)
+        wall = time.perf_counter() - start
+        report.circuits.append(
+            CircuitSweep(
+                name=label,
                 circuit_key=key,
                 cones=len(cone_results),
                 chains=sum(len(r.chains) for r in cone_results),

@@ -1,0 +1,188 @@
+"""Schmidt chain decomposition and the double-dominator pre-filter."""
+
+import pytest
+
+from repro.analysis.biconnectivity import (
+    chain_decomposition,
+    has_no_double_dominator,
+    is_biconnected,
+    is_two_edge_connected,
+    skeleton_bridges,
+)
+from repro.circuits.generators import random_single_output
+from repro.core import dominator_chain
+from repro.graph import IndexedGraph
+
+
+def _graph(succ, root):
+    return IndexedGraph(succ, root=root)
+
+
+def _chain_graph(length):
+    """A path u -> ... -> root: the skeleton is a tree."""
+    return _graph([[i + 1] for i in range(length - 1)] + [[]], length - 1)
+
+
+def _diamond():
+    """u -> {a, b} -> root: the skeleton is a 4-cycle."""
+    return _graph([[1, 2], [3], [3], []], 3)
+
+
+class TestDecomposition:
+    def test_tree_skeleton_has_no_chains(self):
+        d = chain_decomposition(_chain_graph(5))
+        assert d.is_acyclic
+        assert d.is_connected
+        assert d.chains == []
+        # Every edge is a bridge.
+        assert len(d.bridges) == d.edge_count == 4
+        assert not d.is_two_edge_connected
+        assert not d.is_biconnected
+
+    def test_diamond_is_biconnected(self):
+        d = chain_decomposition(_diamond())
+        assert not d.is_acyclic
+        assert d.bridges == []
+        assert d.is_two_edge_connected
+        assert d.is_biconnected
+        # One chain, and it is a cycle through all four vertices.
+        assert len(d.chains) == 1
+        assert d.chains[0][0] == d.chains[0][-1]
+
+    def test_cycle_plus_pendant_edge(self):
+        # diamond with an extra tail hanging off the root: the tail edge
+        # is a bridge, so 2-edge-connectivity fails but the cycle stays.
+        g = _graph([[1, 2], [3], [3], [4], []], 4)
+        d = chain_decomposition(g)
+        assert not d.is_acyclic
+        assert len(d.bridges) == 1
+        assert not d.is_two_edge_connected
+        assert not d.is_biconnected
+        assert set(d.bridges[0]) == {3, 4}
+
+    def test_two_cycles_sharing_a_vertex_not_biconnected(self):
+        # Two diamonds glued at vertex 3: a cut vertex, two cycle chains.
+        g = _graph([[1, 2], [3], [3], [4, 5], [6], [6], []], 6)
+        d = chain_decomposition(g)
+        assert d.bridges == []
+        assert d.is_two_edge_connected
+        assert not d.is_biconnected
+        assert sum(1 for c in d.chains if c[0] == c[-1]) == 2
+
+    def test_parallel_edges_collapse(self):
+        # NAND(x, x)-style duplicate driver: skeleton stays a tree.
+        g = _graph([[1, 1], [2], []], 2)
+        d = chain_decomposition(g)
+        assert d.edge_count == 2
+        assert d.is_acyclic
+
+    def test_singleton(self):
+        d = chain_decomposition(_graph([[]], 0))
+        assert d.is_acyclic and d.is_connected
+        assert not d.is_two_edge_connected
+
+
+class TestBruteForceAgreement:
+    """Schmidt vs. brute-force bridge / cut-vertex checks."""
+
+    @staticmethod
+    def _skeleton_edges(graph):
+        edges = set()
+        for v in range(graph.n):
+            for w in graph.succ[v]:
+                if v != w:
+                    edges.add(frozenset((v, w)))
+        return edges
+
+    @staticmethod
+    def _connected(n, edges, skip_vertex=None, skip_edge=None):
+        adj = {v: set() for v in range(n) if v != skip_vertex}
+        for e in edges:
+            if e == skip_edge:
+                continue
+            v, w = tuple(e)
+            if skip_vertex in (v, w):
+                continue
+            adj[v].add(w)
+            adj[w].add(v)
+        if not adj:
+            return True
+        start = next(iter(adj))
+        seen = {start}
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return len(seen) == len(adj)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bridges_match_brute_force(self, seed):
+        graph = IndexedGraph.from_circuit(
+            random_single_output(4, 12, seed=seed)
+        )
+        edges = self._skeleton_edges(graph)
+        expected = {
+            e
+            for e in edges
+            if not self._connected(graph.n, edges, skip_edge=e)
+        }
+        got = {frozenset(e) for e in skeleton_bridges(graph)}
+        assert got == expected
+        assert is_two_edge_connected(graph) == (
+            graph.n >= 2 and not expected
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_biconnectivity_matches_brute_force(self, seed):
+        graph = IndexedGraph.from_circuit(
+            random_single_output(4, 12, seed=seed + 100)
+        )
+        edges = self._skeleton_edges(graph)
+        expected = graph.n >= 3 and all(
+            self._connected(graph.n, edges, skip_vertex=v)
+            for v in range(graph.n)
+        )
+        assert is_biconnected(graph) == expected
+
+
+class TestPrefilterSoundness:
+    def test_tree_cone_certified(self):
+        assert has_no_double_dominator(_chain_graph(6))
+
+    def test_diamond_not_certified(self):
+        assert not has_no_double_dominator(_diamond())
+
+    def test_certificate_implies_empty_chains(self):
+        """The acceptance property: a certified cone has no pairs at all."""
+        certified = 0
+        for seed in range(30):
+            graph = IndexedGraph.from_circuit(
+                random_single_output(2, 3, seed=seed)
+            )
+            if not has_no_double_dominator(graph):
+                continue
+            certified += 1
+            for u in range(graph.n):
+                if u == graph.root:
+                    continue
+                assert not dominator_chain(graph, u).pairs, (seed, u)
+        assert certified > 0, "no seed produced an acyclic skeleton"
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_fanout_free_circuits_certified(self, width):
+        """Parity trees (strictly fanout-free) always earn the certificate."""
+        from repro.circuits.generators import parity_tree
+
+        graph = IndexedGraph.from_circuit(parity_tree(width))
+        assert has_no_double_dominator(graph)
+        for u in graph.sources():
+            assert not dominator_chain(graph, u).pairs
+
+    def test_reconvergent_parity_not_certified(self):
+        from repro.circuits.generators import dual_rail_parity
+
+        graph = IndexedGraph.from_circuit(dual_rail_parity(4))
+        assert not has_no_double_dominator(graph)

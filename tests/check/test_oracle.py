@@ -212,3 +212,119 @@ class TestBackendCrossCheck:
         edits = [AddGate("x1", ("m", "n"), "and")]
         for backend in ("shared", "legacy"):
             assert check_incremental(circuit, edits, backend=backend) == []
+
+
+class TestPrefilterOracle:
+    """Kind ``prefilter``: biconn certificates audited by the oracle."""
+
+    def test_certified_cones_confirmed_across_suite(self):
+        from repro.analysis.biconnectivity import has_no_double_dominator
+        from repro.circuits import get_benchmark, sequential_suite
+        from repro.graph.sequential import extract_combinational_core
+
+        circuits = [
+            get_benchmark(name, scale=0.25) for name in ("alu2", "comp", "cmb")
+        ]
+        circuits += [
+            extract_combinational_core(entry.sequential(0.25))
+            for entry in sequential_suite().values()
+        ]
+        certified = 0
+        for circuit in circuits:
+            report = check_circuit(circuit)
+            assert report.ok, report.mismatches[:3]
+            for out in circuit.outputs:
+                graph = IndexedGraph.from_circuit(circuit, out)
+                if has_no_double_dominator(graph):
+                    certified += 1
+        # The sweep saw cones the pre-filter would actually skip, and
+        # the oracle confirmed every one of them pair-free.
+        assert certified > 0
+
+    def test_bogus_certificate_detected(self, monkeypatch):
+        # Force the filter to certify figure 2, which has real pairs:
+        # the oracle must flag the unsound certificate.
+        import repro.check.oracle as oracle_mod
+
+        monkeypatch.setattr(
+            oracle_mod, "has_no_double_dominator", lambda graph: True
+        )
+        graph = IndexedGraph.from_circuit(figure2_circuit())
+        mismatches = check_cone(graph)
+        prefilter = [m for m in mismatches if m.kind == "prefilter"]
+        assert prefilter
+        assert "pair-free" in prefilter[0].detail
+
+
+class TestSequentialOracle:
+    """Kind ``sequential``: core vs. unrolled-frame-0 chain agreement."""
+
+    def test_generators_agree(self):
+        from repro.check import check_sequential
+        from repro.circuits.generators import (
+            lfsr,
+            pipelined_alu,
+            shift_register,
+        )
+        from repro.graph.sequential import extract_combinational_core
+
+        for seq in (shift_register(4), lfsr(5), pipelined_alu(3, 2)):
+            for frames in (1, 2, 4):
+                report = check_sequential(seq, frames=frames)
+                assert report.ok, report.mismatches[:3]
+                assert report.cones == len(
+                    extract_combinational_core(seq).outputs
+                )
+                assert report.targets > 0
+
+    def test_suite_entries_agree(self):
+        from repro.check import check_sequential
+        from repro.circuits import sequential_suite
+
+        for entry in sequential_suite().values():
+            report = check_sequential(entry.sequential(0.25), frames=2)
+            assert report.ok, report.mismatches[:3]
+
+    def test_miswired_unrolling_detected(self, monkeypatch):
+        # Simulate a broken unroller by feeding the oracle an unrolling
+        # whose frame-0 logic reads the wrong tap (the shape the
+        # historical rename bug produced): the primary-output cone's
+        # source set diverges from the core.
+        import repro.check.oracle as oracle_mod
+        from repro.check import check_sequential
+        from repro.circuits.generators import shift_register
+        from repro.graph.circuit import Circuit
+        from repro.graph.node import NodeType
+        from repro.graph.sequential import SequentialCircuit
+        from repro.graph.sequential import unrolled as real_unrolled
+
+        def skewed(seq, frames):
+            comb = Circuit(seq.combinational.name)
+            comb.add_input("d")
+            for i in range(4):
+                comb.add_input(f"q{i}")
+            comb.add_gate("so", NodeType.NOT, ["d"])  # wrong tap
+            comb.set_outputs(["so"])
+            broken = SequentialCircuit(
+                name=seq.name,
+                combinational=comb,
+                flops=dict(seq.flops),
+                primary_inputs=list(seq.primary_inputs),
+                primary_outputs=list(seq.primary_outputs),
+            )
+            return real_unrolled(broken, frames)
+
+        monkeypatch.setattr(oracle_mod, "unrolled", skewed)
+        report = check_sequential(shift_register(4), frames=2)
+        assert not report.ok
+        assert any(m.kind == "sequential" for m in report.mismatches)
+
+    def test_metrics_threaded(self):
+        from repro.check import check_sequential
+        from repro.circuits.generators import shift_register
+
+        metrics = MetricsRegistry()
+        check_sequential(shift_register(3), frames=2, metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap["counters"]["check.sequential_circuits"] == 1
+        assert "check.sequential_seconds" in snap["histograms"]

@@ -69,3 +69,60 @@ def test_unknown_name_rejected():
 def test_structured_families_well_formed():
     for name in ("C6288", "comp", "C499"):
         assert_well_formed(get_benchmark(name, scale=0.3))
+
+
+class TestSequentialSuite:
+    """The sequential registry: s_shift, s_lfsr, s_alu."""
+
+    def test_registry_names(self):
+        from repro.circuits import sequential_names, sequential_suite
+
+        assert sequential_names() == ["s_shift", "s_lfsr", "s_alu"]
+        assert set(sequential_suite()) == set(sequential_names())
+
+    @pytest.mark.parametrize("name", ["s_shift", "s_lfsr", "s_alu"])
+    def test_every_entry_builds_at_small_scale(self, name):
+        from repro.circuits import get_sequential
+        from repro.graph.sequential import (
+            extract_combinational_core,
+            unrolled,
+        )
+
+        machine = get_sequential(name, scale=0.25)
+        assert machine.name == name
+        assert machine.flops
+        assert machine.primary_inputs and machine.primary_outputs
+        core = extract_combinational_core(machine)
+        core.validate()
+        assert len(core.outputs) == len(machine.primary_outputs) + len(
+            machine.flops
+        )
+        expanded = unrolled(machine, 3)
+        expanded.validate()
+        assert len(expanded.outputs) == 3 * len(
+            machine.primary_outputs
+        ) + len(machine.flops)
+
+    def test_unknown_name_rejected(self):
+        from repro.circuits import get_sequential
+
+        with pytest.raises(KeyError, match="nope"):
+            get_sequential("nope")
+
+    def test_suite_spans_prefilter_spectrum(self):
+        # s_shift: every core cone certified; s_alu: real pairs survive.
+        from repro.analysis.biconnectivity import has_no_double_dominator
+        from repro.circuits import get_sequential
+        from repro.graph import IndexedGraph
+        from repro.graph.sequential import extract_combinational_core
+
+        shift = extract_combinational_core(get_sequential("s_shift", 0.25))
+        assert all(
+            has_no_double_dominator(IndexedGraph.from_circuit(shift, out))
+            for out in shift.outputs
+        )
+        alu = extract_combinational_core(get_sequential("s_alu", 0.25))
+        assert not all(
+            has_no_double_dominator(IndexedGraph.from_circuit(alu, out))
+            for out in alu.outputs
+        )

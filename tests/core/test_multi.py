@@ -27,9 +27,27 @@ class TestKEqualsOne:
         for u in graph.sources():
             got = multi_vertex_dominators(graph, u, 1)
             expected = {
-                frozenset((d,)) for d in tree.strict_dominators(u)
+                frozenset((d,))
+                for d in tree.strict_dominators(u)
+                if d != graph.root
             }
             assert got == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_root_excluded_at_every_k(self, seed):
+        """The k=1/k=2 boundary: the root is never a dominator member.
+
+        Before the fix, k=1 included the root as a singleton dominator
+        while condition 2 filtered it at k>=2, so
+        immediate_multi_dominators compared inconsistent universes.
+        """
+        graph = _graph(seed)
+        root = frozenset((graph.root,))
+        for u in graph.sources():
+            for k in (1, 2):
+                for dom in multi_vertex_dominators(graph, u, k):
+                    assert graph.root not in dom, (u, k, dom)
+            assert root not in multi_vertex_dominators(graph, u, 1)
 
 
 class TestKEqualsTwo:

@@ -103,3 +103,125 @@ class TestUnroll:
     def test_zero_frames_rejected(self, seq):
         with pytest.raises(ValueError):
             unrolled(seq, frames=0)
+
+
+#: Regression suite for the flop-to-flop unroller bug: frame t used to
+#: emit the literal net ``<data_in>@{t-1}`` for a flop-output input,
+#: which never exists when the data input is itself an INPUT node of the
+#: core (another flop's output, or a primary input latched directly).
+S_SHIFT = """
+INPUT(d)
+OUTPUT(o)
+a = DFF(d_buf)
+b = DFF(a)
+o = NOT(b)
+d_buf = AND(d, d)
+"""
+
+S_LATCH_PI = """
+INPUT(d)
+OUTPUT(o)
+q = DFF(d)
+o = NOT(q)
+"""
+
+S_SELF_LOOP = """
+INPUT(d)
+OUTPUT(o)
+q = DFF(q)
+o = AND(q, d)
+"""
+
+
+class TestUnrollFlopChains:
+    def _simulate(self, seq, frames, stimuli, init=0):
+        """Reference simulation of the sequential machine itself."""
+        from repro.analysis import evaluate
+
+        core = extract_combinational_core(seq)
+        state = {q: init for q in seq.flops}
+        history = []
+        for env_t in stimuli:
+            env = dict(env_t)
+            env.update(state)
+            vals = evaluate(core, env)
+            history.append({po: vals[po] for po in seq.primary_outputs})
+            state = {q: vals[d] for q, d in seq.flops.items()}
+        return history, state
+
+    def test_shift_register_unrolls(self):
+        seq = bench.loads_sequential(S_SHIFT, name="shift2")
+        two = unrolled(seq, frames=2)
+        two.validate()
+        # Frame 1's flop 'b' reads frame 0's 'a', i.e. the initial state
+        # input ppi_a@0 — not a nonexistent 'a@0' net.
+        assert "ppi_a@0" in two.node("o@1").fanins or "ppi_a@0" in {
+            f for n in two.nodes() for f in n.fanins
+        }
+
+    @pytest.mark.parametrize("frames", [2, 3, 4])
+    def test_shift_register_semantics(self, frames):
+        from repro.analysis import evaluate
+
+        seq = bench.loads_sequential(S_SHIFT, name="shift2")
+        uroll = unrolled(seq, frames=frames)
+        stim = [{"d": t % 2} for t in range(frames)]
+        history, _ = self._simulate(seq, frames, stim)
+        env = {name: 0 for name in uroll.inputs}
+        for t, env_t in enumerate(stim):
+            env[f"d@{t}"] = env_t["d"]
+        vals = evaluate(uroll, env)
+        for t in range(frames):
+            assert vals[f"o@{t}"] == history[t]["o"], f"frame {t}"
+
+    def test_flop_latching_pi(self):
+        from repro.analysis import evaluate
+
+        seq = bench.loads_sequential(S_LATCH_PI, name="latch_pi")
+        three = unrolled(seq, frames=3)
+        three.validate()
+        env = {name: 0 for name in three.inputs}
+        env["d@0"], env["d@1"], env["d@2"] = 1, 0, 1
+        vals = evaluate(three, env)
+        # o@t = NOT(q@t) = NOT(d@{t-1}); q@0 is the initial state (0).
+        assert vals["o@0"] == 1
+        assert vals["o@1"] == 0
+        assert vals["o@2"] == 1
+        # Final next-state output is frame 2's view of d.
+        assert "d@2" in three.outputs
+
+    def test_self_loop_flop(self):
+        from repro.analysis import evaluate
+
+        seq = bench.loads_sequential(S_SELF_LOOP, name="hold")
+        four = unrolled(seq, frames=4)
+        four.validate()
+        # Q feeds its own D: every frame's state resolves to ppi_q@0.
+        env = {name: 0 for name in four.inputs}
+        env["ppi_q@0"] = 1
+        for t in range(4):
+            env[f"d@{t}"] = 1
+        vals = evaluate(four, env)
+        for t in range(4):
+            assert vals[f"o@{t}"] == 1
+        # The held state is also the final next-state observable.
+        assert "ppi_q@0" in four.outputs
+
+    def test_flop_reading_undefined_net_rejected(self):
+        from repro.errors import CircuitError
+        from repro.graph import Circuit, SequentialCircuit
+        from repro.graph.node import NodeType
+
+        comb = Circuit("bad")
+        comb.add_input("q")
+        comb.add_gate("o", NodeType.NOT, ["q"])
+        comb.set_outputs(["o"])
+        seq = SequentialCircuit(
+            name="bad",
+            combinational=comb,
+            flops={"q": "missing"},
+            primary_inputs=[],
+            primary_outputs=["o"],
+        )
+        with pytest.raises(CircuitError):
+            unrolled(seq, frames=2)

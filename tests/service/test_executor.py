@@ -324,3 +324,84 @@ class TestSharedCircuits:
             assert [
                 f for f in os.listdir("/dev/shm") if f.startswith("rpro_")
             ] == []
+
+
+class TestPrefilterConfig:
+    """prefilter= threads from ExecutorConfig to every worker path."""
+
+    def test_unknown_prefilter_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(prefilter="turbo")
+
+    def test_none_prefilter_default(self):
+        assert ExecutorConfig().prefilter == "none"
+        assert ExecutorConfig(prefilter="biconn").prefilter == "biconn"
+
+    def test_inprocess_sweep_identical_with_prefilter(self):
+        from repro.circuits import get_sequential
+        from repro.graph.sequential import extract_combinational_core
+
+        circuit = extract_combinational_core(
+            get_sequential("s_lfsr", scale=0.25)
+        )
+        plain = ParallelExecutor(
+            ExecutorConfig(jobs=1, prefilter="none")
+        ).sweep_circuit(circuit)
+        metrics = MetricsRegistry()
+        filtered = ParallelExecutor(
+            ExecutorConfig(jobs=1, prefilter="biconn"), metrics=metrics
+        ).sweep_circuit(circuit)
+        assert [(r.output, r.chains) for r in plain] == [
+            (r.output, r.chains) for r in filtered
+        ]
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("core.prefilter_certified", 0) > 0
+
+    def test_pool_sweep_identical_with_prefilter(self):
+        from repro.circuits import get_sequential
+        from repro.graph.sequential import extract_combinational_core
+
+        circuit = extract_combinational_core(
+            get_sequential("s_shift", scale=0.25)
+        )
+        plain = ParallelExecutor(
+            ExecutorConfig(jobs=2, prefilter="none")
+        ).sweep_circuit(circuit)
+        filtered = ParallelExecutor(
+            ExecutorConfig(jobs=2, prefilter="biconn")
+        ).sweep_circuit(circuit)
+        assert [(r.output, r.chains) for r in plain] == [
+            (r.output, r.chains) for r in filtered
+        ]
+
+
+class TestSequentialSweep:
+    def test_core_view(self):
+        from repro.service import sweep_sequential_suite
+
+        report = sweep_sequential_suite(
+            ParallelExecutor(ExecutorConfig(jobs=1)), scale=0.25
+        )
+        assert [c.name for c in report.circuits] == [
+            "s_shift", "s_lfsr", "s_alu",
+        ]
+        assert all(c.cones > 0 for c in report.circuits)
+
+    def test_unroll_view_labels_and_names(self):
+        from repro.service import sweep_sequential_suite
+
+        report = sweep_sequential_suite(
+            ParallelExecutor(ExecutorConfig(jobs=1)),
+            names=["s_shift"],
+            scale=0.25,
+            view=("unroll", 3),
+        )
+        assert [c.name for c in report.circuits] == ["s_shift:u3"]
+
+    def test_unknown_view_rejected(self):
+        from repro.service import sweep_sequential_suite
+
+        with pytest.raises(ValueError):
+            sweep_sequential_suite(
+                ParallelExecutor(ExecutorConfig(jobs=1)), view=("frames", 2)
+            )

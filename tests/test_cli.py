@@ -514,3 +514,129 @@ class TestKernelsFlag:
         assert main(["counts", bench_file, "--kernels", "python"]) == 0
         capsys.readouterr()
         assert main(["check", bench_file, "--kernels", "python"]) == 0
+
+
+@pytest.fixture
+def sequential_file(tmp_path):
+    from repro.circuits.generators import lfsr
+    from repro.parsers.bench import dump_sequential
+
+    path = tmp_path / "lfsr5.bench"
+    dump_sequential(lfsr(5), path)
+    return str(path)
+
+
+class TestSequentialFlag:
+    """--sequential {core,unroll:N} on chains/check/sweep."""
+
+    def test_chains_core_view(self, sequential_file, capsys):
+        assert main(
+            ["chains", sequential_file, "--sequential", "core",
+             "--output", "stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sin: 0 pairs" in out
+
+    def test_chains_unroll_view(self, sequential_file, capsys):
+        assert main(
+            ["chains", sequential_file, "--sequential", "unroll:3",
+             "--output", "stream@2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sin@2: 0 pairs" in out
+        assert "ppi_" in out  # frame-0 pseudo-inputs reach the cone
+
+    def test_chains_prefilter_certifies(self, sequential_file, capsys):
+        assert main(
+            ["chains", sequential_file, "--sequential", "core",
+             "--output", "stream", "--prefilter", "biconn"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "certified pair-free" in captured.err
+        assert "0 pairs" in captured.out
+
+    def test_check_runs_sequential_differential(
+        self, sequential_file, capsys
+    ):
+        assert main(
+            ["check", sequential_file, "--sequential", "core"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "core-vs-unroll:2" in out
+        assert "OK" in out
+
+    def test_check_unroll_uses_requested_frames(
+        self, sequential_file, capsys
+    ):
+        assert main(
+            ["check", sequential_file, "--sequential", "unroll:3"]
+        ) == 0
+        assert "core-vs-unroll:3" in capsys.readouterr().out
+
+    def test_sequential_requires_bench(self, blif_file):
+        with pytest.raises(SystemExit):
+            main(["chains", blif_file, "--sequential", "core"])
+
+    @pytest.mark.parametrize("value", ["bogus", "unroll:0", "unroll:x", "unroll:-2"])
+    def test_bad_sequential_exits_2(self, sequential_file, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chains", sequential_file, "--sequential", value])
+        assert exc.value.code == 2
+        assert "--sequential" in capsys.readouterr().err
+
+    def test_sweep_sequential_suite(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["sweep", "--sequential", "core", "--prefilter", "biconn",
+             "--scale", "0.25", "--no-progress",
+             "--metrics", str(metrics_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "s_shift" in out and "s_lfsr" in out and "s_alu" in out
+        assert "prefilter=biconn" in out
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["core.prefilter_certified"] > 0
+        assert snapshot["counters"]["core.prefilter_skipped"] > 0
+
+    def test_sweep_sequential_unroll_view(self, capsys):
+        assert main(
+            ["sweep", "--sequential", "unroll:2", "--scale", "0.25",
+             "--no-progress"]
+        ) == 0
+        assert "s_alu:u2" in capsys.readouterr().out
+
+    def test_sweep_sequential_unknown_name_exits_2(self, capsys):
+        assert main(
+            ["sweep", "--sequential", "core", "--names", "nope"]
+        ) == 2
+        assert "unknown sequential benchmark" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["bogus", "tri"])
+    def test_bad_prefilter_exits_2(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--prefilter", value])
+        assert exc.value.code == 2
+        assert "--prefilter" in capsys.readouterr().err
+
+    def test_sweep_prefilter_results_identical(self, capsys):
+        # bit-identical pair totals with and without the pre-filter
+        assert main(
+            ["sweep", "--sequential", "core", "--scale", "0.25",
+             "--no-progress"]
+        ) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["sweep", "--sequential", "core", "--scale", "0.25",
+             "--no-progress", "--prefilter", "biconn"]
+        ) == 0
+        filtered = capsys.readouterr().out
+
+        def pair_total(text):
+            for line in text.splitlines():
+                if line.startswith("total:"):
+                    return line.split(" pairs")[0]
+            return None
+
+        assert pair_total(plain) == pair_total(filtered) is not None
